@@ -1,0 +1,36 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper: it runs
+the corresponding experiment on the simulated substrate, prints the
+same rows/series the paper reports, and asserts the *shape* of the
+result (who wins, by roughly what factor, where crossovers fall).
+Absolute numbers differ from the paper's testbed by design.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+
+def run_once(benchmark, fn: Callable):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+def print_table(title: str, header: Sequence[str], rows: List[Sequence]) -> None:
+    """Print a paper-style table."""
+    print()
+    print(f"### {title}")
+    widths = [
+        max(len(str(header[i])), max((len(str(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+def fmt(value: float, digits: int = 2) -> str:
+    return f"{value:.{digits}f}"

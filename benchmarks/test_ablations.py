@@ -1,0 +1,200 @@
+"""Ablations of Whodunit's design choices (DESIGN.md §5).
+
+Not from the paper's evaluation — these quantify the design decisions
+the paper makes implicitly:
+
+1. deterministic vs stochastic sampling: the profiles agree;
+2. 4-byte synopses vs shipping full contexts: bytes saved;
+3. QEMU's translation cache: server overhead with the cache disabled;
+4. loop pruning: context growth on persistent connections without it.
+"""
+
+from benchharness import fmt, print_table, run_once
+
+from repro.apps.httpd import HttpdServer
+from repro.apps.tpcw import TpcwSystem
+from repro.core.context import TransactionContext
+from repro.core.profiler import ProfilerMode
+from repro.events import Event, EventLoop
+from repro.sim import Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+
+# ----------------------------------------------------------------------
+# 1. Sampling ablation
+# ----------------------------------------------------------------------
+def run_sampling_ablation():
+    def run(deterministic):
+        kernel = Kernel()
+        trace = WebTrace(Rng(7), objects=300, requests_per_connection_mean=3.0)
+        server = HttpdServer(kernel, trace)
+        server.stage.deterministic = deterministic
+        server.start()
+        HttpClientPool(kernel, server.listener_socket, trace, clients=6).start()
+        kernel.run(until=4.0)
+        stage = server.stage
+        total = stage.total_weight()
+        return {
+            label: cct.total_weight() / total for label, cct in stage.ccts.items()
+        }
+
+    return run(True), run(False)
+
+
+def test_ablation_deterministic_vs_stochastic_sampling(benchmark):
+    det, sto = run_once(benchmark, run_sampling_ablation)
+    rows = []
+    for label in det:
+        rows.append(
+            [
+                str(label)[:48],
+                fmt(100 * det[label], 2) + "%",
+                fmt(100 * sto.get(label, 0.0), 2) + "%",
+            ]
+        )
+    print_table(
+        "Ablation — context shares under deterministic vs stochastic sampling",
+        ["context", "deterministic", "stochastic"],
+        rows,
+    )
+    for label, det_share in det.items():
+        if det_share > 0.02:
+            assert abs(sto.get(label, 0.0) - det_share) < 0.05
+
+
+# ----------------------------------------------------------------------
+# 2. Synopsis ablation
+# ----------------------------------------------------------------------
+def run_synopsis_ablation():
+    system = TpcwSystem(clients=60, seed=42)
+    results = system.run(duration=60.0, warmup=20.0)
+    stages = [system.squid.stage, system.tomcat.stage, system.db.stage]
+    synopsis_bytes = sum(s.comm_context_bytes for s in stages)
+    full_bytes = sum(s.comm_context_bytes_full for s in stages)
+    data_bytes = sum(s.comm_data_bytes for s in stages)
+    return synopsis_bytes, full_bytes, data_bytes
+
+
+def test_ablation_synopses_vs_full_contexts(benchmark):
+    synopsis_bytes, full_bytes, data_bytes = run_once(
+        benchmark, run_synopsis_ablation
+    )
+    print_table(
+        "Ablation — piggy-backed bytes: 4-byte synopses vs full contexts",
+        ["scheme", "bytes", "% of data"],
+        [
+            ["synopses (paper §7.4)", synopsis_bytes, fmt(100 * synopsis_bytes / data_bytes, 3) + "%"],
+            ["full contexts", full_bytes, fmt(100 * full_bytes / data_bytes, 3) + "%"],
+        ],
+    )
+    assert full_bytes > 5 * synopsis_bytes
+
+
+# ----------------------------------------------------------------------
+# 3. Translation-cache ablation
+# ----------------------------------------------------------------------
+def run_cache_ablation():
+    def run(cache_on):
+        kernel = Kernel()
+        trace = WebTrace(Rng(7), objects=300, requests_per_connection_mean=3.0)
+        server = HttpdServer(kernel, trace)
+        server.region.emulator.cache_translations = cache_on
+        server.start()
+        HttpClientPool(kernel, server.listener_socket, trace, clients=8).start()
+        kernel.run(until=4.0)
+        return server.throughput_mbps()
+
+    baseline = run_off_profile()
+    return baseline, run(True), run(False)
+
+
+def run_off_profile():
+    kernel = Kernel()
+    trace = WebTrace(Rng(7), objects=300, requests_per_connection_mean=3.0)
+    server = HttpdServer(kernel, trace, mode=ProfilerMode.OFF)
+    server.start()
+    HttpClientPool(kernel, server.listener_socket, trace, clients=8).start()
+    kernel.run(until=4.0)
+    return server.throughput_mbps()
+
+
+def test_ablation_translation_cache(benchmark):
+    baseline, cached, uncached = run_once(benchmark, run_cache_ablation)
+    print_table(
+        "Ablation — Apache throughput (Mb/s): translation cache on vs off",
+        ["configuration", "Mb/s", "overhead vs unprofiled"],
+        [
+            ["unprofiled", fmt(baseline, 1), "-"],
+            ["whodunit, cache on", fmt(cached, 1), fmt(100 * (baseline - cached) / baseline, 1) + "%"],
+            ["whodunit, cache off", fmt(uncached, 1), fmt(100 * (baseline - uncached) / baseline, 1) + "%"],
+        ],
+    )
+    assert cached > uncached  # the cache pays for itself
+    # §9.2's small overhead depends on the cache.
+    assert (baseline - cached) / baseline < 0.10
+
+
+# ----------------------------------------------------------------------
+# 4. Loop-pruning ablation
+# ----------------------------------------------------------------------
+def run_pruning_ablation():
+    def run(prune):
+        kernel = Kernel()
+        loop = EventLoop(kernel, prune_loops=prune, collapse_repeats=prune)
+        from repro.core.profiler import StageRuntime
+
+        stage = StageRuntime("ev")
+        kernel.spawn(loop.run(), stage=stage)
+        requests = {"n": 0, "longest": 0}
+
+        def note(lp):
+            requests["longest"] = max(requests["longest"], len(lp.curr_tran_ctxt))
+
+        def read_handler(lp, ev):
+            note(lp)
+            lp.event_add(Event("write_handler", write_handler))
+            return
+            yield  # pragma: no cover
+
+        def write_handler(lp, ev):
+            note(lp)
+            requests["n"] += 1
+            if requests["n"] < 200:
+                lp.event_add(Event("read_handler", read_handler))
+            else:
+                lp.stop()
+            return
+            yield  # pragma: no cover
+
+        def accept_handler(lp, ev):
+            note(lp)
+            lp.event_add(Event("read_handler", read_handler))
+            return
+            yield  # pragma: no cover
+
+        loop.event_add(Event("accept_handler", accept_handler))
+        kernel.run()
+        return requests["n"], requests["longest"]
+
+    # With pruning the final context length stays bounded; without it
+    # the context grows linearly with the number of requests served on
+    # the persistent connection.
+    pruned_n, pruned_len = run(True)
+    unpruned_n, unpruned_len = run(False)
+    return (pruned_n, pruned_len), (unpruned_n, unpruned_len)
+
+
+def test_ablation_loop_pruning(benchmark):
+    (pruned_n, pruned_len), (unpruned_n, unpruned_len) = run_once(
+        benchmark, run_pruning_ablation
+    )
+    print_table(
+        "Ablation — longest event context after 200 requests on one connection",
+        ["pruning", "requests", "context length"],
+        [
+            ["on (paper §4.1)", pruned_n, pruned_len],
+            ["off", unpruned_n, unpruned_len],
+        ],
+    )
+    assert pruned_len <= 3
+    assert unpruned_len > 100

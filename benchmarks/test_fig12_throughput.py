@@ -1,0 +1,71 @@
+"""Fig 12: TPC-W throughput with and without result caching, 50–500
+concurrent clients, browsing mix.
+
+Paper result: without caching the database CPU saturates around 200
+clients at a peak of 1184 interactions/minute; with caching, throughput
+rises almost linearly to about 450 clients and peaks at 3376 — close to
+3x the original peak.
+"""
+
+from benchharness import fmt, print_table, run_once
+
+from repro.apps.tpcw import TpcwSystem
+
+CLIENT_COUNTS = [50, 100, 150, 200, 300, 450, 500]
+DURATION = 180.0
+WARMUP = 40.0
+SEED = 42
+
+
+def run_fig12():
+    out = {}
+    for clients in CLIENT_COUNTS:
+        original = TpcwSystem(clients=clients, seed=SEED)
+        cached = TpcwSystem(clients=clients, seed=SEED, caching=True)
+        r_orig = original.run(DURATION, WARMUP)
+        r_cache = cached.run(DURATION, WARMUP)
+        out[clients] = {
+            "orig": r_orig.throughput_tpm(),
+            "cache": r_cache.throughput_tpm(),
+            "orig_util": original.db.cpu.utilization(),
+            "cache_util": cached.db.cpu.utilization(),
+        }
+    return out
+
+
+def test_fig12_throughput_with_and_without_caching(benchmark):
+    curves = run_once(benchmark, run_fig12)
+    table = [
+        [
+            clients,
+            fmt(curves[clients]["orig"], 0),
+            fmt(curves[clients]["cache"], 0),
+            fmt(100 * curves[clients]["orig_util"], 0) + "%",
+            fmt(100 * curves[clients]["cache_util"], 0) + "%",
+        ]
+        for clients in CLIENT_COUNTS
+    ]
+    print_table(
+        "Fig 12 — throughput (interactions/min), browsing mix "
+        "(paper: original peaks 1184 @ ~200 clients; cached peaks 3376 @ ~450)",
+        ["clients", "original", "cached", "db util (orig)", "db util (cached)"],
+        table,
+    )
+
+    orig_peak = max(curves[c]["orig"] for c in CLIENT_COUNTS)
+    cache_peak = max(curves[c]["cache"] for c in CLIENT_COUNTS)
+
+    # Shape assertions -------------------------------------------------
+    # 1. The original system saturates near 200 clients: beyond it,
+    #    throughput stays flat (within 15% of the 200-client value).
+    t200 = curves[200]["orig"]
+    for clients in (300, 450, 500):
+        assert curves[clients]["orig"] < t200 * 1.15
+    # 2. The original peak is in the neighbourhood of the paper's 1184.
+    assert 800 < orig_peak < 1600
+    # 3. Caching keeps scaling well past the original knee...
+    assert curves[450]["cache"] > t200 * 1.8
+    # ...for a peak ~2-4x the original's (paper: 2.85x).
+    assert 2.0 < cache_peak / orig_peak < 4.5
+    # 4. The original system's bottleneck is the database CPU.
+    assert curves[450]["orig_util"] > 0.9

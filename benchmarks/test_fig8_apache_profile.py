@@ -1,0 +1,107 @@
+"""Fig 8 + §8.1: transactional profile of Apache; MySQL's counter.
+
+Paper result: Whodunit detects transaction flow through Apache's shared
+connection queue (listener -> workers) and establishes contexts across
+it — the worker-side profile (ap_process_connection subtree, ~22.7% per
+worker in the paper's figure; the large majority of the stage in
+aggregate) is annotated with the listener's ap_queue_push context, while
+the listener's accept path (~2.4%) stays local.  The synchronized
+allocator is detected but correctly not classified as flow.  In MySQL,
+the shared statistics counter is detected and correctly rejected: no
+transaction flow at all.
+"""
+
+from benchharness import fmt, print_table, run_once
+
+from repro.apps.db import Database, QueryPlan, Table
+from repro.apps.httpd import HttpdServer
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW, NO_FLOW_ALLOCATOR, NO_FLOW_STATEFUL
+from repro.core.profiler import LOCAL
+from repro.sim import CurrentThread, Delay, Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+PUSH_CTXT = TransactionContext(("main", "listener_thread", "ap_queue_push"))
+
+
+def run_apache():
+    kernel = Kernel()
+    trace = WebTrace(Rng(7), objects=400, requests_per_connection_mean=3.0)
+    server = HttpdServer(kernel, trace)
+    server.start()
+    clients = HttpClientPool(kernel, server.listener_socket, trace, clients=6)
+    clients.start()
+    kernel.run(until=5.0)
+    return server
+
+
+def run_mysql_counter():
+    kernel = Kernel()
+    db = Database(kernel)
+    db.add_table(Table("item"))
+    plan = QueryPlan("q", reads=("item",), cpu_cost=1e-4)
+
+    def client(index):
+        thread = yield CurrentThread()
+        yield Delay(index * 1e-3)
+        for _ in range(20):
+            yield from db.execute(thread, plan)
+
+    for i in range(4):
+        kernel.spawn(client(i), stage=db.stage)
+    kernel.run()
+    return db
+
+
+def test_fig8_apache_transactional_profile(benchmark):
+    server = run_once(benchmark, run_apache)
+    stage = server.stage
+    total = stage.total_weight()
+    flow_cct = stage.ccts[PUSH_CTXT]
+    local_cct = stage.ccts[LOCAL]
+
+    worker_path = ("main", "worker_thread", "ap_process_connection")
+    listener_path = ("main", "listener_thread")
+    worker_share = 100 * flow_cct.inclusive_weight_of(worker_path) / total
+    listener_share = 100 * local_cct.inclusive_weight_of(listener_path) / total
+    sendfile_share = (
+        100 * flow_cct.inclusive_weight_of(worker_path + ("sendfile",)) / total
+    )
+    queue_roles = server.region.detector.roles.for_lock(server.queue.mutex)
+    alloc_roles = server.region.detector.roles.for_lock(server.alloc_mutex)
+
+    print_table(
+        "Fig 8 — Apache transactional profile (flow through shared memory)",
+        ["measure", "paper", "measured"],
+        [
+            ["fd_queue classification", "flow detected", queue_roles.classification],
+            ["allocator classification", "not flow", alloc_roles.classification],
+            ["listener (local) share", "~2.4%", fmt(listener_share, 1) + "%"],
+            [
+                "workers under push context",
+                "bulk of stage (22.7%/worker)",
+                fmt(worker_share, 1) + "%",
+            ],
+            ["  of which sendfile", "large", fmt(sendfile_share, 1) + "%"],
+        ],
+    )
+
+    assert queue_roles.classification == FLOW
+    assert alloc_roles.classification == NO_FLOW_ALLOCATOR
+    assert worker_share > 50.0
+    assert 0.0 < listener_share < 25.0
+
+
+def test_fig8_mysql_counter_is_not_flow(benchmark):
+    db = run_once(benchmark, run_mysql_counter)
+    classification = db.region.detector.roles.for_lock(db.stats_mutex).classification
+    print_table(
+        "§8.1 — MySQL shared counter",
+        ["measure", "paper", "measured"],
+        [
+            ["counter classification", "detected, not flow", classification],
+            ["flow edges in MySQL", "none", len(db.region.detector.flow_edges())],
+        ],
+    )
+    assert classification == NO_FLOW_STATEFUL
+    assert db.region.detector.flow_edges() == []

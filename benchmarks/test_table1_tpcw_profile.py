@@ -1,0 +1,98 @@
+"""Table 1: MySQL CPU profile (%) and mean crosstalk wait per TPC-W
+interaction, browsing mix, 100 concurrent clients.
+
+Paper result (abridged): BestSellers 51.50% / SearchResult 43.28% /
+NewProducts 3.29% of MySQL CPU; AdminConfirm has the largest mean
+crosstalk wait (93.76 ms), BuyConfirm next (68.55 ms), with the common
+read-only interactions around a millisecond.
+"""
+
+from benchharness import fmt, print_table, run_once
+
+from repro.apps.tpcw import INTERACTIONS, TpcwSystem
+
+PAPER_CPU = {
+    "AdminConfirm": 0.82,
+    "AdminRequest": 0.00,
+    "BestSellers": 51.50,
+    "BuyConfirm": 0.04,
+    "BuyRequest": 0.03,
+    "CustomerRegistration": 0.00,
+    "Home": 0.57,
+    "NewProducts": 3.29,
+    "OrderDisplay": 0.01,
+    "ProductDetail": 0.22,
+    "SearchRequest": 0.16,
+    "SearchResult": 43.28,
+    "ShoppingCart": 0.07,
+}
+PAPER_WAIT = {
+    "AdminConfirm": 93.76,
+    "AdminRequest": 6.68,
+    "BestSellers": 22.16,
+    "BuyConfirm": 68.55,
+    "BuyRequest": 0.11,
+    "CustomerRegistration": 0.01,
+    "Home": 1.51,
+    "NewProducts": 1.59,
+    "OrderDisplay": 0.09,
+    "ProductDetail": 0.66,
+    "SearchRequest": 1.15,
+    "SearchResult": 5.52,
+    "ShoppingCart": 0.86,
+}
+
+
+def run_table1():
+    # AdminConfirm is 0.09% of the mix, so its crosstalk mean needs a
+    # long run to have any instances at all (n≈10 at 900 s); the paper's
+    # own AdminConfirm column carries the same small-n noise.
+    system = TpcwSystem(clients=100, seed=43)
+    results = system.run(duration=900.0, warmup=60.0)
+    return system, results
+
+
+def test_table1_mysql_profile_and_crosstalk(benchmark):
+    system, results = run_once(benchmark, run_table1)
+    shares = results.db_cpu_share()
+    waits = results.crosstalk_wait_ms()
+
+    rows = []
+    for name in sorted(INTERACTIONS):
+        if name == "OrderInquiry":  # the paper's table omits it
+            continue
+        rows.append(
+            [
+                name,
+                fmt(PAPER_CPU[name], 2),
+                fmt(shares.get(name, 0.0), 2),
+                fmt(PAPER_WAIT[name], 2),
+                fmt(waits.get(name, 0.0), 2),
+            ]
+        )
+    print_table(
+        "Table 1 — MySQL CPU profile (%) and mean crosstalk wait (ms), "
+        "browsing mix, 100 clients",
+        ["interaction", "CPU% paper", "CPU% measured", "wait paper", "wait measured"],
+        rows,
+    )
+
+    # -- CPU distribution shape ---------------------------------------
+    assert 40 < shares["BestSellers"] < 62
+    assert 33 < shares["SearchResult"] < 54
+    assert 1 < shares["NewProducts"] < 8
+    assert shares.get("Home", 0) < 3
+    assert shares.get("ProductDetail", 0) < 2
+    # BestSellers and SearchResult together dominate as in the paper.
+    assert shares["BestSellers"] + shares["SearchResult"] > 80
+
+    # -- crosstalk shape ------------------------------------------------
+    writers = max(waits.get("AdminConfirm", 0), waits.get("BuyConfirm", 0))
+    readers = max(
+        waits.get("Home", 0),
+        waits.get("ProductDetail", 0),
+        waits.get("SearchRequest", 0),
+    )
+    assert writers > 10.0  # tens of ms, as in the paper
+    assert readers < 10.0
+    assert writers > 5 * max(readers, 0.1)

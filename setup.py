@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work in offline environments whose pip lacks the ``wheel``
+package required by the PEP 517 editable path (``pip install -e .
+--no-build-isolation --no-use-pep517``, or plain ``pip install -e .``
+where wheel is available).
+"""
+
+from setuptools import setup
+
+setup()

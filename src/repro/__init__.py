@@ -1,0 +1,21 @@
+"""Whodunit: transactional profiling for multi-tier applications.
+
+A Python reproduction of Chanda, Cox & Zwaenepoel (EuroSys 2007).
+
+Layout:
+
+- :mod:`repro.core` — the profiler: transaction contexts, CCTs,
+  synopses, shared-memory flow detection, crosstalk, stitching;
+- :mod:`repro.sim` — deterministic discrete-event substrate;
+- :mod:`repro.vm` — the instruction-level emulator (QEMU substitute);
+- :mod:`repro.channels`, :mod:`repro.events`, :mod:`repro.seda` —
+  communication substrates with context tracking;
+- :mod:`repro.apps` — the simulated Apache/MySQL/Squid/Haboob/TPC-W
+  systems the paper evaluates on;
+- :mod:`repro.workloads`, :mod:`repro.analysis` — workload generation
+  and profile presentation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,37 @@
+"""Profile aggregation and presentation (Whodunit's post-mortem phase)."""
+
+from repro.analysis.aggregate import (
+    context_shares,
+    diff_profiles,
+    frame_shares,
+    top_paths,
+)
+from repro.analysis.render import (
+    render_cct,
+    render_crosstalk,
+    render_flow_graph,
+    render_stage_profile,
+    render_stitched_profile,
+)
+from repro.analysis.export import (
+    export_crosstalk,
+    export_series,
+    export_stage_profile,
+    write_rows,
+)
+
+__all__ = [
+    "context_shares",
+    "diff_profiles",
+    "frame_shares",
+    "top_paths",
+    "render_cct",
+    "render_stage_profile",
+    "render_stitched_profile",
+    "render_crosstalk",
+    "render_flow_graph",
+    "export_stage_profile",
+    "export_crosstalk",
+    "export_series",
+    "write_rows",
+]

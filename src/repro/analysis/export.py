@@ -1,0 +1,82 @@
+"""Export profiles and experiment series as TSV for external plotting.
+
+The benchmarks print paper-style tables; these helpers additionally let
+users dump the underlying data — per-context profile weights, crosstalk
+pairs, throughput/latency series — into tab-separated files that any
+plotting tool ingests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, TextIO, Union
+
+from repro.core.crosstalk import CrosstalkRecorder
+from repro.core.profiler import StageRuntime
+
+PathOrFile = Union[str, TextIO]
+
+
+def _open(destination: PathOrFile):
+    if isinstance(destination, str):
+        return open(destination, "w", encoding="utf-8"), True
+    return destination, False
+
+
+def write_rows(destination: PathOrFile, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Write one TSV table."""
+    handle, owned = _open(destination)
+    try:
+        handle.write("\t".join(str(h) for h in header) + "\n")
+        for row in rows:
+            handle.write("\t".join(str(cell) for cell in row) + "\n")
+    finally:
+        if owned:
+            handle.close()
+
+
+def export_stage_profile(stage: StageRuntime, destination: PathOrFile) -> None:
+    """One row per (context, call path): self weight and shares."""
+    total = stage.total_weight()
+    rows: List[Sequence] = []
+    for label, cct in sorted(
+        stage.ccts.items(), key=lambda item: -item[1].total_weight()
+    ):
+        for path, weight in sorted(cct.flatten().items(), key=lambda i: -i[1]):
+            share = 100.0 * weight / total if total else 0.0
+            rows.append(
+                [
+                    repr(label),
+                    " > ".join(path),
+                    f"{weight:.6f}",
+                    f"{share:.4f}",
+                ]
+            )
+    write_rows(destination, ["context", "call_path", "samples", "share_pct"], rows)
+
+
+def export_crosstalk(recorder: CrosstalkRecorder, destination: PathOrFile) -> None:
+    """One row per ordered (waiter, holder) pair."""
+    rows = [
+        [str(waiter), str(holder), count, f"{1000 * mean:.4f}", f"{1000 * peak:.4f}"]
+        for waiter, holder, count, mean, peak in recorder.pair_table()
+    ]
+    write_rows(
+        destination,
+        ["waiting", "holding", "count", "mean_ms", "max_ms"],
+        rows,
+    )
+
+
+def export_series(
+    destination: PathOrFile,
+    x_name: str,
+    series: Dict[str, Dict],
+) -> None:
+    """Export aligned series: ``{column: {x: y}}`` → one row per x."""
+    xs = sorted({x for column in series.values() for x in column})
+    header = [x_name] + list(series.keys())
+    rows = [
+        [x] + [series[name].get(x, "") for name in series]
+        for x in xs
+    ]
+    write_rows(destination, header, rows)

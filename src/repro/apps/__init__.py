@@ -1,0 +1,14 @@
+"""Simulated multi-tier applications: the paper's case-study subjects.
+
+- :mod:`repro.apps.httpd` — Apache-like threaded web server (shared
+  memory flow, §8.1, §9.2);
+- :mod:`repro.apps.proxy` — Squid-like event-driven proxy cache (§8.2,
+  §9.3);
+- :mod:`repro.apps.haboob` — Haboob-like SEDA web server (§8.3, §9.3);
+- :mod:`repro.apps.db` — MySQL-like storage engine with MyISAM/InnoDB
+  locking (§8.1, §8.4);
+- :mod:`repro.apps.tomcat` — servlet container with the fourteen TPC-W
+  servlets (§8.4);
+- :mod:`repro.apps.tpcw` — the full three-tier bookstore harness
+  (§8.4, §9.1, Table 1/2, Figures 11/12).
+"""

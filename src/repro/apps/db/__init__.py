@@ -1,0 +1,6 @@
+"""MySQL-like database engine with table- and row-level locking."""
+
+from repro.apps.db.locks import INNODB, MYISAM, Table
+from repro.apps.db.engine import Database, DatabaseServer, QueryPlan
+
+__all__ = ["Table", "MYISAM", "INNODB", "Database", "DatabaseServer", "QueryPlan"]

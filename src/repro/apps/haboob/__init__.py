@@ -1,0 +1,5 @@
+"""Haboob-like SEDA web server."""
+
+from repro.apps.haboob.server import HaboobConfig, HaboobServer
+
+__all__ = ["HaboobServer", "HaboobConfig"]

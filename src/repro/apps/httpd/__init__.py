@@ -1,0 +1,5 @@
+"""Apache-like multithreaded web server."""
+
+from repro.apps.httpd.server import HttpdConfig, HttpdServer
+
+__all__ = ["HttpdServer", "HttpdConfig"]

@@ -1,0 +1,7 @@
+"""Squid-like event-driven web proxy cache."""
+
+from repro.apps.proxy.cache import LruCache
+from repro.apps.proxy.origin import OriginServer
+from repro.apps.proxy.squid import SquidConfig, SquidProxy
+
+__all__ = ["LruCache", "OriginServer", "SquidProxy", "SquidConfig"]

@@ -1,0 +1,66 @@
+"""A byte-capacity LRU object cache (Squid's in-memory store analog)."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+
+class LruCache:
+    """LRU cache of objects keyed by request key, bounded in bytes."""
+
+    def __init__(self, capacity_bytes: int = 64 * 1024 * 1024):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = OrderedDict()
+        self.used_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[Tuple[Any, int]]:
+        """Return ``(value, size)`` and refresh recency, or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def insert(self, key: Hashable, value: Any, size: int) -> None:
+        """Insert or refresh an object, evicting LRU entries as needed."""
+        if size < 0:
+            raise ValueError("negative object size")
+        if size > self.capacity_bytes:
+            return  # uncacheably large
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.used_bytes -= old[1]
+        while self.used_bytes + size > self.capacity_bytes and self._entries:
+            _, (_, evicted_size) = self._entries.popitem(last=False)
+            self.used_bytes -= evicted_size
+            self.evictions += 1
+        self._entries[key] = (value, size)
+        self.used_bytes += size
+
+    def invalidate(self, key: Hashable) -> bool:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self.used_bytes -= entry[1]
+        return True
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,5 @@
+"""Tomcat-like servlet container."""
+
+from repro.apps.tomcat.container import Servlet, ServletCache, TomcatServer
+
+__all__ = ["TomcatServer", "Servlet", "ServletCache"]

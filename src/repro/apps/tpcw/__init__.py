@@ -1,0 +1,26 @@
+"""TPC-W: the online bookstore benchmark (§8.4)."""
+
+from repro.apps.tpcw.model import (
+    BROWSING_MIX,
+    DB_CPU_COST,
+    INTERACTIONS,
+    NUM_ITEMS,
+    NUM_SUBJECTS,
+    TpcwModel,
+)
+from repro.apps.tpcw.servlets import build_servlets
+from repro.apps.tpcw.workload import TpcwClientPool
+from repro.apps.tpcw.harness import TpcwResults, TpcwSystem
+
+__all__ = [
+    "TpcwModel",
+    "INTERACTIONS",
+    "BROWSING_MIX",
+    "DB_CPU_COST",
+    "NUM_ITEMS",
+    "NUM_SUBJECTS",
+    "build_servlets",
+    "TpcwClientPool",
+    "TpcwSystem",
+    "TpcwResults",
+]

@@ -1,0 +1,339 @@
+"""TPC-W bookstore model: interactions, mix weights, query cost model.
+
+The fourteen interactions and the browsing-mix weights come from the
+TPC-W specification.  The per-interaction database CPU costs are
+calibrated so the browsing mix reproduces Table 1's MySQL CPU
+distribution: share_i ∝ weight_i × cost_i, with BestSellers at ~51.5%
+and SearchResult at ~43.3% of database CPU, and a mean demand around
+50 ms — which in turn puts the uncached browsing mix's peak throughput
+near the paper's 1184 interactions/minute (Fig 12).
+
+Lock footprints mirror the schema behaviour §8.4 describes: most
+interactions read the ``item`` table; AdminConfirm sorts order history
+into a temporary table and *updates one row of item*, which under
+MyISAM's table-wide locking serialises it against every reader;
+BuyConfirm decrements stock, also writing ``item``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Tuple
+
+from repro.apps.db.engine import QueryPlan
+from repro.sim.rng import Rng
+
+NUM_ITEMS = 10_000
+NUM_SUBJECTS = 24
+NUM_CUSTOMERS = 2880
+NUM_SEARCH_TERMS = 1000
+
+INTERACTIONS: Tuple[str, ...] = (
+    "AdminConfirm",
+    "AdminRequest",
+    "BestSellers",
+    "BuyConfirm",
+    "BuyRequest",
+    "CustomerRegistration",
+    "Home",
+    "NewProducts",
+    "OrderDisplay",
+    "OrderInquiry",
+    "ProductDetail",
+    "SearchRequest",
+    "SearchResult",
+    "ShoppingCart",
+)
+
+# TPC-W interaction mixes (% of interactions).  The paper's evaluation
+# uses the browsing mix; the shopping and ordering mixes are provided
+# for completeness (clause 5.3 of the TPC-W specification).
+BROWSING_MIX = {
+    "Home": 29.00,
+    "NewProducts": 11.00,
+    "BestSellers": 11.00,
+    "ProductDetail": 21.00,
+    "SearchRequest": 12.00,
+    "SearchResult": 11.00,
+    "ShoppingCart": 2.00,
+    "CustomerRegistration": 0.82,
+    "BuyRequest": 0.75,
+    "BuyConfirm": 0.69,
+    "OrderInquiry": 0.30,
+    "OrderDisplay": 0.25,
+    "AdminRequest": 0.10,
+    "AdminConfirm": 0.09,
+}
+
+SHOPPING_MIX = {
+    "Home": 16.00,
+    "NewProducts": 5.00,
+    "BestSellers": 5.00,
+    "ProductDetail": 17.00,
+    "SearchRequest": 20.00,
+    "SearchResult": 17.00,
+    "ShoppingCart": 11.60,
+    "CustomerRegistration": 3.00,
+    "BuyRequest": 2.60,
+    "BuyConfirm": 1.20,
+    "OrderInquiry": 0.75,
+    "OrderDisplay": 0.66,
+    "AdminRequest": 0.10,
+    "AdminConfirm": 0.09,
+}
+
+ORDERING_MIX = {
+    "Home": 9.12,
+    "NewProducts": 0.46,
+    "BestSellers": 0.46,
+    "ProductDetail": 12.35,
+    "SearchRequest": 14.53,
+    "SearchResult": 13.08,
+    "ShoppingCart": 13.53,
+    "CustomerRegistration": 12.86,
+    "BuyRequest": 12.73,
+    "BuyConfirm": 10.18,
+    "OrderInquiry": 0.25,
+    "OrderDisplay": 0.22,
+    "AdminRequest": 0.12,
+    "AdminConfirm": 0.11,
+}
+
+MIXES = {
+    "browsing": BROWSING_MIX,
+    "shopping": SHOPPING_MIX,
+    "ordering": ORDERING_MIX,
+}
+
+# CPU cost of a short row update (the exclusive-lock part of a writing
+# interaction).
+UPDATE_COST = 2e-3
+
+# Heavy sorting queries hold their table locks only for the scan that
+# copies qualifying rows into a temporary table; the filesort then runs
+# without table locks.  Fraction of the query's CPU spent in the locked
+# scan:
+SCAN_FRACTION = 0.2
+
+# Database CPU seconds per interaction (calibrated to Table 1; see the
+# module docstring).  share_i = weight_i * cost_i / Σ.
+DB_CPU_COST = {
+    "AdminConfirm": 0.467,
+    "BestSellers": 0.240,
+    "SearchResult": 0.202,
+    "NewProducts": 0.0153,
+    "BuyConfirm": 0.0030,
+    "BuyRequest": 0.00205,
+    "OrderDisplay": 0.00205,
+    "OrderInquiry": 0.0015,
+    "ShoppingCart": 0.0018,
+    "Home": 0.0010,
+    "SearchRequest": 0.00068,
+    "ProductDetail": 0.00054,
+    "CustomerRegistration": 0.00030,
+    "AdminRequest": 0.00020,
+}
+
+# Tables each interaction reads / writes (writes are row-targeted).
+DB_READS = {
+    "AdminConfirm": ("orders",),
+    "AdminRequest": ("item",),
+    "BestSellers": ("item", "orders"),
+    "BuyConfirm": ("customer",),
+    "BuyRequest": ("customer", "item"),
+    "CustomerRegistration": (),
+    "Home": ("item", "customer"),
+    "NewProducts": ("item", "author"),
+    "OrderDisplay": ("orders", "customer"),
+    "OrderInquiry": ("customer",),
+    "ProductDetail": ("item",),
+    "SearchRequest": ("item",),
+    "SearchResult": ("item", "author"),
+    "ShoppingCart": ("item",),
+}
+
+# Heavy query execution frames (what the db profile shows, Fig-8 style).
+DB_FRAMES = {
+    "AdminConfirm": ("filesort", "create_tmp_table", "update_item_row"),
+    "BestSellers": ("do_select", "filesort"),
+    "SearchResult": ("do_select", "filesort"),
+    "NewProducts": ("do_select", "filesort"),
+}
+DEFAULT_FRAMES = ("do_select",)
+
+PAGE_BYTES = {
+    "Home": 6000,
+    "NewProducts": 9000,
+    "BestSellers": 9000,
+    "ProductDetail": 7000,
+    "SearchRequest": 3000,
+    "SearchResult": 9000,
+    "ShoppingCart": 5000,
+    "CustomerRegistration": 3500,
+    "BuyRequest": 4500,
+    "BuyConfirm": 4000,
+    "OrderInquiry": 3000,
+    "OrderDisplay": 5500,
+    "AdminRequest": 4000,
+    "AdminConfirm": 3500,
+}
+
+# Tomcat-side CPU per dynamic page: roughly equal across interactions
+# (§8.4: "the average resource usage at Tomcat by the different TPC-W
+# transactions is roughly the same").
+TOMCAT_SERVLET_COST = 2.5e-3
+
+IMAGES_PER_PAGE = 2
+IMAGE_BYTES = 9000
+
+
+class TpcwModel:
+    """Parameter generation for interactions (seeded)."""
+
+    def __init__(self, rng: Rng):
+        self.rng = rng
+        self.subject_rng = rng.stream("subjects")
+        self.item_rng = rng.stream("items")
+        self.customer_rng = rng.stream("customers")
+        self.search_rng = rng.stream("search")
+        self._search_zipf = self.search_rng.zipf_table(NUM_SEARCH_TERMS, 0.9)
+
+    # ------------------------------------------------------------------
+    def subject(self) -> int:
+        return self.subject_rng.randint(0, NUM_SUBJECTS - 1)
+
+    def item_id(self) -> int:
+        return self.item_rng.randint(0, NUM_ITEMS - 1)
+
+    def customer_id(self) -> int:
+        return self.customer_rng.randint(0, NUM_CUSTOMERS - 1)
+
+    def search_param(self) -> Tuple[str, int]:
+        """(search type, term): subject searches draw from the 24
+
+        subjects; title/author searches draw zipf-popular terms."""
+        kind = self.search_rng.choice(["subject", "title", "author"])
+        if kind == "subject":
+            return (kind, self.subject())
+        return (kind, self.search_rng.zipf_pick(self._search_zipf))
+
+    def param_for(self, interaction: str) -> Any:
+        if interaction in ("BestSellers", "NewProducts"):
+            return self.subject()
+        if interaction == "SearchResult":
+            return self.search_param()
+        if interaction in ("ProductDetail", "AdminRequest", "AdminConfirm"):
+            return self.item_id()
+        if interaction in (
+            "BuyRequest",
+            "BuyConfirm",
+            "CustomerRegistration",
+            "OrderInquiry",
+            "OrderDisplay",
+            "ShoppingCart",
+        ):
+            return self.customer_id()
+        return None
+
+    # ------------------------------------------------------------------
+    def query_plans(self, interaction: str, param: Any) -> List[QueryPlan]:
+        """The database work one interaction issues, in statement order.
+
+        Writing interactions issue their heavy read/sort work as a
+        *separate statement* from the short row update, as MySQL
+        executes them: the exclusive lock is only held for the update
+        itself.  What makes AdminConfirm's crosstalk large (Table 1) is
+        *acquiring* the MyISAM table-wide lock against a stream of
+        readers, not holding it.
+        """
+        cost = DB_CPU_COST[interaction]
+        frames = DB_FRAMES.get(interaction, DEFAULT_FRAMES)
+        reads = DB_READS[interaction]
+        if interaction in ("BestSellers", "SearchResult", "NewProducts"):
+            scan = cost * SCAN_FRACTION
+            return [
+                QueryPlan(
+                    f"{interaction}.scan",
+                    reads=reads,
+                    cpu_cost=scan,
+                    frames=("do_select", "copy_to_tmp_table"),
+                    response_bytes=500,
+                ),
+                QueryPlan(
+                    f"{interaction}.sort",
+                    reads=(),
+                    cpu_cost=cost - scan,
+                    frames=("do_select", "filesort"),
+                    response_bytes=2500,
+                ),
+            ]
+        if interaction == "AdminConfirm":
+            heavy = cost - 2 * UPDATE_COST  # two update statements below
+            scan = heavy * SCAN_FRACTION
+            return [
+                QueryPlan(
+                    "AdminConfirm.scan",
+                    reads=("orders",),
+                    cpu_cost=scan,
+                    frames=("do_select", "copy_to_tmp_table"),
+                    response_bytes=500,
+                ),
+                QueryPlan(
+                    "AdminConfirm.sort",
+                    reads=(),
+                    cpu_cost=heavy - scan,
+                    frames=("filesort", "create_tmp_table"),
+                    response_bytes=2500,
+                ),
+                QueryPlan(
+                    "AdminConfirm.update",
+                    writes=(("item", int(param)),),
+                    cpu_cost=UPDATE_COST,
+                    frames=("update_item_row",),
+                    response_bytes=200,
+                ),
+                QueryPlan(
+                    # AdminConfirm also rewrites the item's five
+                    # related-items links — a second exclusive pass.
+                    "AdminConfirm.related",
+                    writes=tuple(("item", self.item_id()) for _ in range(5)),
+                    cpu_cost=UPDATE_COST,
+                    frames=("update_related_items",),
+                    response_bytes=200,
+                ),
+            ]
+        if interaction == "BuyConfirm":
+            return [
+                QueryPlan(
+                    "BuyConfirm.select",
+                    reads=("customer",),
+                    cpu_cost=cost - UPDATE_COST,
+                    frames=DEFAULT_FRAMES,
+                    response_bytes=1500,
+                ),
+                QueryPlan(
+                    "BuyConfirm.update",
+                    writes=(
+                        ("item", self.item_id()),
+                        ("item", self.item_id()),
+                        ("orders", self.customer_rng.randint(0, 10_000)),
+                    ),
+                    cpu_cost=UPDATE_COST,
+                    frames=("update_stock",),
+                    response_bytes=200,
+                ),
+            ]
+        writes: Tuple[Tuple[str, int], ...] = ()
+        if interaction == "CustomerRegistration":
+            writes = (("customer", int(param)),)
+        elif interaction == "ShoppingCart":
+            writes = (("shopping_cart", int(param)),)
+        return [
+            QueryPlan(
+                name=interaction,
+                reads=reads,
+                writes=writes,
+                cpu_cost=cost,
+                frames=frames,
+                response_bytes=2500,
+            )
+        ]

@@ -1,0 +1,97 @@
+"""TPC-W browsing-mix client emulation.
+
+Closed-loop emulated browsers (EBs): each picks an interaction from the
+browsing mix, issues it through the front tier (Squid), fetches the
+page's static images, records the interaction's response time, thinks
+(negative-exponential think time, mean 7 s per the TPC-W spec), and
+repeats.  Interactions per minute from the :class:`TxLog` are the
+throughput metric of Fig 12.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.apps.tpcw.model import (
+    IMAGES_PER_PAGE,
+    MIXES,
+    NUM_ITEMS,
+    TpcwModel,
+)
+from repro.channels.message import Message
+from repro.channels.socket import Listener, Recv, Send
+from repro.sim import Delay, Kernel
+from repro.sim.process import CurrentThread
+from repro.sim.rng import Rng
+from repro.workloads.clients import TxLog
+
+PAGE_REQUEST_BYTES = 450
+IMAGE_REQUEST_BYTES = 350
+DEFAULT_THINK_MEAN = 7.0
+
+
+class TpcwClientPool:
+    """Emulated browsers driving the bookstore through the front tier."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        listener: Listener,
+        model: TpcwModel,
+        clients: int = 50,
+        think_mean: float = DEFAULT_THINK_MEAN,
+        rng: Optional[Rng] = None,
+        images_per_page: int = IMAGES_PER_PAGE,
+        mix: str = "browsing",
+    ):
+        if mix not in MIXES:
+            raise ValueError(f"unknown mix {mix!r}; one of {sorted(MIXES)}")
+        self.kernel = kernel
+        self.listener = listener
+        self.model = model
+        self.clients = clients
+        self.think_mean = think_mean
+        self.rng = rng or Rng(99)
+        self.images_per_page = images_per_page
+        self.mix_name = mix
+        self.log = TxLog()
+        self.bytes_received = 0
+        self._mix: List[Tuple[str, float]] = sorted(MIXES[mix].items())
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for index in range(self.clients):
+            thread = self.kernel.spawn(
+                self._browser(index), name=f"eb-{index}"
+            )
+            thread.daemon = True
+
+    def _browser(self, index: int) -> Iterator:
+        yield CurrentThread()
+        pick_rng = self.rng.stream(f"mix-{index}")
+        think_rng = self.rng.stream(f"think-{index}")
+        image_rng = self.rng.stream(f"img-{index}")
+        # Ramp up over the first think period to avoid a thundering herd.
+        yield Delay(think_rng.random() * self.think_mean * 0.5)
+        connection = self.listener.connect()
+        while True:
+            interaction = pick_rng.weighted_pick(self._mix)
+            param = self.model.param_for(interaction)
+            start = self.kernel.now
+            yield Send(
+                connection.to_server,
+                Message(("TPCW", interaction, param), PAGE_REQUEST_BYTES),
+            )
+            response = yield Recv(connection.to_client)
+            self.bytes_received += response.size
+            for _ in range(self.images_per_page):
+                image_id = image_rng.randint(0, NUM_ITEMS - 1)
+                yield Send(
+                    connection.to_server,
+                    Message(("IMG", image_id), IMAGE_REQUEST_BYTES),
+                )
+                image = yield Recv(connection.to_client)
+                self.bytes_received += image.size
+            self.log.add(interaction, start, self.kernel.now)
+            if self.think_mean > 0:
+                yield Delay(think_rng.expovariate(1.0 / self.think_mean))

@@ -1,0 +1,43 @@
+"""Inter-stage communication substrates.
+
+- :mod:`repro.channels.message` / :mod:`repro.channels.socket` —
+  simulated stream channels with latency, the sockets/pipes of §5;
+- :mod:`repro.channels.rpc` — Whodunit's send/receive wrappers that
+  piggy-back transaction-context synopses on messages (§7.4);
+- :mod:`repro.channels.shared_queue` — the VM-backed shared-memory
+  queue whose critical sections are emulated for flow detection (§3,
+  §7.2).
+"""
+
+from repro.channels.message import Message
+from repro.channels.socket import (
+    Accept,
+    Connection,
+    Endpoint,
+    Listener,
+    Recv,
+    Send,
+)
+from repro.channels.rpc import (
+    recv_request,
+    recv_response,
+    send_request,
+    send_response,
+)
+from repro.channels.shared_queue import SharedMemoryRegion, SharedQueue
+
+__all__ = [
+    "Message",
+    "Endpoint",
+    "Connection",
+    "Listener",
+    "Send",
+    "Recv",
+    "Accept",
+    "send_request",
+    "recv_request",
+    "send_response",
+    "recv_response",
+    "SharedMemoryRegion",
+    "SharedQueue",
+]

@@ -1,0 +1,115 @@
+"""Whodunit's send/receive wrappers for messages (§5, §7.4).
+
+These generator helpers wrap the raw :class:`~repro.channels.socket`
+operations with the synopsis protocol:
+
+- a *request* carries the 4-byte synopsis of the sender's transaction
+  context at the send point;
+- a *response* carries ``synopsis(request) # synopsis(callee call
+  path)``, letting the caller recognise its own prefix and switch back
+  to the CCT the request originated from;
+- both directions update the per-stage data/context byte counters used
+  for §9.1's communication-overhead measurement.
+
+A stage whose profiler is off (or csprof/gprof — no transaction
+tracking) piggy-backs nothing, exactly like an uninstrumented binary.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.channels.message import Message
+from repro.channels.socket import Endpoint, Recv, Send
+from repro.sim.process import SimThread
+
+
+def _stage(thread: SimThread):
+    return thread.stage
+
+
+def send_request(
+    thread: SimThread,
+    endpoint: Endpoint,
+    payload: Any,
+    size: int,
+) -> Iterator:
+    """Send a request, piggy-backing the sender's context synopsis."""
+    stage = _stage(thread)
+    synopsis = stage.send_request(thread) if stage is not None else None
+    origin = stage.name if stage is not None else None
+    message = Message(payload, size, origin=origin, synopsis=synopsis)
+    if stage is not None:
+        stage.account_message(size, message.context_bytes())
+    yield Send(endpoint, message)
+    return message
+
+
+def recv_request(thread: SimThread, endpoint: Endpoint) -> Iterator:
+    """Receive a request; the callee adopts the sender's context."""
+    message = yield Recv(endpoint)
+    stage = _stage(thread)
+    if stage is not None and message.origin is not None:
+        stage.receive_request(thread, message.origin, message.synopsis)
+    return message
+
+
+def send_response(
+    thread: SimThread,
+    endpoint: Endpoint,
+    request: Message,
+    payload: Any,
+    size: int,
+) -> Iterator:
+    """Respond to ``request`` with the composite response synopsis."""
+    stage = _stage(thread)
+    composite = None
+    if stage is not None and request.synopsis is not None:
+        composite = stage.send_response(thread, request.synopsis)
+    origin = stage.name if stage is not None else None
+    message = Message(payload, size, origin=origin, synopsis=composite)
+    if stage is not None:
+        stage.account_message(size, message.context_bytes())
+    yield Send(endpoint, message)
+    return message
+
+
+def recv_response(thread: SimThread, endpoint: Endpoint) -> Iterator:
+    """Receive a response; the caller switches back to the CCT its
+
+    request originated from (identified by the composite's prefix).
+    """
+    message = yield Recv(endpoint)
+    stage = _stage(thread)
+    if stage is not None:
+        stage.receive_response(thread, message.synopsis)
+    return message
+
+
+def call(
+    thread: SimThread,
+    to_server: Endpoint,
+    from_server: Endpoint,
+    payload: Any,
+    size: int,
+) -> Iterator:
+    """Convenience RPC: send a request and wait for its response."""
+    yield from send_request(thread, to_server, payload, size)
+    response = yield from recv_response(thread, from_server)
+    return response
+
+
+def serve_one(
+    thread: SimThread,
+    from_client: Endpoint,
+    to_client: Endpoint,
+    handler,
+) -> Iterator:
+    """Receive one request, run ``handler(request)`` (a generator
+
+    returning ``(payload, size)``), and respond.
+    """
+    request = yield from recv_request(thread, from_client)
+    payload, size = yield from handler(request)
+    yield from send_response(thread, to_client, request, payload, size)
+    return request

@@ -1,0 +1,167 @@
+"""Shared-memory channels backed by the VM (§3, §7.2).
+
+:class:`SharedMemoryRegion` bundles a process's VM machine, emulator and
+flow detector.  :class:`SharedQueue` is the application-facing queue the
+Apache-like server uses: its push/pop critical sections execute as VM
+programs, emulated (with flow-detection hooks and emulation cycle costs)
+while the profiler tracks the lock, natively once the lock is classified
+no-flow or when profiling is off — exactly the execution-mode policy of
+§7.2 whose cost Table 3 and §9.2 quantify.
+
+On a successful consumption, the popped values' producer context is
+handed to the consuming thread (§3.5): from then on, its profile samples
+land in the CCT labeled with the producer's context.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence
+
+from repro.core.flow import FlowDetector
+from repro.core.flow.detector import WindowHooks
+from repro.sim.cpu import CPU, UseCPU
+from repro.sim.process import SimThread
+from repro.sim.sync import Acquire, Condition, Mutex, Notify, Release, Wait
+from repro.vm.assembler import Program
+from repro.vm.emulator import DIRECT, CostModel, Emulator
+from repro.vm.machine import Machine
+from repro.vm.programs import BoundedQueue
+
+
+class SharedMemoryRegion:
+    """One process's shared memory, emulator and flow detector."""
+
+    def __init__(
+        self,
+        cpu: CPU,
+        detector: Optional[FlowDetector] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.cpu = cpu
+        self.machine = Machine()
+        self.emulator = Emulator(cost_model)
+        self.detector = detector or FlowDetector()
+
+    # ------------------------------------------------------------------
+    def _tracking(self, thread: SimThread) -> bool:
+        stage = thread.stage
+        return stage is not None and stage.tracking
+
+    def run_critical_section(
+        self,
+        thread: SimThread,
+        lock: Mutex,
+        program: Program,
+        args: Sequence[int] = (),
+    ) -> Iterator:
+        """Execute a critical-section program while holding ``lock``.
+
+        The caller must already hold ``lock``.  Consumes CPU for the
+        cycles the execution cost in the applicable mode (emulation
+        while the lock is tracked, native otherwise).  Returns the
+        :class:`WindowHooks` for the post-critical-section use window,
+        or ``None`` when the section ran natively.
+        """
+        self.machine.registers(thread.tid).load_arguments(*args)
+
+        if self._tracking(thread) and self.detector.mode_for(lock) != DIRECT:
+            context = thread.stage.context_at_send(thread)
+            cs = self.detector.enter_cs(lock, thread.tid, context)
+            result = self.emulator.run(program, self.machine, thread.tid, hooks=cs)
+            window: Optional[WindowHooks] = self.detector.exit_cs(cs)
+        else:
+            result = self.emulator.run(program, self.machine, thread.tid, mode=DIRECT)
+            window = None
+        yield UseCPU(self.cpu, self.cpu.seconds_for_cycles(result.cycles))
+        return window
+
+    def run_use_window(
+        self,
+        thread: SimThread,
+        window: Optional[WindowHooks],
+        use_program: Program,
+    ) -> Iterator:
+        """Run the consumer's first post-critical-section instructions.
+
+        With window hooks attached, any use of a context-carrying value
+        is a consumption: the producer's transaction context is handed
+        to ``thread`` (§3.5).  Returns the consume events.
+        """
+        if window is not None:
+            result = self.emulator.run(
+                use_program, self.machine, thread.tid, hooks=window
+            )
+            consumed = window.consumed
+        else:
+            result = self.emulator.run(
+                use_program, self.machine, thread.tid, mode=DIRECT
+            )
+            consumed = []
+        yield UseCPU(self.cpu, self.cpu.seconds_for_cycles(result.cycles))
+        if consumed:
+            thread.tran_ctxt = consumed[0].context
+        return consumed
+
+    def registers_of(self, thread: SimThread):
+        return self.machine.registers(thread.tid)
+
+
+class SharedQueue:
+    """The Apache 2.x ``fd_queue``: a mutex, a condvar, VM push/pop.
+
+    ``push`` stores a two-word element (``sd``, ``p``) and signals;
+    ``pop`` blocks while empty, then removes an element and — via the
+    flow detector — inherits the pushing thread's transaction context.
+    """
+
+    def __init__(
+        self,
+        region: SharedMemoryRegion,
+        capacity: int = 64,
+        name: str = "fd_queue",
+    ):
+        self.region = region
+        self.capacity = capacity
+        self.layout = BoundedQueue(region.machine.memory, capacity)
+        self.mutex = Mutex(f"{name}.one_big_mutex")
+        self.not_empty = Condition(self.mutex, f"{name}.not_empty")
+        self.pushes = 0
+        self.pops = 0
+
+    # ------------------------------------------------------------------
+    def length(self) -> int:
+        return self.layout.length(self.region.machine.memory)
+
+    def push(self, thread: SimThread, sd: int, p: int) -> Iterator:
+        """``ap_queue_push``: append an element, waking one worker."""
+        yield Acquire(self.mutex)
+        if self.length() >= self.capacity:
+            yield Release(self.mutex)
+            raise OverflowError(f"{self.mutex.name}: queue full")
+        yield from self.region.run_critical_section(
+            thread, self.mutex, self.layout.push_program, (sd, p)
+        )
+        self.pushes += 1
+        yield Notify(self.not_empty)
+        yield Release(self.mutex)
+
+    def pop(self, thread: SimThread) -> Iterator:
+        """``ap_queue_pop``: block until non-empty, then remove.
+
+        Returns ``(sd, p)``.  After this, the calling thread executes
+        with the producer's transaction context.
+        """
+        yield Acquire(self.mutex)
+        while self.length() == 0:
+            yield Wait(self.not_empty)
+        window = yield from self.region.run_critical_section(
+            thread, self.mutex, self.layout.pop_program, ()
+        )
+        self.pops += 1
+        regs = self.region.registers_of(thread)
+        sd, p = regs.read(0), regs.read(1)
+        yield Release(self.mutex)
+        # The consumer uses the values right after leaving the critical
+        # section — the MAX-instruction window of §7.2.
+        yield from self.region.run_use_window(thread, window, self.layout.use_program)
+        return sd, p

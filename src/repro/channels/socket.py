@@ -1,0 +1,207 @@
+"""Simulated stream sockets: endpoints, connections, listeners.
+
+An :class:`Endpoint` is one direction of a connection: senders enqueue
+messages that become visible to the receiver after the channel latency;
+receivers block until data arrives.  :class:`Connection` pairs two
+endpoints; :class:`Listener` is a server socket with an accept queue.
+Endpoints support data observers so event loops (Squid) can be woken by
+arriving data instead of blocking a thread per connection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional, TYPE_CHECKING
+
+from repro.channels.message import Message
+from repro.sim.process import SimThread, Syscall
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class Endpoint:
+    """One direction of a simulated stream channel.
+
+    ``latency`` models propagation delay; ``bandwidth`` (bytes/second,
+    ``None`` = infinite) models link capacity: transmissions serialise
+    on the link, so a large body delays everything queued behind it.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        latency: float = 0.0,
+        name: str = "endpoint",
+        bandwidth: Optional[float] = None,
+    ):
+        if bandwidth is not None and bandwidth <= 0:
+            raise ValueError("bandwidth must be positive or None")
+        self.kernel = kernel
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.name = name
+        self._buffer: Deque[Message] = deque()
+        self._receivers: Deque[SimThread] = deque()
+        self._link_free_at = 0.0
+        self.observers: List[Callable[["Endpoint"], None]] = []
+        self.delivered_messages = 0
+        self.delivered_bytes = 0
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Enqueue a message; it becomes receivable after transmission
+
+        (if bandwidth-limited) plus the propagation latency.
+        """
+        delay = self.latency
+        if self.bandwidth is not None:
+            start = max(self.kernel.now, self._link_free_at)
+            transmit = message.size / self.bandwidth
+            self._link_free_at = start + transmit
+            delay = (self._link_free_at - self.kernel.now) + self.latency
+        if delay > 0:
+            self.kernel.schedule(delay, self._deliver, message)
+        else:
+            self._deliver(message)
+
+    def _deliver(self, message: Message) -> None:
+        self.delivered_messages += 1
+        self.delivered_bytes += message.size
+        if self._receivers:
+            receiver = self._receivers.popleft()
+            self.kernel.resume(receiver, message)
+        else:
+            self._buffer.append(message)
+            for observer in self.observers:
+                observer(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def readable(self) -> bool:
+        return bool(self._buffer)
+
+    def try_recv(self) -> Optional[Message]:
+        """Non-blocking receive (event loops poll with this)."""
+        if self._buffer:
+            return self._buffer.popleft()
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Endpoint {self.name} buffered={len(self._buffer)}>"
+
+
+class Send(Syscall):
+    """Send a message on an endpoint (never blocks: infinite buffers)."""
+
+    __slots__ = ("endpoint", "message")
+
+    def __init__(self, endpoint: Endpoint, message: Message):
+        self.endpoint = endpoint
+        self.message = message
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        self.endpoint.send(self.message)
+        kernel.resume(thread, None)
+
+    def __repr__(self) -> str:
+        return f"Send({self.endpoint.name})"
+
+
+class Recv(Syscall):
+    """Block until a message is available on the endpoint."""
+
+    __slots__ = ("endpoint",)
+
+    def __init__(self, endpoint: Endpoint):
+        self.endpoint = endpoint
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        message = self.endpoint.try_recv()
+        if message is not None:
+            kernel.resume(thread, message)
+        else:
+            thread.blocked_on = self
+            self.endpoint._receivers.append(thread)
+
+    def __repr__(self) -> str:
+        return f"Recv({self.endpoint.name})"
+
+
+class Connection:
+    """A bidirectional connection between a client and a server.
+
+    The client sends on / the server receives from ``to_server``, and
+    vice versa for ``to_client``.
+    """
+
+    _next_id = 0
+
+    def __init__(self, kernel: "Kernel", latency: float = 0.0, name: str = "conn"):
+        self.conn_id = Connection._next_id
+        Connection._next_id += 1
+        self.name = f"{name}#{self.conn_id}"
+        self.to_server = Endpoint(kernel, latency, f"{self.name}.to_server")
+        self.to_client = Endpoint(kernel, latency, f"{self.name}.to_client")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Connection {self.name}>"
+
+
+class Listener:
+    """A listening server socket with an accept queue."""
+
+    def __init__(self, kernel: "Kernel", latency: float = 0.0, name: str = "listener"):
+        self.kernel = kernel
+        self.latency = latency
+        self.name = name
+        self._backlog: Deque[Connection] = deque()
+        self._acceptors: Deque[SimThread] = deque()
+        self.observers: List[Callable[["Listener"], None]] = []
+        self.accepted_count = 0
+
+    def connect(self) -> Connection:
+        """Client side: create a new connection and queue it for accept."""
+        connection = Connection(self.kernel, self.latency, self.name)
+        if self._acceptors:
+            acceptor = self._acceptors.popleft()
+            self.accepted_count += 1
+            self.kernel.resume(acceptor, connection)
+        else:
+            self._backlog.append(connection)
+            for observer in self.observers:
+                observer(self)
+        return connection
+
+    @property
+    def readable(self) -> bool:
+        return bool(self._backlog)
+
+    def try_accept(self) -> Optional[Connection]:
+        if self._backlog:
+            self.accepted_count += 1
+            return self._backlog.popleft()
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Listener {self.name} backlog={len(self._backlog)}>"
+
+
+class Accept(Syscall):
+    """Block until a client connects; result is the :class:`Connection`."""
+
+    __slots__ = ("listener",)
+
+    def __init__(self, listener: Listener):
+        self.listener = listener
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        connection = self.listener.try_accept()
+        if connection is not None:
+            kernel.resume(thread, connection)
+        else:
+            thread.blocked_on = self
+            self.listener._acceptors.append(thread)
+
+    def __repr__(self) -> str:
+        return f"Accept({self.listener.name})"

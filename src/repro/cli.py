@@ -1,0 +1,256 @@
+"""Command-line interface: run the paper's case studies from a shell.
+
+::
+
+    python -m repro.cli apache            # §8.1: flow through shared memory
+    python -m repro.cli squid             # §8.2: event contexts
+    python -m repro.cli haboob            # §8.3: SEDA stage contexts
+    python -m repro.cli tpcw --clients 100 --duration 120
+    python -m repro.cli tpcw --caching --innodb
+    python -m repro.cli table3            # emulation costs
+
+Each subcommand builds the simulated system, runs it for the requested
+virtual time, and prints the transactional profile (and, for TPC-W, the
+Table-1-style summary).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import render_crosstalk, render_stage_profile
+from repro.sim import Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+
+def cmd_apache(args: argparse.Namespace) -> int:
+    from repro.apps.httpd import HttpdServer
+
+    kernel = Kernel()
+    trace = WebTrace(Rng(args.seed), objects=args.objects)
+    server = HttpdServer(kernel, trace)
+    server.start()
+    HttpClientPool(kernel, server.listener_socket, trace, clients=args.clients).start()
+    kernel.run(until=args.seconds)
+    print(
+        f"served {server.requests_served} requests, "
+        f"{server.throughput_mbps():.1f} Mb/s"
+    )
+    print()
+    print("lock classifications:")
+    for lock, classification in server.region.detector.classifications().items():
+        print(f"  {getattr(lock, 'name', lock):<30} {classification}")
+    print()
+    print(render_stage_profile(server.stage, min_share=1.0))
+    _maybe_dot(args, server.stage)
+    return 0
+
+
+def _maybe_dot(args: argparse.Namespace, stage) -> None:
+    """Write a graphviz rendering if --dot was given."""
+    path = getattr(args, "dot", None)
+    if not path:
+        return
+    from repro.analysis.dot import stage_profile_dot
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(stage_profile_dot(stage))
+    print(f"\nwrote graphviz profile to {path}")
+
+
+def cmd_squid(args: argparse.Namespace) -> int:
+    from repro.apps.proxy import OriginServer, SquidConfig, SquidProxy
+
+    kernel = Kernel()
+    trace = WebTrace(Rng(args.seed), objects=args.objects)
+    origin = OriginServer(kernel, size_of=lambda key: trace.size_of(key[1]))
+    origin.start()
+    squid = SquidProxy(
+        kernel,
+        origin.listener,
+        config=SquidConfig(cache_bytes=args.cache_kb * 1024),
+    )
+    squid.start()
+    HttpClientPool(kernel, squid.listener, trace, clients=args.clients).start()
+    kernel.run(until=args.seconds)
+    print(
+        f"served {squid.responses_sent} responses, "
+        f"{squid.throughput_mbps():.1f} Mb/s, "
+        f"hit ratio {squid.cache.hit_ratio:.0%}"
+    )
+    print()
+    print(render_stage_profile(squid.stage, min_share=1.0))
+    _maybe_dot(args, squid.stage)
+    return 0
+
+
+def cmd_haboob(args: argparse.Namespace) -> int:
+    from repro.apps.haboob import HaboobConfig, HaboobServer
+
+    kernel = Kernel()
+    trace = WebTrace(Rng(args.seed), objects=args.objects)
+    server = HaboobServer(
+        kernel, trace, config=HaboobConfig(cache_bytes=args.cache_kb * 1024)
+    )
+    server.start()
+    HttpClientPool(kernel, server.listener, trace, clients=args.clients).start()
+    kernel.run(until=args.seconds)
+    print(
+        f"served {server.responses_sent} responses, "
+        f"{server.throughput_mbps():.1f} Mb/s, "
+        f"hit ratio {server.page_cache.hit_ratio:.0%}"
+    )
+    print()
+    print(render_stage_profile(server.stage_runtime, min_share=1.0))
+    _maybe_dot(args, server.stage_runtime)
+    return 0
+
+
+def cmd_tpcw(args: argparse.Namespace) -> int:
+    from repro.apps.db.locks import INNODB, MYISAM
+    from repro.apps.tpcw import TpcwSystem
+
+    system = TpcwSystem(
+        clients=args.clients,
+        caching=args.caching,
+        item_engine=INNODB if args.innodb else MYISAM,
+        seed=args.seed,
+        mix=args.mix,
+    )
+    results = system.run(duration=args.duration, warmup=args.warmup)
+    print(
+        f"throughput {results.throughput_tpm():.0f} interactions/min; "
+        f"db CPU {system.db.cpu.utilization():.0%} busy; "
+        f"mean response {results.mean_response() * 1000:.0f} ms"
+    )
+    print()
+    shares = results.db_cpu_share()
+    waits = results.crosstalk_wait_ms()
+    print(f"{'interaction':<22}{'MySQL CPU %':>12}{'crosstalk ms':>14}{'mean resp ms':>14}")
+    for name in sorted(shares, key=lambda n: -shares.get(n, 0)):
+        print(
+            f"{name:<22}{shares.get(name, 0):>12.2f}{waits.get(name, 0):>14.2f}"
+            f"{results.mean_response(name) * 1000:>14.0f}"
+        )
+    print()
+    print(render_crosstalk(system.db.crosstalk, limit=10))
+    if args.save_profiles:
+        from repro.core.persist import save_stage
+
+        for stage in (system.squid.stage, system.tomcat.stage, system.db.stage):
+            path = f"{args.save_profiles}/{stage.name}.profile.json"
+            save_stage(stage, path)
+            print(f"wrote {path}")
+    return 0
+
+
+def cmd_stitch(args: argparse.Namespace) -> int:
+    """Post-mortem presentation phase: stitch stage dumps end to end."""
+    from repro.analysis import render_flow_graph, render_stitched_profile
+    from repro.core.persist import load_stage
+    from repro.core.stitch import flow_graph, stitch_profiles
+
+    stages = [load_stage(path) for path in args.profiles]
+    profile = stitch_profiles(stages)
+    print(render_stitched_profile(profile, min_share=args.min_share))
+    print()
+    print(render_flow_graph(flow_graph(stages)))
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from repro.vm import Emulator, Machine
+    from repro.vm.programs import BoundedQueue
+
+    machine = Machine()
+    queue = BoundedQueue(machine.memory)
+    emulator = Emulator()
+    print(f"{'critical section':<18}{'direct':>10}{'translate+emulate':>20}{'emulate only':>15}")
+    for name, program, call_args in [
+        ("ap_queue_push", queue.push_program, (1, 2)),
+        ("ap_queue_pop", queue.pop_program, ()),
+    ]:
+        emulator.invalidate_cache()
+        machine.registers("t").load_arguments(*call_args)
+        direct = emulator.run(program, machine, "t", mode="direct")
+        machine.registers("t").load_arguments(*call_args)
+        first = emulator.run(program, machine, "t")
+        machine.registers("t").load_arguments(*call_args)
+        cached = emulator.run(program, machine, "t")
+        print(
+            f"{name:<18}{direct.cycles:>10.1f}{first.cycles:>20.1f}"
+            f"{cached.cycles:>15.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="whodunit-repro",
+        description="Run the Whodunit (EuroSys'07) case studies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p, clients=6, seconds=3.0):
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--clients", type=int, default=clients)
+        p.add_argument("--seconds", type=float, default=seconds)
+        p.add_argument("--objects", type=int, default=2000)
+        p.add_argument("--dot", metavar="FILE", help="write graphviz profile")
+
+    p = sub.add_parser("apache", help="threaded server, shared-memory flow (§8.1)")
+    common(p)
+    p.set_defaults(fn=cmd_apache)
+
+    p = sub.add_parser("squid", help="event-driven proxy contexts (§8.2)")
+    common(p)
+    p.add_argument("--cache-kb", type=int, default=2048)
+    p.set_defaults(fn=cmd_squid)
+
+    p = sub.add_parser("haboob", help="SEDA stage contexts (§8.3)")
+    common(p)
+    p.add_argument("--cache-kb", type=int, default=512)
+    p.set_defaults(fn=cmd_haboob)
+
+    p = sub.add_parser("tpcw", help="three-tier bookstore (§8.4)")
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument("--clients", type=int, default=100)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--warmup", type=float, default=30.0)
+    p.add_argument("--caching", action="store_true", help="cache BestSellers/SearchResult")
+    p.add_argument("--innodb", action="store_true", help="item table on InnoDB")
+    p.add_argument(
+        "--mix",
+        choices=["browsing", "shopping", "ordering"],
+        default="browsing",
+        help="TPC-W interaction mix",
+    )
+    p.add_argument(
+        "--save-profiles",
+        metavar="DIR",
+        help="dump each tier's profile as JSON into DIR",
+    )
+    p.set_defaults(fn=cmd_tpcw)
+
+    p = sub.add_parser("table3", help="critical-section emulation cost")
+    p.set_defaults(fn=cmd_table3)
+
+    p = sub.add_parser(
+        "stitch", help="stitch saved stage profiles into one end-to-end profile"
+    )
+    p.add_argument("profiles", nargs="+", help="stage profile JSON files")
+    p.add_argument("--min-share", type=float, default=0.5)
+    p.set_defaults(fn=cmd_stitch)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

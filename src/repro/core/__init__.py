@@ -1,0 +1,40 @@
+"""Whodunit's core: transaction contexts, CCTs, flow detection, crosstalk.
+
+This package is the paper's contribution.  The layering is:
+
+- :mod:`repro.core.callpath` / :mod:`repro.core.context` — the
+  transaction-context value model (§2).
+- :mod:`repro.core.cct` — the Calling Context Tree used by the call-path
+  profiler core (csprof analog, §7.1).
+- :mod:`repro.core.synopsis` — 4-byte transaction-context synopses used
+  across distribution (§7.4).
+- :mod:`repro.core.flow` — the shared-memory transaction-flow detection
+  algorithm (§3).
+- :mod:`repro.core.profiler` — the per-stage Whodunit runtime tying the
+  above together, with profiler overhead models (§7, §9).
+- :mod:`repro.core.crosstalk` — interference measurement (§6).
+- :mod:`repro.core.stitch` — post-mortem stitching of per-stage
+  profiles into one end-to-end transactional profile (§5).
+"""
+
+from repro.core.context import TransactionContext, SynopsisRef
+from repro.core.cct import CallingContextTree
+from repro.core.synopsis import SynopsisTable, CompositeSynopsis
+from repro.core.profiler import ProfilerMode, StageRuntime, work
+from repro.core.crosstalk import CrosstalkRecorder
+from repro.core.stitch import FlowEdge, flow_graph, stitch_profiles
+
+__all__ = [
+    "TransactionContext",
+    "SynopsisRef",
+    "CallingContextTree",
+    "SynopsisTable",
+    "CompositeSynopsis",
+    "ProfilerMode",
+    "StageRuntime",
+    "work",
+    "CrosstalkRecorder",
+    "stitch_profiles",
+    "flow_graph",
+    "FlowEdge",
+]

@@ -1,0 +1,46 @@
+"""Call paths: the execution-path model for a single stage.
+
+A call path is "the sequence of procedure calls leading to a point of
+execution" (Hall, 1992).  We represent it as an immutable tuple of frame
+names, which is exactly what :meth:`repro.sim.process.SimThread.call_path`
+returns.  This module collects the small amount of structure the rest of
+the system needs on top of plain tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+CallPath = Tuple[str, ...]
+
+EMPTY_PATH: CallPath = ()
+
+
+def make_path(*frames: str) -> CallPath:
+    """Build a call path from frame names, validating each."""
+    for name in frames:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"frame names must be non-empty strings, got {name!r}")
+    return tuple(frames)
+
+
+def is_prefix(prefix: Sequence[str], path: Sequence[str]) -> bool:
+    """True if ``prefix`` is a (possibly equal) prefix of ``path``."""
+    if len(prefix) > len(path):
+        return False
+    return tuple(path[: len(prefix)]) == tuple(prefix)
+
+
+def common_prefix(a: Sequence[str], b: Sequence[str]) -> CallPath:
+    """The longest common prefix of two call paths."""
+    out = []
+    for frame_a, frame_b in zip(a, b):
+        if frame_a != frame_b:
+            break
+        out.append(frame_a)
+    return tuple(out)
+
+
+def format_path(path: Iterable[str], sep: str = " > ") -> str:
+    """Human-readable rendering, e.g. ``main > foo > rpc_call > send``."""
+    return sep.join(path) or "<empty>"

@@ -1,0 +1,165 @@
+"""Transaction contexts (§2 of the paper).
+
+A transaction context is the complete execution history of a request
+through the stages of a multi-tier application: the call paths of every
+stage it has flowed through, concatenated in execution order.  We model
+it as an immutable sequence of *elements*:
+
+- frame or handler or stage names (strings) for locally observed
+  execution, and
+- :class:`SynopsisRef` values standing in for a remote stage's context,
+  received as a 4-byte synopsis over a channel (§7.4).  These are
+  expanded back into full contexts post-mortem by
+  :mod:`repro.core.stitch`.
+
+Two normalisations from §4.1 are built in:
+
+- *collapse*: consecutive occurrences of the same element (an event
+  handler re-scheduled until its I/O completes) are collapsed to one;
+- *loop pruning*: when appending an element that already occurs in the
+  sequence (requests on a persistent connection revisiting the read
+  handler), the suffix that closes the loop is pruned, mirroring the
+  treatment of recursion in call graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Tuple
+
+
+class SynopsisRef:
+    """Opaque stand-in for a remote transaction context.
+
+    ``value`` is the 4-byte synopsis integer allocated by the sending
+    stage; ``origin`` names that stage so post-mortem stitching knows
+    which synopsis dictionary resolves it.
+    """
+
+    __slots__ = ("origin", "value")
+
+    def __init__(self, origin: str, value: int):
+        if not (0 <= value <= 0xFFFFFFFF):
+            raise ValueError(f"synopsis must fit in 4 bytes, got {value!r}")
+        self.origin = origin
+        self.value = value
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, SynopsisRef)
+            and other.origin == self.origin
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((SynopsisRef, self.origin, self.value))
+
+    def __repr__(self) -> str:
+        return f"syn({self.origin}:{self.value:#010x})"
+
+
+class TransactionContext:
+    """Immutable transaction context.
+
+    Use :meth:`append` / :meth:`concat` to derive new contexts; the
+    collapse and loop-pruning normalisations are applied on append by
+    default and can be disabled for debugging-style full histories
+    (§4.1 notes the complete context "may be useful ... for debugging").
+    """
+
+    __slots__ = ("elements", "_hash")
+
+    def __init__(self, elements: Iterable[Any] = ()):
+        self.elements: Tuple[Any, ...] = tuple(elements)
+        self._hash = hash(self.elements)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "TransactionContext":
+        return _EMPTY
+
+    @classmethod
+    def from_call_path(cls, path: Iterable[str]) -> "TransactionContext":
+        """Context of a fresh transaction: simply the local call path."""
+        return cls(path)
+
+    def append(
+        self,
+        element: Any,
+        collapse: bool = True,
+        prune: bool = True,
+    ) -> "TransactionContext":
+        """Extend the context with one element, applying normalisation."""
+        elements = self.elements
+        if collapse and elements and elements[-1] == element:
+            return self
+        if prune and element in elements:
+            index = elements.index(element)
+            return TransactionContext(elements[: index + 1])
+        return TransactionContext(elements + (element,))
+
+    def concat(self, other: "TransactionContext") -> "TransactionContext":
+        """Plain concatenation (no normalisation), as at stage handoff."""
+        if not other.elements:
+            return self
+        if not self.elements:
+            return other
+        return TransactionContext(self.elements + other.elements)
+
+    def extend_path(self, path: Iterable[str]) -> "TransactionContext":
+        """Suffix the context with a local call path (no normalisation)."""
+        path = tuple(path)
+        if not path:
+            return self
+        return TransactionContext(self.elements + path)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def starts_with(self, prefix: "TransactionContext") -> bool:
+        n = len(prefix.elements)
+        return self.elements[:n] == prefix.elements
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.elements
+
+    def wire_size(self) -> int:
+        """Bytes to ship this context verbatim instead of as a synopsis.
+
+        Strings cost their length plus a separator; opaque references
+        cost 4 bytes.  Used by the synopsis ablation to quantify what
+        the 4-byte synopses save (§7.4, §9.1).
+        """
+        total = 0
+        for element in self.elements:
+            if isinstance(element, str):
+                total += len(element) + 1
+            else:
+                total += 4
+        return total
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, TransactionContext)
+            and other.elements == self.elements
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            e if isinstance(e, str) else repr(e) for e in self.elements
+        )
+        return f"ctxt[{inner}]"
+
+
+_EMPTY = TransactionContext(())

@@ -1,0 +1,135 @@
+"""Transaction crosstalk: interference between concurrent transactions (§6).
+
+Crosstalk is lock-contention wait time *attributed to transactions*: for
+every acquisition that had to wait we record how long the waiter waited
+and which transaction was holding the lock.  Aggregation is per ordered
+pair (waiting type, holding type), plus per-waiting-type totals used for
+Table 1's "mean crosstalk wait time" column.
+
+Transaction *types* are derived from transaction contexts by a
+classifier callable; by default the context itself is the type.  The
+TPC-W application classifies by servlet name, so crosstalk reads
+"BuyConfirm waited 68ms on AdminConfirm".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.context import TransactionContext
+from repro.sim.process import SimThread
+from repro.sim.sync import Mutex
+
+
+class PairStats:
+    """Wait-time accumulator for one ordered (waiter, holder) pair."""
+
+    __slots__ = ("count", "total", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def add(self, wait: float) -> None:
+        self.count += 1
+        self.total += wait
+        if wait > self.max:
+            self.max = wait
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class CrosstalkRecorder:
+    """Collects crosstalk events and aggregates them by transaction type."""
+
+    def __init__(self, type_of: Optional[Callable[[Any], Any]] = None):
+        self._type_of = type_of or (lambda ctxt: ctxt)
+        self.pairs: Dict[Tuple[Any, Any], PairStats] = {}
+        self.by_waiter: Dict[Any, PairStats] = {}
+        self.events: List[Tuple[Any, Any, float]] = []
+
+    def set_classifier(self, type_of: Callable[[Any], Any]) -> None:
+        """Replace the context-to-type classifier (e.g. once the other
+
+        stages, whose synopsis tables resolve remote contexts, exist).
+        """
+        self._type_of = type_of
+
+    # ------------------------------------------------------------------
+    def classify(self, context: Any) -> Any:
+        if context is None:
+            return None
+        return self._type_of(context)
+
+    def record(self, waiter_type: Any, holder_type: Any, wait: float) -> None:
+        """Record one wait of ``wait`` seconds of ``waiter`` on ``holder``."""
+        key = (waiter_type, holder_type)
+        stats = self.pairs.get(key)
+        if stats is None:
+            stats = PairStats()
+            self.pairs[key] = stats
+        stats.add(wait)
+        waiter_stats = self.by_waiter.get(waiter_type)
+        if waiter_stats is None:
+            waiter_stats = PairStats()
+            self.by_waiter[waiter_type] = waiter_stats
+        waiter_stats.add(wait)
+        self.events.append((waiter_type, holder_type, wait))
+
+    # ------------------------------------------------------------------
+    # Mutex integration
+    # ------------------------------------------------------------------
+    def observe(self, mutex: Mutex) -> None:
+        """Attach this recorder to a mutex's wait observers."""
+        mutex.observers.append(self._on_wait)
+
+    def _on_wait(
+        self,
+        mutex: Mutex,
+        waiter: SimThread,
+        holders: Tuple,
+        mode: str,
+        wait_time: float,
+    ) -> None:
+        if wait_time <= 0:
+            return
+        waiter_type = self.classify(self._context_of(waiter))
+        if not holders:
+            # Lock was handed over before we ran; attribute to unknown.
+            self.record(waiter_type, None, wait_time)
+            return
+        share = wait_time / len(holders)
+        for _, holder_ctxt in holders:
+            self.record(waiter_type, self.classify(holder_ctxt), share)
+
+    @staticmethod
+    def _context_of(thread: SimThread) -> Optional[TransactionContext]:
+        ctxt = thread.tran_ctxt
+        return ctxt if isinstance(ctxt, TransactionContext) else None
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    def mean_wait(self, waiter_type: Any, holder_type: Any) -> float:
+        stats = self.pairs.get((waiter_type, holder_type))
+        return stats.mean if stats else 0.0
+
+    def total_wait_of(self, waiter_type: Any) -> float:
+        stats = self.by_waiter.get(waiter_type)
+        return stats.total if stats else 0.0
+
+    def pair_table(self) -> List[Tuple[Any, Any, int, float, float]]:
+        """Rows ``(waiter, holder, count, mean, max)``, heaviest first."""
+        rows = [
+            (waiter, holder, stats.count, stats.mean, stats.max)
+            for (waiter, holder), stats in self.pairs.items()
+        ]
+        rows.sort(key=lambda row: row[2] * row[3], reverse=True)
+        return rows
+
+    def merge(self, other: "CrosstalkRecorder") -> None:
+        for waiter_type, holder_type, wait in other.events:
+            self.record(waiter_type, holder_type, wait)

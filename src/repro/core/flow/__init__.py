@@ -1,0 +1,44 @@
+"""Shared-memory transaction-flow detection (§3 of the paper).
+
+The detector watches the instruction stream of critical sections (via
+the :mod:`repro.vm` emulator's hooks) and maintains the paper's
+dictionary from locations — memory words and per-thread registers — to
+transaction contexts.  MOV operations propagate contexts; every other
+write poisons its destination with the invalid context; per-lock
+producer/consumer role lists expose allocator-like patterns; and uses of
+context-carrying locations just after a critical section exits are
+consumption events that hand the producer's transaction context to the
+consuming thread.
+"""
+
+from repro.core.flow.dictionary import INVALID, Entry, FlowDictionary
+from repro.core.flow.roles import (
+    FLOW,
+    NO_FLOW_ALLOCATOR,
+    NO_FLOW_STATEFUL,
+    LockRoles,
+    RoleTable,
+)
+from repro.core.flow.detector import (
+    ConsumeEvent,
+    CriticalSectionHooks,
+    FlowDetector,
+    ProduceEvent,
+    WindowHooks,
+)
+
+__all__ = [
+    "INVALID",
+    "Entry",
+    "FlowDictionary",
+    "FLOW",
+    "NO_FLOW_ALLOCATOR",
+    "NO_FLOW_STATEFUL",
+    "LockRoles",
+    "RoleTable",
+    "FlowDetector",
+    "CriticalSectionHooks",
+    "WindowHooks",
+    "ProduceEvent",
+    "ConsumeEvent",
+]

@@ -1,0 +1,266 @@
+"""The transaction-flow detection algorithm of §3.2, as emulator hooks.
+
+Protocol (driven by :class:`repro.channels.shared_queue.SharedMemoryRegion`
+or directly by tests)::
+
+    cs = detector.enter_cs(lock, thread_key, producer_context)
+    emulator.run(program, machine, thread_key, hooks=cs)
+    window = detector.exit_cs(cs)
+    emulator.run(use_program, machine, thread_key, hooks=window)
+    for event in window.consumed:        # ConsumeEvents
+        thread.tran_ctxt = event.context # §3.5 context hand-off
+
+Rules implemented, with their paper sources:
+
+- MOV with a tracked source propagates the source's entry — context,
+  valid or invalid, and the original producing thread (§3.2).
+- MOV with an untracked source associates the executing thread's
+  transaction context with the destination; if the destination is a
+  *memory* word, the thread is recorded as a producer for the lock
+  (§3.2; registers are thread-private, so producing into one can never
+  convey inter-thread flow — a deviation documented in DESIGN.md).
+- Non-MOV writes (arithmetic, immediates, LEA) associate ``invlctxt``
+  (§3.2, §3.4's counter).
+- Any access under a different lock than the one that last updated a
+  location flushes its entry (§3.2).
+- After the critical section, for a window of at most ``max_window``
+  instructions, a read of a location holding a *valid* context written
+  by a *different* thread is a consumption: the producer's context is
+  handed to the consumer and the consumer joins the lock's consumer
+  list (§3.2, §7.2).
+- Producer/consumer list overlap and never-any-valid-produce classify
+  the lock as no-flow; its critical sections then run natively (§3.4,
+  §7.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.flow.dictionary import INVALID, FlowDictionary
+from repro.core.flow.roles import RoleTable
+from repro.vm.emulator import DIRECT, EMULATE, EmulationHooks
+
+MAX_WINDOW = 128
+
+
+class ProduceEvent:
+    """A thread stored transaction-carrying data into shared memory."""
+
+    __slots__ = ("lock", "thread", "loc", "context")
+
+    def __init__(self, lock: Any, thread: Any, loc, context):
+        self.lock = lock
+        self.thread = thread
+        self.loc = loc
+        self.context = context
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Produce({self.thread!r} -> {self.loc!r}: {self.context!r})"
+
+
+class ConsumeEvent:
+    """A thread used data carrying another thread's transaction context."""
+
+    __slots__ = ("lock", "thread", "loc", "context", "producer")
+
+    def __init__(self, lock: Any, thread: Any, loc, context, producer: Any):
+        self.lock = lock
+        self.thread = thread
+        self.loc = loc
+        self.context = context
+        self.producer = producer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Consume({self.thread!r} <- {self.loc!r}: {self.context!r} "
+            f"from {self.producer!r})"
+        )
+
+
+class CriticalSectionHooks(EmulationHooks):
+    """Hooks active while emulating one critical section.
+
+    ``depth`` supports nested locks: §3.3.2 says all instructions in
+    the critical section protected by the *outermost* lock are
+    analysed, so a nested ``enter_cs`` by the same thread returns the
+    outer hooks and everything is attributed to the outer lock.
+    """
+
+    def __init__(self, detector: "FlowDetector", lock: Any, thread: Any, context):
+        self.detector = detector
+        self.lock = lock
+        self.thread = thread
+        self.context = context
+        self.closed = False
+        self.depth = 1
+
+    # -- EmulationHooks ------------------------------------------------
+    def read(self, loc) -> None:
+        self.detector.dictionary.flush_if_foreign_lock(loc, self.lock)
+
+    def mov(self, dst, src) -> None:
+        dictionary = self.detector.dictionary
+        dictionary.flush_if_foreign_lock(src, self.lock)
+        dictionary.flush_if_foreign_lock(dst, self.lock)
+        entry = dictionary.get(src)
+        if entry is not None:
+            # Propagation: the context (valid or invalid) travels with
+            # the value; the original producer identity is preserved.
+            dictionary.set(dst, entry.context, self.lock, entry.writer)
+        else:
+            dictionary.set(dst, self.context, self.lock, self.thread)
+            if dst[0] == "mem":
+                self.detector.record_produce(self.lock, self.thread, dst, self.context)
+
+    def write_invalid(self, dst) -> None:
+        dictionary = self.detector.dictionary
+        dictionary.flush_if_foreign_lock(dst, self.lock)
+        dictionary.set(dst, INVALID, self.lock, self.thread)
+
+
+class WindowHooks(EmulationHooks):
+    """Hooks for the post-critical-section consumption window."""
+
+    def __init__(self, detector: "FlowDetector", lock: Any, thread: Any):
+        self.detector = detector
+        self.lock = lock
+        self.thread = thread
+        self.consumed: List[ConsumeEvent] = []
+        self._seen_locs = set()
+        self._budget = detector.max_window
+
+    def read(self, loc) -> None:
+        if self._budget <= 0:
+            return
+        self._budget -= 1
+        if loc in self._seen_locs:
+            return
+        entry = self.detector.dictionary.get(loc)
+        if entry is None or not entry.valid:
+            return
+        if entry.writer == self.thread:
+            return
+        self._seen_locs.add(loc)
+        event = self.detector.record_consume(
+            entry.lock, self.thread, loc, entry.context, entry.writer
+        )
+        self.consumed.append(event)
+
+    def mov(self, dst, src) -> None:
+        # Outside any critical section a write overwrites the location
+        # with untracked data.
+        self.detector.dictionary.remove(dst)
+
+    def write_invalid(self, dst) -> None:
+        self.detector.dictionary.remove(dst)
+
+
+class FlowDetector:
+    """Per-process flow-detection state (dictionary + role lists)."""
+
+    def __init__(
+        self,
+        max_window: int = MAX_WINDOW,
+        stateful_threshold: int = 32,
+        clear_registers_on_entry: bool = True,
+    ):
+        self.dictionary = FlowDictionary()
+        self.roles = RoleTable()
+        self.max_window = max_window
+        self.stateful_threshold = stateful_threshold
+        self.clear_registers_on_entry = clear_registers_on_entry
+        self.produce_events: List[ProduceEvent] = []
+        self.consume_events: List[ConsumeEvent] = []
+        # Outermost open critical section per thread (nested locking).
+        self._active: dict = {}
+
+    # ------------------------------------------------------------------
+    # Critical-section protocol
+    # ------------------------------------------------------------------
+    def enter_cs(self, lock: Any, thread: Any, context) -> CriticalSectionHooks:
+        """Begin analysing a critical section of ``lock`` run by ``thread``.
+
+        ``context`` is the thread's transaction context at entry (its
+        inherited context plus current call path) — the value associated
+        with anything the thread produces.
+
+        If the thread is already inside a critical section, the nested
+        acquisition is folded into the outer one (§3.3.2): the same
+        hooks are returned and everything is attributed to the
+        outermost lock.
+        """
+        active = self._active.get(thread)
+        if active is not None and not active.closed:
+            active.depth += 1
+            return active
+        if self.clear_registers_on_entry:
+            self.dictionary.clear_registers(thread)
+        cs = CriticalSectionHooks(self, lock, thread, context)
+        self._active[thread] = cs
+        return cs
+
+    def exit_cs(self, cs: CriticalSectionHooks) -> Optional[WindowHooks]:
+        """End the critical section; returns hooks for the use window.
+
+        Exiting a nested acquisition returns ``None`` — the thread is
+        still inside the outermost critical section and no consumption
+        window opens yet.
+        """
+        if cs.closed:
+            raise RuntimeError("critical section already exited")
+        cs.depth -= 1
+        if cs.depth > 0:
+            return None
+        cs.closed = True
+        self._active.pop(cs.thread, None)
+        self.roles.for_lock(cs.lock).note_execution(self.stateful_threshold)
+        return WindowHooks(self, cs.lock, cs.thread)
+
+    def mode_for(self, lock: Any) -> str:
+        """Execution mode for a lock's critical sections.
+
+        No-flow locks run natively (§7.2's optimisation); everything
+        else is emulated so contexts keep propagating.
+        """
+        roles = self.roles.for_lock(lock)
+        return DIRECT if roles.is_no_flow else EMULATE
+
+    # ------------------------------------------------------------------
+    # Event recording
+    # ------------------------------------------------------------------
+    def record_produce(self, lock: Any, thread: Any, loc, context) -> ProduceEvent:
+        roles = self.roles.for_lock(lock)
+        roles.add_producer(thread)
+        if context is not INVALID and context is not None:
+            roles.valid_produced = True
+        event = ProduceEvent(lock, thread, loc, context)
+        self.produce_events.append(event)
+        return event
+
+    def record_consume(self, lock: Any, thread: Any, loc, context, producer) -> ConsumeEvent:
+        roles = self.roles.for_lock(lock)
+        roles.add_consumer(thread)
+        if not roles.is_no_flow:
+            roles.note_flow()
+        event = ConsumeEvent(lock, thread, loc, context, producer)
+        self.consume_events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def flow_edges(self):
+        """(producer context, consumer thread) pairs for real flows —
+
+        consumption events on locks not later classified as no-flow.
+        """
+        return [
+            (event.context, event.thread)
+            for event in self.consume_events
+            if not self.roles.for_lock(event.lock).is_no_flow
+        ]
+
+    def classifications(self):
+        """Mapping lock -> classification (None while undecided)."""
+        return {lock: roles.classification for lock, roles in self.roles.items()}

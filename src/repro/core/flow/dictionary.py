@@ -1,0 +1,104 @@
+"""The location-to-context dictionary of §3.2.
+
+Every location — a memory word ``("mem", addr)`` or an annotated
+register ``("reg", thread, index)`` — may be associated with a
+transaction context, the special *invalid* context, or nothing at all.
+Each entry remembers the lock whose critical section last wrote it (the
+flush rule) and the thread that originally produced the value (so
+consumption can be told apart from re-reading one's own data).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+
+class _Invalid:
+    """Singleton ``invlctxt`` marker."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "invlctxt"
+
+
+INVALID = _Invalid()
+
+Location = Tuple
+
+
+class Entry:
+    """Dictionary value: (context, guarding lock, producing thread)."""
+
+    __slots__ = ("context", "lock", "writer")
+
+    def __init__(self, context: Any, lock: Any, writer: Any):
+        self.context = context
+        self.lock = lock
+        self.writer = writer
+
+    @property
+    def valid(self) -> bool:
+        return self.context is not INVALID
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Entry({self.context!r}, lock={self.lock!r}, writer={self.writer!r})"
+
+
+class FlowDictionary:
+    """Mapping of locations to :class:`Entry` values."""
+
+    def __init__(self):
+        self._entries: Dict[Location, Entry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, loc: Location) -> Optional[Entry]:
+        return self._entries.get(loc)
+
+    def set(self, loc: Location, context: Any, lock: Any, writer: Any) -> Entry:
+        entry = Entry(context, lock, writer)
+        self._entries[loc] = entry
+        return entry
+
+    def remove(self, loc: Location) -> None:
+        self._entries.pop(loc, None)
+
+    def flush_if_foreign_lock(self, loc: Location, current_lock: Any) -> bool:
+        """§3.2's flush rule: drop the entry if ``loc`` is being accessed
+
+        under a different lock than the one that last updated it.
+        Returns True if an entry was flushed.
+        """
+        entry = self._entries.get(loc)
+        if entry is not None and entry.lock is not current_lock:
+            del self._entries[loc]
+            return True
+        return False
+
+    def clear_registers(self, thread_key: Any) -> int:
+        """Drop all register entries of one thread.
+
+        Called at critical-section entry: the producer computes its data
+        *before* entering the critical section (§3.1), so its registers
+        carry no tracked context on entry; stale associations from
+        earlier critical sections would otherwise leak across.
+        Returns the number of entries dropped.
+        """
+        stale = [
+            loc
+            for loc in self._entries
+            if loc[0] == "reg" and loc[1] == thread_key
+        ]
+        for loc in stale:
+            del self._entries[loc]
+        return len(stale)
+
+    def items(self):
+        return self._entries.items()

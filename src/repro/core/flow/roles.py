@@ -1,0 +1,112 @@
+"""Per-lock producer/consumer role lists and lock classification (§3.2–3.4).
+
+Each lock object guards one resource (§3.1).  The detector keeps, per
+lock, the set of threads seen producing into it and the set seen
+consuming from it.  The first time the two sets intersect the resource
+is classified as *not* conveying transaction flow — this is what rules
+out memory allocators (Fig 3), whose free/alloc pattern is isomorphic to
+produce/consume but performed by the same threads on both sides.
+
+A second classification catches Fig 2's shared-state pattern: a lock
+whose critical sections have run many times without a single valid
+context ever being produced (every write was arithmetic or an
+immediate) is classified no-flow-stateful.  Both classifications let the
+profiler stop emulating the lock's critical sections and run them
+natively (§7.2's performance optimisation).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Set
+
+FLOW = "flow"
+NO_FLOW_ALLOCATOR = "no-flow-allocator"
+NO_FLOW_STATEFUL = "no-flow-stateful"
+
+
+class LockRoles:
+    """Role and classification state for one lock."""
+
+    __slots__ = (
+        "producers",
+        "consumers",
+        "classification",
+        "cs_executions",
+        "valid_produced",
+        "flows_detected",
+    )
+
+    def __init__(self):
+        self.producers: Set[Any] = set()
+        self.consumers: Set[Any] = set()
+        self.classification: Optional[str] = None
+        self.cs_executions = 0
+        self.valid_produced = False
+        self.flows_detected = 0
+
+    # ------------------------------------------------------------------
+    def add_producer(self, thread_key: Any) -> None:
+        self.producers.add(thread_key)
+        self._check_overlap()
+
+    def add_consumer(self, thread_key: Any) -> None:
+        self.consumers.add(thread_key)
+        self._check_overlap()
+
+    def _check_overlap(self) -> None:
+        # The overlap rule dominates an earlier (possibly premature)
+        # flow inference: before the lists first intersect, an allocator
+        # recycling blocks across threads looks exactly like flow.
+        if self.classification in (None, FLOW) and (
+            self.producers & self.consumers
+        ):
+            self.classification = NO_FLOW_ALLOCATOR
+
+    def note_flow(self) -> None:
+        if self.classification is None:
+            self.classification = FLOW
+        self.flows_detected += 1
+
+    def note_execution(self, stateful_threshold: int) -> None:
+        self.cs_executions += 1
+        if (
+            self.classification is None
+            and not self.valid_produced
+            and self.cs_executions >= stateful_threshold
+        ):
+            self.classification = NO_FLOW_STATEFUL
+
+    @property
+    def is_no_flow(self) -> bool:
+        return self.classification in (NO_FLOW_ALLOCATOR, NO_FLOW_STATEFUL)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LockRoles class={self.classification} "
+            f"producers={len(self.producers)} consumers={len(self.consumers)} "
+            f"execs={self.cs_executions}>"
+        )
+
+
+class RoleTable:
+    """All locks' role state, keyed by lock object."""
+
+    def __init__(self):
+        self._locks: Dict[Any, LockRoles] = {}
+
+    def for_lock(self, lock: Any) -> LockRoles:
+        roles = self._locks.get(lock)
+        if roles is None:
+            roles = LockRoles()
+            self._locks[lock] = roles
+        return roles
+
+    def classification(self, lock: Any) -> Optional[str]:
+        roles = self._locks.get(lock)
+        return roles.classification if roles else None
+
+    def items(self):
+        return self._locks.items()
+
+    def __len__(self) -> int:
+        return len(self._locks)

@@ -1,0 +1,186 @@
+"""Profile persistence: dump per-stage profiles to disk, stitch later.
+
+This mirrors Whodunit's actual workflow (§7.1): "When the program exits,
+Whodunit finalizes its state and writes the profile data to disk.  In a
+final presentation phase, Whodunit stitches together the profiles from
+the application stages."  Each stage serialises its CCT dictionary, its
+synopsis table and its crosstalk records to JSON; the presentation phase
+loads any number of stage dumps and runs the normal stitching.
+
+Only profile *data* is persisted — locks, threads and other live
+simulation state are not serialisable and not needed post-mortem.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, TextIO, Union
+
+from repro.core.cct import CCTNode
+from repro.core.context import SynopsisRef, TransactionContext
+from repro.core.profiler import ProfilerMode, StageRuntime
+
+FORMAT_VERSION = 1
+
+PathOrFile = Union[str, TextIO]
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _encode_element(element: Any) -> Any:
+    if isinstance(element, str):
+        return element
+    if isinstance(element, SynopsisRef):
+        return {"$syn": [element.origin, element.value]}
+    raise TypeError(f"cannot persist context element {element!r}")
+
+
+def _decode_element(data: Any) -> Any:
+    if isinstance(data, str):
+        return data
+    if isinstance(data, dict) and "$syn" in data:
+        origin, value = data["$syn"]
+        return SynopsisRef(origin, value)
+    raise ValueError(f"bad context element {data!r}")
+
+
+def encode_context(context: TransactionContext) -> List[Any]:
+    return [_encode_element(e) for e in context.elements]
+
+
+def decode_context(data: List[Any]) -> TransactionContext:
+    return TransactionContext(tuple(_decode_element(e) for e in data))
+
+
+def _encode_cct_node(node: CCTNode) -> Dict[str, Any]:
+    encoded: Dict[str, Any] = {}
+    if node.self_weight:
+        encoded["w"] = node.self_weight
+    if node.call_count:
+        encoded["c"] = node.call_count
+    if node.children:
+        encoded["k"] = {
+            name: _encode_cct_node(child)
+            for name, child in node.children.items()
+        }
+    return encoded
+
+
+def _decode_cct_node(node: CCTNode, data: Dict[str, Any]) -> None:
+    node.self_weight = data.get("w", 0.0)
+    node.call_count = data.get("c", 0)
+    for name, child_data in data.get("k", {}).items():
+        _decode_cct_node(node.child(name), child_data)
+
+
+def _encode_type(value: Any) -> Any:
+    """Crosstalk transaction types: strings, None, or contexts."""
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, TransactionContext):
+        return {"$ctx": encode_context(value)}
+    return {"$repr": repr(value)}
+
+
+def _decode_type(data: Any) -> Any:
+    if data is None or isinstance(data, str):
+        return data
+    if isinstance(data, dict) and "$ctx" in data:
+        return decode_context(data["$ctx"])
+    if isinstance(data, dict) and "$repr" in data:
+        return data["$repr"]
+    raise ValueError(f"bad crosstalk type {data!r}")
+
+
+def encode_stage(stage: StageRuntime) -> Dict[str, Any]:
+    """The JSON-serialisable dump of one stage's profile state."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": stage.name,
+        "mode": stage.mode.value,
+        "sampling_hz": stage.sampling_hz,
+        "ccts": [
+            {"label": encode_context(label), "tree": _encode_cct_node(cct.root)}
+            for label, cct in stage.ccts.items()
+        ],
+        "synopses": [
+            {"context": encode_context(context), "value": value}
+            for context, value in stage.synopses.items()
+        ],
+        "crosstalk": [
+            {
+                "waiter": _encode_type(waiter),
+                "holder": _encode_type(holder),
+                "wait": wait,
+            }
+            for waiter, holder, wait in stage.crosstalk.events
+        ],
+        "comm": {
+            "data_bytes": stage.comm_data_bytes,
+            "context_bytes": stage.comm_context_bytes,
+        },
+    }
+
+
+def decode_stage(data: Dict[str, Any]) -> StageRuntime:
+    """Rebuild a StageRuntime carrying the persisted profile data.
+
+    The result is for post-mortem analysis (stitching, rendering,
+    aggregation); it is not attached to any simulation.
+    """
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported profile format {data.get('version')!r}")
+    stage = StageRuntime(
+        data["name"],
+        mode=ProfilerMode(data["mode"]),
+        sampling_hz=data["sampling_hz"],
+    )
+    for entry in data["ccts"]:
+        label = decode_context(entry["label"])
+        cct = stage.cct_for(label)
+        _decode_cct_node(cct.root, entry["tree"])
+    for entry in data["synopses"]:
+        context = decode_context(entry["context"])
+        # Re-register under the original value.
+        stage.synopses._by_context[context] = entry["value"]
+        stage.synopses._by_value[entry["value"]] = context
+    for entry in data["crosstalk"]:
+        stage.crosstalk.record(
+            _decode_type(entry["waiter"]),
+            _decode_type(entry["holder"]),
+            entry["wait"],
+        )
+    stage.comm_data_bytes = data["comm"]["data_bytes"]
+    stage.comm_context_bytes = data["comm"]["context_bytes"]
+    return stage
+
+
+# ----------------------------------------------------------------------
+# File I/O
+# ----------------------------------------------------------------------
+def save_stage(stage: StageRuntime, destination: PathOrFile) -> None:
+    """Write one stage's profile dump as JSON."""
+    data = encode_stage(stage)
+    if isinstance(destination, str):
+        with open(destination, "w", encoding="utf-8") as handle:
+            json.dump(data, handle)
+    else:
+        json.dump(data, destination)
+
+
+def load_stage(source: PathOrFile) -> StageRuntime:
+    """Load one stage's profile dump."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    else:
+        data = json.load(source)
+    return decode_stage(data)
+
+
+def load_and_stitch(paths: List[str]):
+    """The presentation phase: load stage dumps and stitch end to end."""
+    from repro.core.stitch import stitch_profiles
+
+    return stitch_profiles([load_stage(path) for path in paths])

@@ -1,0 +1,307 @@
+"""The per-stage Whodunit runtime (§7).
+
+Each process of a multi-tier application — the web server, the
+application server, the database — owns one :class:`StageRuntime`.  It
+holds the stage's synopsis table, its dictionary of CCTs labeled by
+transaction context, the crosstalk recorder, and the profiler overhead
+model used to reproduce the paper's §9 measurements.
+
+Threads are attached to a stage at spawn time (``kernel.spawn(...,
+stage=runtime)``); the CPU resource then reports every completed service
+slice to :meth:`StageRuntime.on_cpu`, which is where sampling happens:
+the slice's expected sample count is attributed to the thread's current
+call path in the CCT selected by the thread's transaction context.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+import random as _random
+import zlib
+from typing import Any, Callable, Dict, Iterator, Optional, TYPE_CHECKING
+
+from repro.core.cct import CallingContextTree
+from repro.core.context import SynopsisRef, TransactionContext
+from repro.core.crosstalk import CrosstalkRecorder
+from repro.core.synopsis import CompositeSynopsis, SynopsisTable
+from repro.sim.cpu import CPU, UseCPU
+from repro.sim.process import SimThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class ProfilerMode(enum.Enum):
+    """Which profiler (if any) is attached to a stage.
+
+    Mirrors the four columns of Table 2: no profiling, csprof (plain
+    call-path sampling), Whodunit (sampling + transaction tracking), and
+    gprof (per-call instrumentation + sampling).
+    """
+
+    OFF = "off"
+    CSPROF = "csprof"
+    WHODUNIT = "whodunit"
+    GPROF = "gprof"
+
+
+class OverheadModel:
+    """CPU costs charged by each profiler mechanism.
+
+    All values are seconds of extra CPU.  Defaults are calibrated so the
+    simulated TPC-W reproduces Table 2's shape: sampling at gprof's
+    default 666 Hz costs a few percent, per-call counting costs ~24%,
+    and Whodunit's additions on top of csprof are <0.1%.
+
+    ``call_density`` models the procedure-call rate of the instrumented
+    binary (calls per second of useful CPU): our simulated applications
+    only push a handful of explicit frames per transaction, but a real
+    binary under gprof pays ``mcount`` on *every* call, so gprof's cost
+    is charged as ``useful_cpu * call_density * call_cost`` on top of
+    the explicit frame pushes.
+    """
+
+    def __init__(
+        self,
+        sample_cost: float = 40e-6,
+        call_cost: float = 0.7e-6,
+        synopsis_cost: float = 2e-6,
+        switch_cost: float = 0.5e-6,
+        call_density: float = 300_000.0,
+    ):
+        self.sample_cost = sample_cost
+        self.call_cost = call_cost
+        self.synopsis_cost = synopsis_cost
+        self.switch_cost = switch_cost
+        self.call_density = call_density
+
+
+LOCAL = TransactionContext.empty()
+
+
+class StageRuntime:
+    """Whodunit state for one stage (process) of the application."""
+
+    def __init__(
+        self,
+        name: str,
+        mode: ProfilerMode = ProfilerMode.WHODUNIT,
+        sampling_hz: float = 666.0,
+        overhead: Optional[OverheadModel] = None,
+        type_of: Optional[Callable[[TransactionContext], Any]] = None,
+        deterministic: bool = True,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.mode = mode
+        self.sampling_hz = sampling_hz
+        # Deterministic mode attributes each CPU slice's *expected*
+        # sample count; stochastic mode draws the integer number of
+        # sample hits per slice (Poisson), as a real timer-based
+        # profiler would observe.  Expected totals agree; see the
+        # sampling ablation benchmark.
+        self.deterministic = deterministic
+        # CRC32, not hash(): string hashing is randomised per process.
+        self._sample_rng = _random.Random(seed ^ zlib.crc32(name.encode()))
+        self.overhead = overhead or OverheadModel()
+        self.synopses = SynopsisTable(name)
+        self.ccts: Dict[TransactionContext, CallingContextTree] = {}
+        self.crosstalk = CrosstalkRecorder(type_of=type_of)
+        # Map synopsis value -> the caller context active when the
+        # request was sent, so a response switches back to the CCT the
+        # request originated from (§7.4 step 2 of the receive wrapper).
+        self._sent_requests: Dict[int, Optional[TransactionContext]] = {}
+        # Per-thread pending overhead seconds, folded into the next CPU
+        # demand by work().
+        self._pending: Dict[int, float] = {}
+        # Communication accounting for §9.1.  The *_full counter tracks
+        # what shipping whole contexts instead of synopses would cost
+        # (the synopsis ablation).
+        self.comm_data_bytes = 0
+        self.comm_context_bytes = 0
+        self.comm_context_bytes_full = 0
+        # Call counting (gprof) is global per stage.
+        self.total_calls = 0
+
+    # ------------------------------------------------------------------
+    # Profiling state
+    # ------------------------------------------------------------------
+    @property
+    def profiling(self) -> bool:
+        return self.mode is not ProfilerMode.OFF
+
+    @property
+    def tracking(self) -> bool:
+        """Whether transaction tracking (Whodunit proper) is active."""
+        return self.mode is ProfilerMode.WHODUNIT
+
+    def cct_for(self, label: TransactionContext) -> CallingContextTree:
+        """The CCT labeled with ``label``, created on first use (§7.1)."""
+        cct = self.ccts.get(label)
+        if cct is None:
+            cct = CallingContextTree(label)
+            self.ccts[label] = cct
+        return cct
+
+    def current_label(self, thread: SimThread) -> TransactionContext:
+        ctxt = thread.tran_ctxt
+        if isinstance(ctxt, TransactionContext):
+            return ctxt
+        return LOCAL
+
+    # ------------------------------------------------------------------
+    # Hooks from the simulation substrate
+    # ------------------------------------------------------------------
+    def on_cpu(self, thread: SimThread, amount: float) -> None:
+        """Attribute a completed CPU slice as profile samples.
+
+        Deterministic (expected-value) sampling: a slice of ``amount``
+        seconds at frequency f contributes ``amount * f`` samples to the
+        thread's current call path, annotated with its transaction
+        context.
+        """
+        if not self.profiling or amount <= 0:
+            return
+        label = self.current_label(thread) if self.tracking else LOCAL
+        expected = amount * self.sampling_hz
+        if self.deterministic:
+            weight = expected
+        else:
+            weight = float(self._poisson(expected))
+            if weight == 0.0:
+                return
+        self.cct_for(label).record_sample(thread.call_path(), weight)
+
+    def _poisson(self, mean: float) -> int:
+        """Poisson sample via inversion (mean values here are small)."""
+        if mean > 50:
+            # Gaussian approximation for long slices.
+            return max(0, round(self._sample_rng.gauss(mean, mean ** 0.5)))
+        level = self._sample_rng.random()
+        threshold = math.exp(-mean)
+        count = 0
+        cumulative = threshold
+        while level > cumulative:
+            count += 1
+            threshold *= mean / count
+            cumulative += threshold
+        return count
+
+    def on_call(self, thread: SimThread) -> None:
+        """Procedure-entry hook; gprof's instrumentation lives here."""
+        if self.mode is ProfilerMode.GPROF:
+            self.total_calls += 1
+            self.add_pending(thread, self.overhead.call_cost)
+            label = LOCAL
+            self.cct_for(label).record_call(thread.call_path())
+
+    # ------------------------------------------------------------------
+    # Overhead plumbing
+    # ------------------------------------------------------------------
+    def add_pending(self, thread: SimThread, seconds: float) -> None:
+        """Queue overhead CPU to be charged with the thread's next work."""
+        self._pending[thread.tid] = self._pending.get(thread.tid, 0.0) + seconds
+
+    def take_pending(self, thread: SimThread) -> float:
+        return self._pending.pop(thread.tid, 0.0)
+
+    def inflate(self, thread: SimThread, seconds: float) -> float:
+        """Total CPU demand for ``seconds`` of useful work on ``thread``."""
+        demand = seconds
+        if self.profiling:
+            demand += seconds * self.sampling_hz * self.overhead.sample_cost
+        if self.mode is ProfilerMode.GPROF:
+            # mcount instrumentation on every call of the real binary.
+            demand += seconds * self.overhead.call_density * self.overhead.call_cost
+        demand += self.take_pending(thread)
+        return demand
+
+    # ------------------------------------------------------------------
+    # Context propagation across messages (§5, §7.4)
+    # ------------------------------------------------------------------
+    def context_at_send(self, thread: SimThread) -> TransactionContext:
+        """The transaction context at a send point: any inherited prefix
+
+        context followed by the thread's current call path.
+        """
+        prefix = thread.tran_ctxt or LOCAL
+        return prefix.extend_path(thread.call_path())
+
+    def send_request(self, thread: SimThread) -> Optional[int]:
+        """Send-wrapper bookkeeping; returns the synopsis to piggy-back.
+
+        Returns None when tracking is off (nothing is piggy-backed).
+        """
+        if not self.tracking:
+            return None
+        context = self.context_at_send(thread)
+        value = self.synopses.synopsis(context)
+        self._sent_requests[value] = thread.tran_ctxt
+        self.add_pending(thread, self.overhead.synopsis_cost)
+        self.comm_context_bytes_full += context.wire_size()
+        return value
+
+    def receive_request(self, thread: SimThread, origin: str, synopsis: Optional[int]) -> None:
+        """Receive-wrapper at the callee: adopt the sender's context."""
+        if not self.tracking or synopsis is None:
+            return
+        thread.tran_ctxt = TransactionContext((SynopsisRef(origin, synopsis),))
+        self.add_pending(thread, self.overhead.synopsis_cost + self.overhead.switch_cost)
+
+    def send_response(self, thread: SimThread, request_synopsis: Optional[int]) -> Optional[CompositeSynopsis]:
+        """Send-wrapper for a response: ``synopsis(α)#synopsis(β)``."""
+        if not self.tracking or request_synopsis is None:
+            return None
+        local = TransactionContext.from_call_path(thread.call_path())
+        self.add_pending(thread, self.overhead.synopsis_cost)
+        self.comm_context_bytes_full += local.wire_size()
+        return self.synopses.make_response(request_synopsis, local)
+
+    def receive_response(self, thread: SimThread, composite: Optional[CompositeSynopsis]) -> bool:
+        """Receive-wrapper at the caller.
+
+        If the composite's prefix originated here, switch the thread back
+        to the context the request was sent from and return True.
+        """
+        if not self.tracking or composite is None:
+            return False
+        if composite.prefix not in self._sent_requests:
+            return False
+        thread.tran_ctxt = self._sent_requests[composite.prefix]
+        self.add_pending(thread, self.overhead.switch_cost)
+        return True
+
+    def account_message(self, data_bytes: int, context_bytes: int) -> None:
+        """Track §9.1's data-vs-context communication volumes."""
+        self.comm_data_bytes += data_bytes
+        self.comm_context_bytes += context_bytes
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_weight(self) -> float:
+        return sum(cct.total_weight() for cct in self.ccts.values())
+
+    def labels(self):
+        return list(self.ccts.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StageRuntime {self.name} mode={self.mode.value} ccts={len(self.ccts)}>"
+
+
+def work(thread: SimThread, cpu: CPU, seconds: float) -> Iterator:
+    """Consume CPU for ``seconds`` of useful work, plus profiler overhead.
+
+    The standard way application code burns CPU::
+
+        yield from work(thread, cpu, 0.0015)
+
+    When the thread's stage profiles, the demand is inflated by the
+    overhead model, which is how Table 2 and §9.2/9.3's throughput
+    deltas arise.
+    """
+    stage = thread.stage
+    demand = stage.inflate(thread, seconds) if stage is not None else seconds
+    yield UseCPU(cpu, demand)
+    return demand

@@ -1,0 +1,181 @@
+"""Post-mortem stitching of per-stage profiles (§5, §7.1).
+
+At run time each stage only knows remote contexts as opaque 4-byte
+synopses.  After the run, the presentation phase resolves every
+:class:`~repro.core.context.SynopsisRef` against the originating stage's
+synopsis dictionary — recursively, since a web server's context may in
+turn reference a proxy's — producing, per stage, CCTs labeled with fully
+expanded end-to-end transaction contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.cct import CallingContextTree
+from repro.core.context import SynopsisRef, TransactionContext
+from repro.core.profiler import StageRuntime
+
+MAX_DEPTH = 32
+
+
+class StitchError(Exception):
+    """Raised on unresolvable or cyclic synopsis references."""
+
+
+def resolve_context(
+    context: TransactionContext,
+    stages: Dict[str, StageRuntime],
+    _depth: int = 0,
+) -> TransactionContext:
+    """Expand every SynopsisRef in ``context`` into the context it names."""
+    if _depth > MAX_DEPTH:
+        raise StitchError("synopsis reference chain too deep (cycle?)")
+    elements: List = []
+    for element in context:
+        if isinstance(element, SynopsisRef):
+            origin = stages.get(element.origin)
+            if origin is None:
+                raise StitchError(
+                    f"context references unknown stage {element.origin!r}"
+                )
+            remote = origin.synopses.resolve(element.value)
+            expanded = resolve_context(remote, stages, _depth + 1)
+            elements.extend(expanded.elements)
+        else:
+            elements.append(element)
+    return TransactionContext(elements)
+
+
+class StitchedProfile:
+    """The end-to-end transactional profile of a multi-tier application."""
+
+    def __init__(self):
+        # (stage name, fully resolved context) -> CCT
+        self.entries: Dict[Tuple[str, TransactionContext], CallingContextTree] = {}
+
+    def add(self, stage: str, context: TransactionContext, cct: CallingContextTree) -> None:
+        existing = self.entries.get((stage, context))
+        if existing is None:
+            clone = cct.copy()
+            clone.label = context
+            self.entries[(stage, context)] = clone
+        else:
+            existing.merge(cct)
+
+    # ------------------------------------------------------------------
+    def stages(self) -> List[str]:
+        return sorted({stage for stage, _ in self.entries})
+
+    def contexts_of(self, stage: str) -> List[TransactionContext]:
+        return [ctxt for (s, ctxt) in self.entries if s == stage]
+
+    def cct(self, stage: str, context: TransactionContext) -> CallingContextTree:
+        return self.entries[(stage, context)]
+
+    def stage_weight(self, stage: str) -> float:
+        return sum(
+            cct.total_weight()
+            for (s, _), cct in self.entries.items()
+            if s == stage
+        )
+
+    def total_weight(self) -> float:
+        return sum(cct.total_weight() for cct in self.entries.values())
+
+    def context_share(self, stage: str, context: TransactionContext) -> float:
+        """Fraction of the stage's samples under one transaction context."""
+        total = self.stage_weight(stage)
+        if total == 0:
+            return 0.0
+        return self.entries[(stage, context)].total_weight() / total
+
+
+class FlowEdge:
+    """A request edge between stages in the stitched profile (Fig 7).
+
+    ``from_stage``'s transaction at context ``from_context`` issued the
+    request that ``to_stage`` executed under ``to_context`` (both fully
+    resolved).
+    """
+
+    __slots__ = ("from_stage", "from_context", "to_stage", "to_context")
+
+    def __init__(self, from_stage, from_context, to_stage, to_context):
+        self.from_stage = from_stage
+        self.from_context = from_context
+        self.to_stage = to_stage
+        self.to_context = to_context
+
+    def __eq__(self, other):
+        return isinstance(other, FlowEdge) and (
+            self.from_stage,
+            self.from_context,
+            self.to_stage,
+            self.to_context,
+        ) == (
+            other.from_stage,
+            other.from_context,
+            other.to_stage,
+            other.to_context,
+        )
+
+    def __hash__(self):
+        return hash(
+            (self.from_stage, self.from_context, self.to_stage, self.to_context)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{self.from_stage}:{self.from_context!r} ==> "
+            f"{self.to_stage}:{self.to_context!r}"
+        )
+
+
+def flow_graph(stages: Iterable[StageRuntime]) -> List[FlowEdge]:
+    """The request edges of the end-to-end profile (Fig 7's arrows).
+
+    Every CCT label starting with a synopsis reference names the stage
+    whose send created it; the edge connects the sender's context (the
+    resolved referenced context) to the receiver's resolved context.
+    """
+    by_name = {stage.name: stage for stage in stages}
+    edges: List[FlowEdge] = []
+    seen = set()
+    for stage in by_name.values():
+        for label in stage.ccts:
+            for element in label:
+                if not isinstance(element, SynopsisRef):
+                    continue
+                origin = by_name.get(element.origin)
+                if origin is None:
+                    continue
+                sender_context = resolve_context(
+                    origin.synopses.resolve(element.value), by_name
+                )
+                edge = FlowEdge(
+                    origin.name,
+                    sender_context,
+                    stage.name,
+                    resolve_context(label, by_name),
+                )
+                if edge not in seen:
+                    seen.add(edge)
+                    edges.append(edge)
+    return edges
+
+
+def stitch_profiles(stages: Iterable[StageRuntime]) -> StitchedProfile:
+    """Combine per-stage profiles into one transactional profile.
+
+    Every CCT label containing synopsis references is resolved into the
+    full cross-stage transaction context; CCTs whose labels resolve to
+    the same context merge.
+    """
+    by_name = {stage.name: stage for stage in stages}
+    profile = StitchedProfile()
+    for stage in by_name.values():
+        for label, cct in stage.ccts.items():
+            resolved = resolve_context(label, by_name)
+            profile.add(stage.name, resolved, cct)
+    return profile

@@ -1,0 +1,123 @@
+"""Transaction-context synopses (§7.4).
+
+A synopsis is a compact, unique 4-byte representation of a transaction
+context.  Each stage keeps a :class:`SynopsisTable` mapping contexts to
+sequentially allocated 32-bit identifiers (and back), and piggy-backs
+synopses — not whole contexts — on messages, which is what keeps
+Whodunit's communication overhead around 1% (§9.1).
+
+Response messages carry a :class:`CompositeSynopsis`
+``synopsis(α) # synopsis(β)``: the caller's request synopsis α as
+prefix, the callee's local call-path synopsis β as suffix, joined by the
+``#`` delimiter.  The caller recognises its own α prefix and switches
+back to the CCT the request originated from instead of inheriting the
+callee's context.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Optional, Tuple
+
+from repro.core.context import TransactionContext
+
+SYNOPSIS_BYTES = 4
+DELIMITER_BYTES = 1
+
+# The 32-bit synopsis space is partitioned per stage: the top 12 bits
+# come from a hash of the stage name, the low 20 bits are sequential.
+# This keeps synopses 4 bytes wide while letting a caller recognise at a
+# glance that a composite's prefix was allocated by itself rather than
+# by the callee (the paper achieves the same with per-connection state).
+_STAGE_BITS = 12
+_LOCAL_BITS = 32 - _STAGE_BITS
+_LOCAL_MASK = (1 << _LOCAL_BITS) - 1
+
+
+def _stage_base(stage_name: str) -> int:
+    return (zlib.crc32(stage_name.encode()) & ((1 << _STAGE_BITS) - 1)) << _LOCAL_BITS
+
+
+class CompositeSynopsis:
+    """A response synopsis ``prefix # suffix`` (each a 4-byte synopsis)."""
+
+    __slots__ = ("prefix", "suffix")
+
+    def __init__(self, prefix: int, suffix: int):
+        self.prefix = prefix
+        self.suffix = suffix
+
+    def wire_size(self) -> int:
+        """Bytes on the wire: two synopses plus the ``#`` delimiter."""
+        return 2 * SYNOPSIS_BYTES + DELIMITER_BYTES
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CompositeSynopsis)
+            and other.prefix == self.prefix
+            and other.suffix == self.suffix
+        )
+
+    def __hash__(self) -> int:
+        return hash((CompositeSynopsis, self.prefix, self.suffix))
+
+    def __repr__(self) -> str:
+        return f"{self.prefix:#010x}#{self.suffix:#010x}"
+
+
+class SynopsisTable:
+    """Per-stage dictionary of transaction contexts and their synopses.
+
+    Identifiers are allocated sequentially, so uniqueness is by
+    construction; 2^32 distinct contexts per stage is far beyond any
+    workload in the paper.
+    """
+
+    def __init__(self, stage_name: str):
+        self.stage_name = stage_name
+        self._by_context: Dict[TransactionContext, int] = {}
+        self._by_value: Dict[int, TransactionContext] = {}
+        self._base = _stage_base(stage_name)
+        self._next = 1  # 0 is reserved for "no context"
+
+    def __len__(self) -> int:
+        return len(self._by_context)
+
+    def synopsis(self, context: TransactionContext) -> int:
+        """The synopsis for ``context``, allocating one on first use."""
+        value = self._by_context.get(context)
+        if value is None:
+            if self._next > _LOCAL_MASK:
+                raise OverflowError("synopsis space exhausted")
+            value = self._base | self._next
+            self._next += 1
+            self._by_context[context] = value
+            self._by_value[value] = context
+        return value
+
+    def resolve(self, value: int) -> TransactionContext:
+        """The context a synopsis stands for (post-mortem stitching)."""
+        try:
+            return self._by_value[value]
+        except KeyError:
+            raise KeyError(
+                f"stage {self.stage_name!r} has no synopsis {value:#010x}"
+            ) from None
+
+    def lookup(self, context: TransactionContext) -> Optional[int]:
+        """The synopsis for ``context`` if already allocated, else None."""
+        return self._by_context.get(context)
+
+    def make_response(self, request_synopsis: int, local_context: TransactionContext) -> CompositeSynopsis:
+        """Compose the response synopsis ``request # synopsis(local)``."""
+        return CompositeSynopsis(request_synopsis, self.synopsis(local_context))
+
+    def is_own_prefix(self, composite: CompositeSynopsis) -> bool:
+        """True if the composite's prefix was allocated by this stage —
+
+        i.e. the message is a response to one of our own requests.
+        """
+        return composite.prefix in self._by_value
+
+    def items(self) -> Tuple[Tuple[TransactionContext, int], ...]:
+        return tuple(self._by_context.items())

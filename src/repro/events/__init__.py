@@ -1,0 +1,5 @@
+"""Event-driven programming substrate with transaction tracking (§4.1)."""
+
+from repro.events.libevent import Event, EventLoop, Park
+
+__all__ = ["Event", "EventLoop", "Park"]

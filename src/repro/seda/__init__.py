@@ -1,0 +1,5 @@
+"""SEDA: staged event-driven architecture with transaction tracking (§4.2)."""
+
+from repro.seda.stage import Dequeue, SedaStage, StageEvent, StageQueue
+
+__all__ = ["SedaStage", "StageQueue", "StageEvent", "Dequeue"]

@@ -1,0 +1,179 @@
+"""The SEDA middleware analog: stages, stage queues, context tracking.
+
+This is Fig 5 of the paper, executable.  Stage queues carry a
+transaction-context field on every element; a stage worker thread
+dequeues an element, computes its current context by appending the
+stage's name (collapsing repeats and pruning loops exactly as for
+events), runs the stage handler, and any element it enqueues downstream
+inherits its current context.  Applications built on this middleware —
+the Haboob-like server of :mod:`repro.apps.haboob` — need no
+modification for transactional profiling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Iterator, List, Optional, TYPE_CHECKING
+
+from repro.core.context import TransactionContext
+from repro.sim.process import CurrentThread, SimThread, Syscall, frame
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class StageEvent:
+    """A queue element with its transaction-context field (Fig 5)."""
+
+    __slots__ = ("payload", "tran_ctxt")
+
+    def __init__(self, payload: Any, tran_ctxt: Optional[TransactionContext] = None):
+        self.payload = payload
+        self.tran_ctxt = tran_ctxt or TransactionContext.empty()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StageEvent {self.payload!r} ctxt={self.tran_ctxt!r}>"
+
+
+class StageQueue:
+    """A FIFO queue connecting consecutive stages.
+
+    With ``capacity=None`` the queue is unbounded.  A bounded queue
+    implements SEDA's admission control: when full, :meth:`enqueue`
+    rejects the element (returns False) so the upstream stage can shed
+    load instead of letting queues grow without bound — the mechanism
+    behind SEDA's "well-conditioned" behaviour under overload.
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str = "stage_queue",
+        capacity: Optional[int] = None,
+    ):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be positive or None")
+        self.kernel = kernel
+        self.name = name
+        self.capacity = capacity
+        self._elements: Deque[StageEvent] = deque()
+        self._waiters: Deque[SimThread] = deque()
+        self.enqueued = 0
+        self.rejected = 0
+
+    def enqueue(self, element: StageEvent) -> bool:
+        """Fig 5's ``enqueue``: deliver to a blocked worker or buffer.
+
+        Returns False (and drops the element) when a bounded queue is
+        full — SEDA admission control.
+        """
+        if self._waiters:
+            self.enqueued += 1
+            waiter = self._waiters.popleft()
+            self.kernel.resume(waiter, element)
+            return True
+        if self.capacity is not None and len(self._elements) >= self.capacity:
+            self.rejected += 1
+            return False
+        self.enqueued += 1
+        self._elements.append(element)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<StageQueue {self.name} depth={len(self._elements)}>"
+
+
+class Dequeue(Syscall):
+    """Block until the stage queue has an element; result is the element."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: StageQueue):
+        self.queue = queue
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        if self.queue._elements:
+            kernel.resume(thread, self.queue._elements.popleft())
+        else:
+            thread.blocked_on = self
+            self.queue._waiters.append(thread)
+
+    def __repr__(self) -> str:
+        return f"Dequeue({self.queue.name})"
+
+
+class SedaStage:
+    """One SEDA stage: an input queue and a pool of worker threads.
+
+    The handler is a generator ``handler(stage, thread, payload)``
+    yielding simulation syscalls.  It sends work downstream with
+    :meth:`enqueue`, which stamps the element with the worker's current
+    transaction context (Fig 5 line 12).
+    """
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        name: str,
+        handler: Callable[["SedaStage", SimThread, Any], Iterator],
+        workers: int = 1,
+        stage_runtime: Any = None,
+        prune_loops: bool = True,
+        queue_capacity: Optional[int] = None,
+    ):
+        self.kernel = kernel
+        self.name = name
+        self.handler = handler
+        self.workers = workers
+        self.stage_runtime = stage_runtime
+        self.prune_loops = prune_loops
+        self.input_queue = StageQueue(kernel, f"{name}.in", capacity=queue_capacity)
+        self.threads: List[SimThread] = []
+        self.processed = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the stage's worker threads."""
+        for i in range(self.workers):
+            thread = self.kernel.spawn(
+                self._worker_loop(),
+                name=f"{self.name}-{i}",
+                stage=self.stage_runtime,
+            )
+            thread.daemon = True
+            self.threads.append(thread)
+
+    def _worker_loop(self) -> Iterator:
+        thread = yield CurrentThread()
+        with frame(thread, "stage_loop"):
+            while True:
+                element = yield Dequeue(self.input_queue)
+                # Fig 5 lines 5-6: current context = concat(element
+                # context, current stage), normalised per §4.1/§4.2.
+                context = element.tran_ctxt.append(
+                    self.name, prune=self.prune_loops
+                )
+                thread.tran_ctxt = context
+                self.processed += 1
+                try:
+                    with frame(thread, self.name):
+                        yield from self.handler(self, thread, element.payload)
+                finally:
+                    thread.tran_ctxt = None
+
+    # ------------------------------------------------------------------
+    def enqueue(self, thread: SimThread, queue: StageQueue, payload: Any) -> bool:
+        """Fig 5's ``enqueue_elem``: stamp and enqueue downstream work.
+
+        Returns False when the downstream queue rejected the element
+        (admission control on a bounded queue).
+        """
+        context = thread.tran_ctxt or TransactionContext.empty()
+        return queue.enqueue(StageEvent(payload, context))
+
+    def inject(self, payload: Any) -> bool:
+        """Enqueue external work (no transaction context yet)."""
+        return self.input_queue.enqueue(StageEvent(payload))

@@ -1,0 +1,53 @@
+"""Discrete-event simulation substrate.
+
+The paper runs Whodunit against real servers on real machines.  This
+package provides the deterministic substitute: a virtual clock, threads
+as coroutines, contended CPUs, mutexes/condition variables with
+wait-time hooks, and seeded randomness.  Every multi-tier application in
+:mod:`repro.apps` is built on these primitives, which gives the profiler
+the same event orderings and cost attribution it would see on hardware,
+but reproducibly.
+"""
+
+from repro.sim.kernel import Kernel
+from repro.sim.process import (
+    CurrentThread,
+    Delay,
+    Exit,
+    Join,
+    SimThread,
+    Spawn,
+    Syscall,
+)
+from repro.sim.cpu import CPU, UseCPU
+from repro.sim.sync import (
+    Acquire,
+    Condition,
+    Mutex,
+    Notify,
+    NotifyAll,
+    Release,
+    Wait,
+)
+from repro.sim.rng import Rng
+
+__all__ = [
+    "Kernel",
+    "SimThread",
+    "CurrentThread",
+    "Syscall",
+    "Delay",
+    "Join",
+    "Spawn",
+    "Exit",
+    "CPU",
+    "UseCPU",
+    "Mutex",
+    "Condition",
+    "Acquire",
+    "Release",
+    "Wait",
+    "Notify",
+    "NotifyAll",
+    "Rng",
+]

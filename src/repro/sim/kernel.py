@@ -1,0 +1,192 @@
+"""Simulation kernel: virtual clock, event queue, thread scheduler.
+
+The kernel owns a priority queue of timestamped callbacks and a registry
+of live :class:`~repro.sim.process.SimThread` coroutines.  All
+application code in this repository runs on top of it; nothing ever
+reads the wall clock, so a given seed always produces the same
+execution, event for event.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.sim.process import SimThread
+
+
+class ScheduledEvent:
+    """A cancellable callback scheduled at a point in virtual time."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "ScheduledEvent") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class SimulationError(Exception):
+    """Raised for misuse of simulation primitives (double release, etc.)."""
+
+
+class Deadlock(SimulationError):
+    """Raised when the event queue drains while threads are still blocked."""
+
+
+class Kernel:
+    """Discrete-event simulation kernel.
+
+    Typical use::
+
+        kernel = Kernel()
+        kernel.spawn(my_generator(), name="worker")
+        kernel.run(until=10.0)
+
+    Parameters
+    ----------
+    strict:
+        When true (the default), :meth:`run` raises :class:`Deadlock` if
+        the event queue empties while spawned threads remain blocked.
+    """
+
+    def __init__(self, strict: bool = True, livelock_limit: int = 2_000_000):
+        self.now: float = 0.0
+        self.strict = strict
+        # A model bug (e.g. a zero-cost request loop against a
+        # zero-latency server) can fire events forever without advancing
+        # virtual time; fail loudly instead of spinning silently.
+        self.livelock_limit = livelock_limit
+        self._same_time_events = 0
+        self._queue: List[ScheduledEvent] = []
+        self._seq = 0
+        self._threads: List[SimThread] = []
+        self._next_tid = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``fn(*args)`` after ``delay`` units of virtual time."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past (delay=%r)" % delay)
+        event = ScheduledEvent(self.now + delay, self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def call_soon(self, fn: Callable, *args: Any) -> ScheduledEvent:
+        """Run ``fn(*args)`` at the current virtual time, after the
+
+        currently executing event finishes.
+        """
+        return self.schedule(0.0, fn, *args)
+
+    # ------------------------------------------------------------------
+    # Threads
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        generator: Iterator,
+        name: Optional[str] = None,
+        stage: Any = None,
+    ) -> SimThread:
+        """Create a thread from a generator and start it immediately.
+
+        ``stage`` attaches the thread to a profiling stage runtime (see
+        :mod:`repro.core.profiler`); it may be ``None`` for unprofiled
+        threads such as client emulators.
+        """
+        tid = self._next_tid
+        self._next_tid += 1
+        thread = SimThread(self, generator, tid, name or f"thread-{tid}", stage)
+        self._threads.append(thread)
+        self.call_soon(thread.step, None)
+        return thread
+
+    def resume(self, thread: SimThread, value: Any = None) -> None:
+        """Unblock ``thread``, delivering ``value`` as the result of the
+
+        syscall it is blocked on.  The thread runs at the current time.
+        """
+        self.call_soon(thread.step, value)
+
+    def throw_in(self, thread: SimThread, exc: BaseException) -> None:
+        """Raise ``exc`` inside ``thread`` at its current yield point."""
+        self.call_soon(thread.throw, exc)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Returns the virtual time at which the run stopped.
+        """
+        self._stopped = False
+        while self._queue and not self._stopped:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if until is not None and event.time > until:
+                # Put it back for a later run() call and stop the clock
+                # exactly at the horizon.
+                heapq.heappush(self._queue, event)
+                self.now = until
+                return self.now
+            if event.time < self.now:
+                raise SimulationError("time went backwards")
+            if event.time == self.now:
+                self._same_time_events += 1
+                if self._same_time_events > self.livelock_limit:
+                    raise SimulationError(
+                        f"livelock: {self.livelock_limit} events fired at "
+                        f"t={self.now} without the clock advancing"
+                    )
+            else:
+                self._same_time_events = 0
+            self.now = event.time
+            event.fn(*event.args)
+        if until is not None and not self._stopped:
+            self.now = max(self.now, until)
+        if self.strict and not self._stopped and until is None:
+            # Bounded runs legitimately leave server threads blocked on
+            # accept queues; only an unbounded run that drains the event
+            # queue with blocked non-daemon threads is a deadlock.
+            blocked = [
+                t
+                for t in self._threads
+                if t.alive and t.blocked_on and not t.daemon
+            ]
+            if blocked and not self._queue:
+                names = ", ".join(
+                    f"{t.name} on {t.blocked_on}" for t in blocked[:8]
+                )
+                raise Deadlock(f"all events drained with blocked threads: {names}")
+        return self.now
+
+    def stop(self) -> None:
+        """Stop :meth:`run` after the current event completes."""
+        self._stopped = True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def live_threads(self) -> List[SimThread]:
+        """Threads that have not yet finished."""
+        return [t for t in self._threads if t.alive]
+
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)

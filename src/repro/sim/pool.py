@@ -1,0 +1,65 @@
+"""A blocking pool of reusable resources (e.g. database connections).
+
+The Tomcat-like container keeps a fixed set of connections to the
+database server; servlet threads check one out per query and return it
+afterwards.  Checkout blocks when the pool is empty, which models
+connection-pool pressure under load.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterable, TYPE_CHECKING
+
+from repro.sim.process import Syscall, SimThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+
+class ResourcePool:
+    """FIFO pool with blocking checkout."""
+
+    def __init__(self, kernel: "Kernel", items: Iterable[Any] = (), name: str = "pool"):
+        self.kernel = kernel
+        self.name = name
+        self._free: Deque[Any] = deque(items)
+        self._waiters: Deque[SimThread] = deque()
+        self.checkouts = 0
+        self.total_wait_events = 0
+
+    def put(self, item: Any) -> None:
+        """Return an item; hands it straight to a blocked waiter if any."""
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self.kernel.resume(waiter, item)
+        else:
+            self._free.append(item)
+
+    @property
+    def available(self) -> int:
+        return len(self._free)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResourcePool {self.name} free={len(self._free)} waiting={len(self._waiters)}>"
+
+
+class Get(Syscall):
+    """Check an item out of the pool, blocking while it is empty."""
+
+    __slots__ = ("pool",)
+
+    def __init__(self, pool: ResourcePool):
+        self.pool = pool
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        self.pool.checkouts += 1
+        if self.pool._free:
+            kernel.resume(thread, self.pool._free.popleft())
+        else:
+            self.pool.total_wait_events += 1
+            thread.blocked_on = self
+            self.pool._waiters.append(thread)
+
+    def __repr__(self) -> str:
+        return f"Get({self.pool.name})"

@@ -1,0 +1,103 @@
+"""Seeded random streams for workload generation.
+
+A single :class:`Rng` wraps :class:`random.Random` and adds the
+distributions the workloads need: Zipf object popularity (web traces),
+bounded Pareto response sizes, and exponential think/interarrival
+times.  Separate named streams derived from one master seed keep
+different model components independent yet reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from typing import List, Sequence, Tuple
+
+
+class Rng:
+    """Reproducible random stream with workload-oriented helpers."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._random = random.Random(seed)
+
+    def stream(self, name: str) -> "Rng":
+        """Derive an independent, deterministic sub-stream.
+
+        Derivation uses CRC32, not ``hash()``: Python randomises string
+        hashing per process, which would silently break cross-process
+        reproducibility of every seeded experiment.
+        """
+        derived = zlib.crc32(f"{self.seed}:{name}".encode()) & 0x7FFFFFFF
+        return Rng(derived)
+
+    # ------------------------------------------------------------------
+    # Pass-throughs
+    # ------------------------------------------------------------------
+    def random(self) -> float:
+        return self._random.random()
+
+    def uniform(self, lo: float, hi: float) -> float:
+        return self._random.uniform(lo, hi)
+
+    def randint(self, lo: int, hi: int) -> int:
+        return self._random.randint(lo, hi)
+
+    def choice(self, seq: Sequence):
+        return self._random.choice(seq)
+
+    def shuffle(self, seq: List) -> None:
+        self._random.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        return self._random.expovariate(rate)
+
+    # ------------------------------------------------------------------
+    # Workload distributions
+    # ------------------------------------------------------------------
+    def zipf_table(self, n: int, alpha: float = 1.0) -> List[float]:
+        """Cumulative probability table for a Zipf(alpha) law over n items."""
+        weights = [1.0 / (i ** alpha) for i in range(1, n + 1)]
+        total = sum(weights)
+        cumulative = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cumulative.append(acc)
+        cumulative[-1] = 1.0
+        return cumulative
+
+    def zipf_pick(self, cumulative: List[float]) -> int:
+        """Pick an index (0-based, 0 most popular) from a zipf table."""
+        u = self._random.random()
+        lo, hi = 0, len(cumulative) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cumulative[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def bounded_pareto(self, alpha: float, lo: float, hi: float) -> float:
+        """Bounded Pareto sample — heavy-tailed web object sizes."""
+        u = self._random.random()
+        ha = hi ** alpha
+        la = lo ** alpha
+        x = (-(u * ha - u * la - ha) / (ha * la)) ** (-1.0 / alpha)
+        return x
+
+    def weighted_pick(self, items: Sequence[Tuple[object, float]]):
+        """Pick an item from ``(value, weight)`` pairs."""
+        total = sum(w for _, w in items)
+        u = self._random.random() * total
+        acc = 0.0
+        for value, weight in items:
+            acc += weight
+            if u <= acc:
+                return value
+        return items[-1][0]
+
+    def lognormal(self, mu: float, sigma: float) -> float:
+        return math.exp(self._random.gauss(mu, sigma))

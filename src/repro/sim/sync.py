@@ -1,0 +1,322 @@
+"""Synchronization primitives with the hooks Whodunit needs.
+
+:class:`Mutex` is a FIFO reader-writer lock.  Exclusive mode models
+``pthread_mutex_lock`` and MyISAM table write locks; shared mode models
+MyISAM table read locks.  Every acquisition that had to wait reports
+``(waiter, holder_snapshot, wait_time)`` to the mutex's ``observers`` —
+this is the measurement point for transaction crosstalk (§6 of the
+paper).
+
+:class:`Condition` is a condition variable bound to a mutex, used by the
+Apache-like server's shared connection queue.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set, Tuple, TYPE_CHECKING
+
+from repro.sim.process import Syscall, SimThread
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Kernel
+
+EXCLUSIVE = "exclusive"
+SHARED = "shared"
+
+
+class _Waiter:
+    __slots__ = ("thread", "mode", "enqueued_at")
+
+    def __init__(self, thread: SimThread, mode: str, enqueued_at: float):
+        self.thread = thread
+        self.mode = mode
+        self.enqueued_at = enqueued_at
+
+
+FIFO = "fifo"
+READER_PRIORITY = "reader-priority"
+
+
+class Mutex:
+    """Reader-writer lock with wait-time observation.
+
+    Two scheduling policies:
+
+    - ``fifo`` (default): a queued writer blocks newly arriving readers,
+      so writers cannot starve — pthread-style fairness;
+    - ``reader-priority``: new readers join current readers even while a
+      writer waits — MyISAM-style table locking under concurrent reads,
+      where a steady read stream can starve a writer for a long time.
+      This is the behaviour behind AdminConfirm's pathological response
+      times in §8.4, which converting the table to InnoDB removes.
+
+    Observers are callables ``fn(mutex, waiter_thread, holders, mode,
+    wait_time)`` invoked when a thread that had to block finally acquires
+    the lock.  ``holders`` is the snapshot of ``(thread, tran_ctxt)``
+    pairs that held the lock at the moment the waiter blocked — exactly
+    the information crosstalk needs to answer *who caused the wait*.
+    """
+
+    def __init__(
+        self,
+        name: str = "mutex",
+        policy: str = FIFO,
+        writer_starvation_limit: Optional[float] = None,
+    ):
+        if policy not in (FIFO, READER_PRIORITY):
+            raise ValueError(f"unknown lock policy {policy!r}")
+        self.name = name
+        self.policy = policy
+        # Under reader-priority, once the oldest queued writer has
+        # waited this long, new readers stop bypassing it (None =
+        # unbounded starvation).
+        self.writer_starvation_limit = writer_starvation_limit
+        self._kernel_now = None  # set per acquire for the limit check
+        self.holders: Set[SimThread] = set()
+        self.mode: Optional[str] = None
+        self._waiters: List[_Waiter] = []
+        self.observers: List[Callable] = []
+        # Statistics
+        self.total_wait_time = 0.0
+        self.wait_count = 0
+        self.acquire_count = 0
+
+    # ------------------------------------------------------------------
+    def held_by(self, thread: SimThread) -> bool:
+        return thread in self.holders
+
+    def _can_grant(self, mode: str, now: Optional[float] = None) -> bool:
+        if not self.holders:
+            return True
+        if mode == SHARED and self.mode == SHARED:
+            if self.policy == READER_PRIORITY:
+                return not self._writer_starved(now)
+            # FIFO fairness: an exclusive waiter at the head blocks new
+            # readers, preventing writer starvation.
+            return not self._waiters or self._waiters[0].mode == SHARED
+        return False
+
+    def _writer_starved(self, now: Optional[float]) -> bool:
+        """True when a queued writer has exceeded the starvation limit."""
+        if self.writer_starvation_limit is None or now is None:
+            return False
+        for waiter in self._waiters:
+            if waiter.mode == EXCLUSIVE:
+                return now - waiter.enqueued_at >= self.writer_starvation_limit
+        return False
+
+    def _grant(self, kernel: "Kernel", thread: SimThread, mode: str) -> None:
+        self.holders.add(thread)
+        self.mode = mode
+        self.acquire_count += 1
+
+    def acquire(self, kernel: "Kernel", thread: SimThread, mode: str) -> bool:
+        """Attempt acquisition; returns True if granted immediately."""
+        if thread in self.holders:
+            raise RuntimeError(f"{thread.name} re-acquiring {self.name}")
+        if self._can_grant(mode, kernel.now):
+            self._grant(kernel, thread, mode)
+            return True
+        return False
+
+    def enqueue(self, kernel: "Kernel", thread: SimThread, mode: str) -> Tuple:
+        """Block ``thread`` until the lock can be granted.
+
+        Returns the holder snapshot taken at block time.
+        """
+        snapshot = tuple((h, h.tran_ctxt) for h in self.holders)
+        self._waiters.append(_Waiter(thread, mode, kernel.now))
+        return snapshot
+
+    def release(self, kernel: "Kernel", thread: SimThread) -> None:
+        if thread not in self.holders:
+            raise RuntimeError(f"{thread.name} releasing unheld {self.name}")
+        self.holders.discard(thread)
+        if not self.holders:
+            self.mode = None
+            self._wake_next(kernel)
+
+    def _wake_next(self, kernel: "Kernel") -> None:
+        """Grant the lock to the next batch of waiters.
+
+        FIFO policy serves the queue head; reader-priority additionally
+        skips over queued writers to serve compatible readers behind
+        them (the writer keeps starving while readers hold the lock).
+        """
+        index = 0
+        while index < len(self._waiters):
+            waiter = self._waiters[index]
+            if self._can_grant_to_waiter(waiter):
+                self._waiters.pop(index)
+                self._grant_waiter(kernel, waiter)
+                if waiter.mode == EXCLUSIVE:
+                    break
+            elif (
+                self.policy == READER_PRIORITY
+                and waiter.mode == EXCLUSIVE
+                and self.mode == SHARED
+                and not (
+                    self.writer_starvation_limit is not None
+                    and kernel.now - waiter.enqueued_at
+                    >= self.writer_starvation_limit
+                )
+            ):
+                index += 1  # skip the starving writer; serve readers
+            else:
+                break
+
+    def _grant_waiter(self, kernel: "Kernel", waiter: _Waiter) -> None:
+        self._grant(kernel, waiter.thread, waiter.mode)
+        wait_time = kernel.now - waiter.enqueued_at
+        self.total_wait_time += wait_time
+        self.wait_count += 1
+        acquire_syscall = waiter.thread.blocked_on
+        kernel.resume(waiter.thread, None)
+        if isinstance(acquire_syscall, Acquire):
+            acquire_syscall.completed(self, waiter.thread, wait_time)
+
+    def _can_grant_to_waiter(self, waiter: _Waiter) -> bool:
+        if not self.holders:
+            return True
+        return waiter.mode == SHARED and self.mode == SHARED
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Mutex {self.name} holders={len(self.holders)} mode={self.mode}>"
+
+
+class Acquire(Syscall):
+    """Acquire ``mutex`` (exclusive by default, ``shared=True`` for read)."""
+
+    __slots__ = ("mutex", "mode", "_holder_snapshot")
+
+    def __init__(self, mutex: Mutex, shared: bool = False):
+        self.mutex = mutex
+        self.mode = SHARED if shared else EXCLUSIVE
+        self._holder_snapshot: Tuple = ()
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        if self.mutex.acquire(kernel, thread, self.mode):
+            kernel.resume(thread, None)
+        else:
+            thread.blocked_on = self
+            self._holder_snapshot = self.mutex.enqueue(kernel, thread, self.mode)
+
+    def completed(self, mutex: Mutex, thread: SimThread, wait_time: float) -> None:
+        """Called by the mutex when a blocked acquisition is granted."""
+        for observer in mutex.observers:
+            observer(mutex, thread, self._holder_snapshot, self.mode, wait_time)
+
+    def __repr__(self) -> str:
+        return f"Acquire({self.mutex.name}, {self.mode})"
+
+
+class Release(Syscall):
+    """Release a mutex held by the current thread."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: Mutex):
+        self.mutex = mutex
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        self.mutex.release(kernel, thread)
+        kernel.resume(thread, None)
+
+    def __repr__(self) -> str:
+        return f"Release({self.mutex.name})"
+
+
+class Condition:
+    """Condition variable bound to a mutex (Mesa semantics)."""
+
+    def __init__(self, mutex: Mutex, name: str = "cond"):
+        self.mutex = mutex
+        self.name = name
+        self._waiters: List[SimThread] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Condition {self.name} waiters={len(self._waiters)}>"
+
+
+class Wait(Syscall):
+    """Atomically release the condition's mutex and block until notified.
+
+    On wakeup the mutex is re-acquired (possibly after more waiting)
+    before the thread resumes, as with ``pthread_cond_wait``.
+    """
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond: Condition):
+        self.cond = cond
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        self.cond.mutex.release(kernel, thread)
+        thread.blocked_on = self
+        self.cond._waiters.append(thread)
+
+    def __repr__(self) -> str:
+        return f"Wait({self.cond.name})"
+
+
+class _Reacquire(Syscall):
+    """Internal: re-acquire the mutex after a condition wakeup."""
+
+    __slots__ = ("mutex",)
+
+    def __init__(self, mutex: Mutex):
+        self.mutex = mutex
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        if self.mutex.acquire(kernel, thread, EXCLUSIVE):
+            kernel.resume(thread, None)
+        else:
+            thread.blocked_on = self
+            self.mutex.enqueue(kernel, thread, EXCLUSIVE)
+
+
+def _wake_waiter(kernel: "Kernel", cond: Condition, waiter: SimThread) -> None:
+    # The waiter resumes by first re-acquiring the mutex; we splice a
+    # _Reacquire syscall in as if the thread had yielded it.
+    reacquire = _Reacquire(cond.mutex)
+    reacquire.execute(kernel, waiter)
+
+
+class Notify(Syscall):
+    """Wake one waiter of a condition.  Caller must hold the mutex."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond: Condition):
+        self.cond = cond
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        if not self.cond.mutex.held_by(thread):
+            raise RuntimeError(f"notify on {self.cond.name} without holding mutex")
+        if self.cond._waiters:
+            waiter = self.cond._waiters.pop(0)
+            _wake_waiter(kernel, self.cond, waiter)
+        kernel.resume(thread, None)
+
+    def __repr__(self) -> str:
+        return f"Notify({self.cond.name})"
+
+
+class NotifyAll(Syscall):
+    """Wake all waiters of a condition.  Caller must hold the mutex."""
+
+    __slots__ = ("cond",)
+
+    def __init__(self, cond: Condition):
+        self.cond = cond
+
+    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
+        if not self.cond.mutex.held_by(thread):
+            raise RuntimeError(f"notify on {self.cond.name} without holding mutex")
+        waiters, self.cond._waiters = self.cond._waiters, []
+        for waiter in waiters:
+            _wake_waiter(kernel, self.cond, waiter)
+        kernel.resume(thread, None)
+
+    def __repr__(self) -> str:
+        return f"NotifyAll({self.cond.name})"

@@ -1,0 +1,90 @@
+"""A small register/memory virtual machine — the QEMU substitute.
+
+Whodunit detects transaction flow through shared memory by analysing the
+*instructions* executed inside critical sections (§3), which the paper
+does by emulating them with a CPU emulator extracted from QEMU (§7.2).
+This package provides the equivalent substrate: a word-addressed memory,
+16 general-purpose registers per thread, a MOV/arithmetic/branch
+instruction set, an assembler DSL, and an emulator with
+
+- *hooks* reporting every data movement, mutation and read to the flow
+  detector, and
+- a *cycle cost model* distinguishing direct execution, first-time
+  translation plus emulation, and cached-translation emulation, which
+  reproduces Table 3.
+
+The critical sections of the simulated Apache (queue push/pop), the
+shared counter of Fig 2 and the memory allocator of Fig 3 are written as
+programs for this machine in :mod:`repro.vm.programs`.
+"""
+
+from repro.vm.isa import (
+    SP,
+    Add,
+    And,
+    Call,
+    Cmp,
+    Dec,
+    Imm,
+    Inc,
+    Jmp,
+    Jnz,
+    Jz,
+    Jl,
+    Jge,
+    Label,
+    Lea,
+    Mem,
+    Mov,
+    Mul,
+    Nop,
+    Or,
+    Pop,
+    Push,
+    Reg,
+    Ret,
+    Sub,
+    Xor,
+)
+from repro.vm.assembler import Assembler, Program
+from repro.vm.machine import Machine, Memory, RegisterFile, VMError
+from repro.vm.emulator import CostModel, Emulator, EmulationHooks, RunResult
+
+__all__ = [
+    "Imm",
+    "Reg",
+    "Mem",
+    "Mov",
+    "Add",
+    "Sub",
+    "Inc",
+    "Dec",
+    "Mul",
+    "And",
+    "Or",
+    "Xor",
+    "Lea",
+    "Cmp",
+    "Push",
+    "Pop",
+    "Call",
+    "Ret",
+    "SP",
+    "Jmp",
+    "Jz",
+    "Jnz",
+    "Jl",
+    "Jge",
+    "Label",
+    "Nop",
+    "Assembler",
+    "Program",
+    "Machine",
+    "Memory",
+    "RegisterFile",
+    "VMError",
+    "Emulator",
+    "EmulationHooks",
+    "CostModel",
+    "RunResult",
+]

@@ -1,0 +1,97 @@
+"""Assembler: turns instruction lists with labels into runnable programs.
+
+A :class:`Program` is the unit of translation caching in the emulator —
+the paper's QEMU caches translated critical sections, and Table 3
+measures the difference between the first (translate + emulate) and
+subsequent (emulate only) executions of ``ap_queue_push`` /
+``ap_queue_pop``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.vm.isa import Instruction, Label, _Branch
+
+
+class AssemblyError(Exception):
+    """Raised for duplicate or undefined labels."""
+
+
+class Program:
+    """A named, label-resolved instruction sequence."""
+
+    _next_id = 0
+
+    def __init__(self, name: str, instructions: Sequence[Instruction], labels: Dict[str, int]):
+        self.name = name
+        self.instructions: List[Instruction] = list(instructions)
+        self.labels = dict(labels)
+        self.program_id = Program._next_id
+        Program._next_id += 1
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def target_of(self, branch: _Branch) -> int:
+        try:
+            return self.labels[branch.target]
+        except KeyError:
+            raise AssemblyError(
+                f"{self.name}: undefined label {branch.target!r}"
+            ) from None
+
+    def listing(self) -> str:
+        """Human-readable assembly listing."""
+        lines = [f"; program {self.name} ({len(self)} instructions)"]
+        reverse = {}
+        for label, index in self.labels.items():
+            reverse.setdefault(index, []).append(label)
+        for i, instr in enumerate(self.instructions):
+            for label in reverse.get(i, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {i:3d}  {instr!r}")
+        for label in reverse.get(len(self.instructions), []):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Program {self.name} len={len(self)}>"
+
+
+class Assembler:
+    """Builder collecting instructions and resolving labels.
+
+    ::
+
+        asm = Assembler("count_inc")
+        asm.emit(Inc(Mem(COUNT_ADDR)))
+        program = asm.build()
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._instructions: List[Instruction] = []
+        self._labels: Dict[str, int] = {}
+
+    def emit(self, *instructions: Instruction) -> "Assembler":
+        for instr in instructions:
+            if not isinstance(instr, Instruction):
+                raise TypeError(f"not an instruction: {instr!r}")
+            if isinstance(instr, Label):
+                if instr.name in self._labels:
+                    raise AssemblyError(
+                        f"{self.name}: duplicate label {instr.name!r}"
+                    )
+                self._labels[instr.name] = len(self._instructions)
+            else:
+                self._instructions.append(instr)
+        return self
+
+    def build(self) -> Program:
+        program = Program(self.name, self._instructions, self._labels)
+        # Validate all branch targets now rather than at run time.
+        for instr in program.instructions:
+            if isinstance(instr, _Branch):
+                program.target_of(instr)
+        return program

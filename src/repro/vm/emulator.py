@@ -1,0 +1,361 @@
+"""The instruction emulator with flow hooks and a translation cache.
+
+Whodunit traps the instructions executed inside critical sections by
+emulating them (§7.2).  Emulation is functionally identical to direct
+execution but (a) reports every read, move and mutation to the attached
+hooks — the flow detector's input — and (b) costs far more cycles.  Like
+QEMU, the emulator caches translated programs: the first emulated run of
+a program pays translation plus emulation, subsequent runs pay emulation
+only.  Table 3 is exactly these three cost levels for Apache's queue
+critical sections.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.vm.isa import (
+    SP,
+    Add,
+    And,
+    Call,
+    Cmp,
+    Dec,
+    Imm,
+    Inc,
+    Instruction,
+    Jge,
+    Jl,
+    Jmp,
+    Jnz,
+    Jz,
+    Lea,
+    Mem,
+    Mov,
+    Mul,
+    Nop,
+    Or,
+    Pop,
+    Push,
+    Reg,
+    Ret,
+    Sub,
+    Xor,
+    _BinaryArith,
+    _UnaryArith,
+)
+from repro.vm.assembler import Program
+from repro.vm.machine import Machine, VMError, mem_loc, reg_loc
+
+DIRECT = "direct"
+EMULATE = "emulate"
+
+
+class EmulationHooks:
+    """Observer interface for emulated instructions.
+
+    The flow detector implements this.  ``read`` fires for every
+    location whose value an instruction consumes (including registers
+    used for address computation — dereferencing a consumed pointer is a
+    *use* of it); ``mov`` fires for location-to-location moves; and
+    ``write_invalid`` fires for writes of immediate or computed values,
+    the poisoning writes of §3.2.
+    """
+
+    def read(self, loc) -> None:
+        """Location ``loc``'s value was used."""
+
+    def mov(self, dst, src) -> None:
+        """A value was moved from location ``src`` to location ``dst``."""
+
+    def write_invalid(self, dst) -> None:
+        """An immediate/computed value was written to location ``dst``."""
+
+
+class CostModel:
+    """Cycle costs of the three execution modes.
+
+    Defaults are calibrated to Table 3's shape: emulation costs roughly
+    two orders of magnitude more than direct execution, and first-time
+    translation costs several times the emulation itself.
+    """
+
+    def __init__(
+        self,
+        emulate_per_instruction: float = 800.0,
+        translate_per_instruction: float = 3400.0,
+    ):
+        self.emulate_per_instruction = emulate_per_instruction
+        self.translate_per_instruction = translate_per_instruction
+        self.direct_costs = {
+            Mov: 4.0,
+            Add: 3.0,
+            Sub: 3.0,
+            Mul: 5.0,
+            And: 3.0,
+            Or: 3.0,
+            Xor: 3.0,
+            Inc: 3.0,
+            Dec: 3.0,
+            Lea: 2.0,
+            Cmp: 2.0,
+            Jmp: 2.0,
+            Jz: 2.0,
+            Jnz: 2.0,
+            Jl: 2.0,
+            Jge: 2.0,
+            Push: 4.0,
+            Pop: 4.0,
+            Call: 4.0,
+            Ret: 4.0,
+            Nop: 1.0,
+        }
+        # Memory operands add a cache/load penalty over register ops.
+        self.memory_operand_cost = 3.0
+
+    def direct_cost(self, instr: Instruction) -> float:
+        cost = self.direct_costs.get(type(instr), 3.0)
+        for slot in instr.__slots__:
+            if isinstance(getattr(instr, slot), Mem):
+                cost += self.memory_operand_cost
+        return cost
+
+    def translation_cost(self, program: Program) -> float:
+        return self.translate_per_instruction * len(program)
+
+
+class RunResult:
+    """Outcome of one program execution."""
+
+    __slots__ = ("mode", "steps", "cycles", "translated")
+
+    def __init__(self, mode: str, steps: int, cycles: float, translated: bool):
+        self.mode = mode
+        self.steps = steps
+        self.cycles = cycles
+        self.translated = translated
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RunResult {self.mode} steps={self.steps} "
+            f"cycles={self.cycles:.1f} translated={self.translated}>"
+        )
+
+
+class Emulator:
+    """Executes programs against a :class:`Machine`.
+
+    One emulator per process: its translation cache models QEMU's
+    per-process translated-code cache.
+    """
+
+    def __init__(
+        self,
+        cost_model: Optional[CostModel] = None,
+        cache_translations: bool = True,
+    ):
+        self.cost_model = cost_model or CostModel()
+        # Disabling the translation cache retranslates on every run —
+        # the translation-cache ablation of DESIGN.md §5.
+        self.cache_translations = cache_translations
+        self._translated: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    def is_translated(self, program: Program) -> bool:
+        return program.program_id in self._translated
+
+    def invalidate_cache(self) -> None:
+        self._translated.clear()
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        program: Program,
+        machine: Machine,
+        thread_key,
+        mode: str = EMULATE,
+        hooks: Optional[EmulationHooks] = None,
+        max_steps: int = 100_000,
+    ) -> RunResult:
+        """Execute ``program`` to completion.
+
+        ``mode=EMULATE`` fires hooks and charges emulation (plus
+        translation on the first run); ``mode=DIRECT`` models native
+        execution — no hooks, direct cycle costs.
+        """
+        if mode not in (DIRECT, EMULATE):
+            raise ValueError(f"unknown mode {mode!r}")
+        emulating = mode == EMULATE
+        active_hooks = hooks if (emulating and hooks is not None) else _SILENT
+        regs = machine.registers(thread_key)
+        memory = machine.memory
+
+        translated_now = False
+        cycles = 0.0
+        if emulating:
+            if not self.cache_translations:
+                cycles += self.cost_model.translation_cost(program)
+                translated_now = True
+            elif program.program_id not in self._translated:
+                self._translated.add(program.program_id)
+                cycles += self.cost_model.translation_cost(program)
+                translated_now = True
+
+        zero_flag = False
+        less_flag = False
+        pc = 0
+        steps = 0
+        instructions = program.instructions
+        end = len(instructions)
+
+        def effective_address(operand: Mem) -> int:
+            address = operand.disp
+            if operand.base is not None:
+                active_hooks.read(reg_loc(thread_key, operand.base.index))
+                address += regs.read(operand.base.index)
+            if operand.index is not None:
+                active_hooks.read(reg_loc(thread_key, operand.index.index))
+                address += regs.read(operand.index.index) * operand.scale
+            return address
+
+        def read_operand(operand):
+            """Returns (value, location-or-None), firing read hooks."""
+            if isinstance(operand, Imm):
+                return operand.value, None
+            if isinstance(operand, Reg):
+                loc = reg_loc(thread_key, operand.index)
+                active_hooks.read(loc)
+                return regs.read(operand.index), loc
+            address = effective_address(operand)
+            loc = mem_loc(address)
+            active_hooks.read(loc)
+            return memory.load(address), loc
+
+        def write_location(operand):
+            """Returns the destination location, without firing hooks."""
+            if isinstance(operand, Reg):
+                return reg_loc(thread_key, operand.index)
+            return mem_loc(effective_address(operand))
+
+        def store(loc, value) -> None:
+            if loc[0] == "reg":
+                regs.write(loc[2], value)
+            else:
+                memory.store(loc[1], value)
+
+        while pc < end:
+            if steps >= max_steps:
+                raise VMError(
+                    f"{program.name}: exceeded {max_steps} steps (infinite loop?)"
+                )
+            instr = instructions[pc]
+            steps += 1
+            if emulating:
+                cycles += self.cost_model.emulate_per_instruction
+            else:
+                cycles += self.cost_model.direct_cost(instr)
+            pc += 1
+
+            if isinstance(instr, Mov):
+                value, src_loc = read_operand(instr.src)
+                dst_loc = write_location(instr.dst)
+                store(dst_loc, value)
+                if src_loc is None:
+                    active_hooks.write_invalid(dst_loc)
+                else:
+                    active_hooks.mov(dst_loc, src_loc)
+            elif isinstance(instr, _BinaryArith):
+                src_value, _ = read_operand(instr.src)
+                dst_value, dst_loc = read_operand(instr.dst)
+                store(dst_loc, _binary_op(instr, dst_value, src_value))
+                active_hooks.write_invalid(dst_loc)
+            elif isinstance(instr, _UnaryArith):
+                value, dst_loc = read_operand(instr.dst)
+                delta = 1 if isinstance(instr, Inc) else -1
+                store(dst_loc, value + delta)
+                active_hooks.write_invalid(dst_loc)
+            elif isinstance(instr, Lea):
+                address = effective_address(instr.src)
+                dst_loc = reg_loc(thread_key, instr.dst.index)
+                regs.write(instr.dst.index, address)
+                active_hooks.write_invalid(dst_loc)
+            elif isinstance(instr, Cmp):
+                a, _ = read_operand(instr.a)
+                b, _ = read_operand(instr.b)
+                zero_flag = a == b
+                less_flag = a < b
+            elif isinstance(instr, Jmp):
+                pc = program.target_of(instr)
+            elif isinstance(instr, Jz):
+                if zero_flag:
+                    pc = program.target_of(instr)
+            elif isinstance(instr, Jnz):
+                if not zero_flag:
+                    pc = program.target_of(instr)
+            elif isinstance(instr, Jl):
+                if less_flag:
+                    pc = program.target_of(instr)
+            elif isinstance(instr, Jge):
+                if not less_flag:
+                    pc = program.target_of(instr)
+            elif isinstance(instr, Push):
+                value, src_loc = read_operand(instr.src)
+                sp = regs.read(SP.index) - 1
+                regs.write(SP.index, sp)
+                if sp < 0:
+                    raise VMError(f"{program.name}: stack overflow (sp={sp})")
+                dst_loc = mem_loc(sp)
+                memory.store(sp, value)
+                if src_loc is None:
+                    active_hooks.write_invalid(dst_loc)
+                else:
+                    active_hooks.mov(dst_loc, src_loc)
+            elif isinstance(instr, Pop):
+                sp = regs.read(SP.index)
+                src_loc = mem_loc(sp)
+                active_hooks.read(src_loc)
+                value = memory.load(sp)
+                regs.write(SP.index, sp + 1)
+                dst_loc = write_location(instr.dst)
+                store(dst_loc, value)
+                active_hooks.mov(dst_loc, src_loc)
+            elif isinstance(instr, Call):
+                sp = regs.read(SP.index) - 1
+                regs.write(SP.index, sp)
+                if sp < 0:
+                    raise VMError(f"{program.name}: stack overflow (sp={sp})")
+                memory.store(sp, pc)  # return index; a computed value
+                active_hooks.write_invalid(mem_loc(sp))
+                pc = program.target_of(instr)
+            elif isinstance(instr, Ret):
+                sp = regs.read(SP.index)
+                active_hooks.read(mem_loc(sp))
+                pc = memory.load(sp)
+                regs.write(SP.index, sp + 1)
+                if not (0 <= pc <= end):
+                    raise VMError(f"{program.name}: ret to bad index {pc}")
+            elif isinstance(instr, Nop):
+                pass
+            else:  # pragma: no cover - unreachable with a sealed ISA
+                raise VMError(f"unimplemented instruction {instr!r}")
+
+        return RunResult(mode, steps, cycles, translated_now)
+
+
+def _binary_op(instr: _BinaryArith, dst: int, src: int) -> int:
+    if isinstance(instr, Add):
+        return dst + src
+    if isinstance(instr, Sub):
+        return dst - src
+    if isinstance(instr, Mul):
+        return dst * src
+    if isinstance(instr, And):
+        return dst & src
+    if isinstance(instr, Or):
+        return dst | src
+    if isinstance(instr, Xor):
+        return dst ^ src
+    raise VMError(f"unknown arithmetic {instr!r}")  # pragma: no cover
+
+
+_SILENT = EmulationHooks()

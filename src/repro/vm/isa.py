@@ -1,0 +1,336 @@
+"""Instruction set of the critical-section virtual machine.
+
+The flow-detection algorithm (§3.2) divides instructions into two
+classes:
+
+- **MOV operations** that move a value from one location (register or
+  memory) to another — these *propagate* transaction contexts;
+- **everything else that writes a location** (immediates, arithmetic,
+  address computation) — these associate the *invalid* context with the
+  written location.
+
+The ISA here is deliberately x86-flavoured: two-operand MOV/arithmetic,
+register+displacement memory addressing, flags set by CMP, conditional
+jumps.  Word-addressed memory (one value per address) keeps programs
+readable without changing the algorithm's behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+
+class Operand:
+    """Base class of instruction operands."""
+
+    __slots__ = ()
+
+
+class Imm(Operand):
+    """An immediate constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"${self.value}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Imm) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash((Imm, self.value))
+
+
+class Reg(Operand):
+    """One of 16 general-purpose registers, r0..r15."""
+
+    __slots__ = ("index",)
+
+    COUNT = 16
+
+    def __init__(self, index: int):
+        if not (0 <= index < self.COUNT):
+            raise ValueError(f"register index out of range: {index}")
+        self.index = index
+
+    def __repr__(self) -> str:
+        return f"%r{self.index}"
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Reg) and other.index == self.index
+
+    def __hash__(self) -> int:
+        return hash((Reg, self.index))
+
+
+class Mem(Operand):
+    """A memory operand: ``disp(base, index, scale)`` as on x86.
+
+    Effective address = ``disp + regs[base] + regs[index] * scale``.
+    """
+
+    __slots__ = ("disp", "base", "index", "scale")
+
+    def __init__(
+        self,
+        disp: int = 0,
+        base: Optional[Reg] = None,
+        index: Optional[Reg] = None,
+        scale: int = 1,
+    ):
+        if scale < 1:
+            raise ValueError("scale must be >= 1")
+        self.disp = disp
+        self.base = base
+        self.index = index
+        self.scale = scale
+
+    def address_registers(self):
+        """Registers read while computing the effective address."""
+        regs = []
+        if self.base is not None:
+            regs.append(self.base)
+        if self.index is not None:
+            regs.append(self.index)
+        return regs
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.base is not None:
+            parts.append(repr(self.base))
+        if self.index is not None:
+            parts.append(f"{self.index!r}*{self.scale}")
+        inner = ",".join(parts)
+        return f"{self.disp}({inner})"
+
+
+Source = Union[Imm, Reg, Mem]
+Destination = Union[Reg, Mem]
+
+
+class Instruction:
+    """Base class of executable instructions."""
+
+    __slots__ = ()
+    mnemonic = "?"
+
+    def __repr__(self) -> str:
+        operands = ", ".join(
+            repr(getattr(self, slot)) for slot in self.__slots__
+        )
+        return f"{self.mnemonic} {operands}".rstrip()
+
+
+def _check_dst(dst: Destination) -> None:
+    if not isinstance(dst, (Reg, Mem)):
+        raise TypeError(f"destination must be Reg or Mem, got {dst!r}")
+
+
+def _check_src(src: Source) -> None:
+    if not isinstance(src, (Imm, Reg, Mem)):
+        raise TypeError(f"source must be Imm, Reg or Mem, got {src!r}")
+
+
+class Mov(Instruction):
+    """``MOV dst, src`` — the context-propagating instruction.
+
+    With an immediate source the write is *not* a move of application
+    data, so the algorithm poisons the destination (§3.3.2's NULL
+    sanity-check discussion relies on exactly this).
+    """
+
+    __slots__ = ("dst", "src")
+    mnemonic = "mov"
+
+    def __init__(self, dst: Destination, src: Source):
+        _check_dst(dst)
+        _check_src(src)
+        self.dst = dst
+        self.src = src
+
+
+class _BinaryArith(Instruction):
+    """Two-operand arithmetic ``OP dst, src`` (dst = dst OP src)."""
+
+    __slots__ = ("dst", "src")
+
+    def __init__(self, dst: Destination, src: Source):
+        _check_dst(dst)
+        _check_src(src)
+        self.dst = dst
+        self.src = src
+
+
+class Add(_BinaryArith):
+    mnemonic = "add"
+
+
+class Sub(_BinaryArith):
+    mnemonic = "sub"
+
+
+class Mul(_BinaryArith):
+    mnemonic = "mul"
+
+
+class And(_BinaryArith):
+    mnemonic = "and"
+
+
+class Or(_BinaryArith):
+    mnemonic = "or"
+
+
+class Xor(_BinaryArith):
+    mnemonic = "xor"
+
+
+class _UnaryArith(Instruction):
+    """One-operand arithmetic ``OP dst``."""
+
+    __slots__ = ("dst",)
+
+    def __init__(self, dst: Destination):
+        _check_dst(dst)
+        self.dst = dst
+
+
+class Inc(_UnaryArith):
+    """The shared-counter instruction of Fig 2 (``count++``)."""
+
+    mnemonic = "inc"
+
+
+class Dec(_UnaryArith):
+    mnemonic = "dec"
+
+
+class Lea(Instruction):
+    """``LEA reg, mem`` — address computation; writes a derived value."""
+
+    __slots__ = ("dst", "src")
+    mnemonic = "lea"
+
+    def __init__(self, dst: Reg, src: Mem):
+        if not isinstance(dst, Reg):
+            raise TypeError("lea destination must be a register")
+        if not isinstance(src, Mem):
+            raise TypeError("lea source must be a memory operand")
+        self.dst = dst
+        self.src = src
+
+
+class Cmp(Instruction):
+    """``CMP a, b`` — sets flags from ``a - b``; writes no location."""
+
+    __slots__ = ("a", "b")
+    mnemonic = "cmp"
+
+    def __init__(self, a: Source, b: Source):
+        _check_src(a)
+        _check_src(b)
+        self.a = a
+        self.b = b
+
+
+class _Branch(Instruction):
+    """Jump to a label (resolved to an index by the assembler)."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: str):
+        if not isinstance(target, str):
+            raise TypeError("branch target must be a label name")
+        self.target = target
+
+
+class Jmp(_Branch):
+    mnemonic = "jmp"
+
+
+class Jz(_Branch):
+    """Jump if the last CMP compared equal (zero flag)."""
+
+    mnemonic = "jz"
+
+
+class Jnz(_Branch):
+    mnemonic = "jnz"
+
+
+class Jl(_Branch):
+    """Jump if the last CMP's first operand was less (signed)."""
+
+    mnemonic = "jl"
+
+
+class Jge(_Branch):
+    mnemonic = "jge"
+
+
+class Label(Instruction):
+    """Pseudo-instruction marking a branch target; costs nothing."""
+
+    __slots__ = ("name",)
+    mnemonic = "label"
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"{self.name}:"
+
+
+class Nop(Instruction):
+    __slots__ = ()
+    mnemonic = "nop"
+
+
+# ----------------------------------------------------------------------
+# Stack and procedure-call instructions.  r15 is the stack pointer; the
+# stack grows downwards.  PUSH/POP move data between registers/memory
+# and the stack, so they are MOV-class: they *propagate* transaction
+# contexts, which is how the paper's consumers carry consumed values in
+# stack locals ("these local stack variables' locations get associated
+# with the transaction context ctxt_prod", §3.3.1).  CALL's pushed
+# return address is a computed value (invalid context).
+# ----------------------------------------------------------------------
+SP = Reg(15)
+
+
+class Push(Instruction):
+    """``PUSH src`` — decrement SP, store src at the new top of stack."""
+
+    __slots__ = ("src",)
+    mnemonic = "push"
+
+    def __init__(self, src: Source):
+        _check_src(src)
+        self.src = src
+
+
+class Pop(Instruction):
+    """``POP dst`` — load the top of stack into dst, increment SP."""
+
+    __slots__ = ("dst",)
+    mnemonic = "pop"
+
+    def __init__(self, dst: Destination):
+        _check_dst(dst)
+        self.dst = dst
+
+
+class Call(_Branch):
+    """``CALL label`` — push the return index and jump."""
+
+    mnemonic = "call"
+
+
+class Ret(Instruction):
+    """``RET`` — pop the return index and jump to it."""
+
+    __slots__ = ()
+    mnemonic = "ret"

@@ -1,0 +1,103 @@
+"""Machine state: word-addressed memory and per-thread register files.
+
+Locations are named exactly as in §3.2 of the paper: the union of the
+process's memory addresses and each thread's annotated registers
+(``reg_ti``).  :func:`mem_loc` / :func:`reg_loc` build the hashable
+location descriptors used as keys of the flow detector's dictionary.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+
+class VMError(Exception):
+    """Raised on invalid machine operations."""
+
+
+Location = Tuple
+
+
+def mem_loc(address: int) -> Location:
+    """The location descriptor of a memory word."""
+    return ("mem", address)
+
+
+def reg_loc(thread_key, index: int) -> Location:
+    """The location descriptor of thread ``thread_key``'s register."""
+    return ("reg", thread_key, index)
+
+
+class Memory:
+    """Sparse word-addressed memory shared by the threads of a process."""
+
+    def __init__(self):
+        self._words: Dict[int, int] = {}
+        self._brk = 0x1000  # bump-allocation frontier
+
+    def load(self, address: int) -> int:
+        """Read a word; uninitialised memory reads as 0."""
+        if address < 0:
+            raise VMError(f"negative address {address}")
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        if address < 0:
+            raise VMError(f"negative address {address}")
+        self._words[address] = int(value)
+
+    def alloc(self, words: int, align: int = 1) -> int:
+        """Reserve a region of ``words`` words; returns its base address."""
+        if words <= 0:
+            raise VMError("allocation must be positive")
+        if align > 1 and self._brk % align:
+            self._brk += align - (self._brk % align)
+        base = self._brk
+        self._brk += words
+        return base
+
+    def snapshot(self) -> Dict[int, int]:
+        """Copy of all nonzero words (testing aid)."""
+        return dict(self._words)
+
+
+class RegisterFile:
+    """Sixteen general-purpose registers belonging to one thread."""
+
+    COUNT = 16
+
+    def __init__(self, thread_key):
+        self.thread_key = thread_key
+        self._values = [0] * self.COUNT
+
+    def read(self, index: int) -> int:
+        return self._values[index]
+
+    def write(self, index: int, value: int) -> None:
+        self._values[index] = int(value)
+
+    def load_arguments(self, *values: int) -> None:
+        """Convenience: set r0, r1, ... to ``values`` (call arguments)."""
+        if len(values) > self.COUNT:
+            raise VMError("too many arguments")
+        for i, value in enumerate(values):
+            self._values[i] = int(value)
+
+    def dump(self) -> Tuple[int, ...]:
+        return tuple(self._values)
+
+
+class Machine:
+    """A process's machine state: shared memory + per-thread registers."""
+
+    def __init__(self):
+        self.memory = Memory()
+        self._register_files: Dict[object, RegisterFile] = {}
+
+    def registers(self, thread_key) -> RegisterFile:
+        """The register file of ``thread_key``, created on first use."""
+        regs = self._register_files.get(thread_key)
+        if regs is None:
+            regs = RegisterFile(thread_key)
+            self._register_files[thread_key] = regs
+        return regs

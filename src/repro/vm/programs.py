@@ -1,0 +1,348 @@
+"""Critical-section programs: the shared-memory access patterns of §3.
+
+Each builder lays out its shared data in a :class:`~repro.vm.machine.Memory`
+and returns the programs operating on it.  These are straight ports of
+the paper's figures:
+
+- :class:`BoundedQueue` — Fig 1's ``ap_queue_push`` / ``ap_queue_pop``
+  (Apache 2.x listener/worker connection queue);
+- :class:`SharedCounter` — Fig 2's ``count++`` pattern;
+- :class:`FreeListAllocator` — Fig 3's ``mem_alloc`` / ``mem_free``;
+- :class:`LinkedQueue` — a ``sys/queue.h``-style linked list with the
+  NULL sanity-checking discussed in §3.3.2;
+- :class:`SlotShuffleQueue` — element relocation inside the shared
+  structure (the priority-queue discussion in §3.2).
+
+Calling conventions: arguments arrive in r0, r1, ...; results are
+returned in r0, r1.  The ``use_*`` programs model the first instructions
+a consumer executes *after* leaving the critical section — the
+MAX-instruction window in which Whodunit detects consumption (§7.2).
+"""
+
+from __future__ import annotations
+
+from repro.vm.assembler import Assembler, Program
+from repro.vm.isa import Cmp, Dec, Imm, Inc, Jge, Jmp, Jnz, Jz, Label, Lea, Mem, Mov, Reg
+from repro.vm.machine import Memory
+
+R0, R1, R2, R3, R4, R5 = (Reg(i) for i in range(6))
+
+NULL = 0
+
+
+class BoundedQueue:
+    """Fig 1: array-backed FIFO-ish queue guarded by ``one_big_mutex``.
+
+    Layout mirrors the compiled ``fd_queue_t``: a descriptor slot holds
+    the queue struct pointer; the struct is ``[nelts, capacity,
+    data...]`` with two words per element (``sd``, ``p``).  The programs
+    address everything through the struct base register and include the
+    bounds checks compiled Apache performs, so the instruction stream —
+    and hence Table 3's emulation cost — resembles the real critical
+    section rather than a toy.  Push appends at ``data[nelts]``; pop
+    removes ``data[--nelts]`` (LIFO, exactly as in the snippet the paper
+    quotes).
+    """
+
+    ELEM_WORDS = 2
+    HEADER_WORDS = 2  # nelts, capacity
+
+    def __init__(self, memory: Memory, capacity: int = 64):
+        self.capacity = capacity
+        base = memory.alloc(self.HEADER_WORDS + capacity * self.ELEM_WORDS)
+        self.base_addr = base
+        self.nelts_addr = base
+        self.capacity_addr = base + 1
+        self.data_addr = base + self.HEADER_WORDS
+        memory.store(self.capacity_addr, capacity)
+        # The descriptor slot: the fd_queue_t* the functions receive.
+        self.desc_addr = memory.alloc(1)
+        memory.store(self.desc_addr, base)
+        self.push_program = self._build_push()
+        self.pop_program = self._build_pop()
+        self.use_program = build_use_values()
+
+    def _build_push(self) -> Program:
+        asm = Assembler("ap_queue_push")
+        # r0 = sd, r1 = p (computed before entering the critical section)
+        asm.emit(
+            Mov(R5, Mem(self.desc_addr)),            # r5 = queue
+            Mov(R2, Mem(0, base=R5)),                # r2 = queue->nelts
+            Cmp(R2, Mem(1, base=R5)),                # full?
+            Jge("full"),
+            Lea(R3, Mem(self.HEADER_WORDS, base=R5, index=R2, scale=self.ELEM_WORDS)),
+            Cmp(Mem(0, base=R3), Imm(NULL)),         # slot sanity check
+            Mov(Mem(0, base=R3), R0),                # elem->sd = sd
+            Mov(Mem(1, base=R3), R1),                # elem->p = p
+            Inc(Mem(0, base=R5)),                    # queue->nelts++
+            Label("full"),
+        )
+        return asm.build()
+
+    def _build_pop(self) -> Program:
+        asm = Assembler("ap_queue_pop")
+        asm.emit(
+            Mov(R5, Mem(self.desc_addr)),            # r5 = queue
+            Cmp(Mem(0, base=R5), Imm(0)),            # empty?
+            Jz("empty"),
+            Dec(Mem(0, base=R5)),                    # --queue->nelts
+            Mov(R2, Mem(0, base=R5)),                # r2 = queue->nelts
+            Lea(R3, Mem(self.HEADER_WORDS, base=R5, index=R2, scale=self.ELEM_WORDS)),
+            Mov(R0, Mem(0, base=R3)),                # *sd = elem->sd
+            Mov(R1, Mem(1, base=R3)),                # *p = elem->p
+            Label("empty"),
+        )
+        return asm.build()
+
+    # Convenience accessors for tests
+    def length(self, memory: Memory) -> int:
+        return memory.load(self.nelts_addr)
+
+
+def build_use_values(reads: int = 2) -> Program:
+    """The consumer's first post-critical-section instructions.
+
+    Dereferences the pointers returned in r0 (and r1), which is how a
+    worker thread starts using a popped connection.  Reading r0 as a
+    base register is a *use* of the consumed value.
+    """
+    asm = Assembler("use_popped_values")
+    regs = [R4, R5, R2, R3]
+    for i in range(min(reads, len(regs))):
+        src = Mem(0, base=(R0 if i % 2 == 0 else R1))
+        asm.emit(Mov(regs[i], src))
+    return asm.build()
+
+
+class SharedCounter:
+    """Fig 2: a counter incremented by every thread's critical section."""
+
+    def __init__(self, memory: Memory):
+        self.count_addr = memory.alloc(1)
+        asm = Assembler("count_increment")
+        asm.emit(Inc(Mem(self.count_addr)))
+        self.increment_program = asm.build()
+
+    def value(self, memory: Memory) -> int:
+        return memory.load(self.count_addr)
+
+
+class FreeListAllocator:
+    """Fig 3: a LIFO free list; ``mem_free`` produces, ``mem_alloc`` consumes.
+
+    Blocks are chained through their word 0.  The pattern is isomorphic
+    to producer/consumer — the detector must classify it as no-flow via
+    the producer/consumer role lists.
+    """
+
+    def __init__(self, memory: Memory, blocks: int = 16, block_words: int = 4):
+        self.head_addr = memory.alloc(1)
+        self.block_addrs = [memory.alloc(block_words) for _ in range(blocks)]
+        # Pre-populate the free list with all blocks.
+        prev = NULL
+        for addr in self.block_addrs:
+            memory.store(addr, prev)
+            prev = addr
+        memory.store(self.head_addr, prev)
+        self.free_program = self._build_free()
+        self.alloc_program = self._build_alloc()
+        self.use_program = build_use_block()
+
+    def _build_free(self) -> Program:
+        asm = Assembler("mem_free")
+        # r0 = block to free
+        asm.emit(
+            Mov(R1, Mem(self.head_addr)),  # r1 = head
+            Mov(Mem(0, base=R0), R1),      # block->next = head
+            Mov(Mem(self.head_addr), R0),  # head = block
+        )
+        return asm.build()
+
+    def _build_alloc(self) -> Program:
+        asm = Assembler("mem_alloc")
+        asm.emit(
+            Mov(R0, Mem(self.head_addr)),  # r0 = head
+            Cmp(R0, Imm(NULL)),
+            Jz("empty"),
+            Mov(R1, Mem(0, base=R0)),      # r1 = head->next
+            Mov(Mem(self.head_addr), R1),  # head = head->next
+            Label("empty"),
+        )
+        return asm.build()
+
+    def head(self, memory: Memory) -> int:
+        return memory.load(self.head_addr)
+
+
+def build_use_block() -> Program:
+    """Post-CS use of an allocated block: write into it (computed data)."""
+    asm = Assembler("use_block")
+    asm.emit(Mov(Mem(1, base=R0), Imm(7)))  # block->field = constant
+    return asm.build()
+
+
+class LinkedQueue:
+    """A singly-linked FIFO queue in the style of ``sys/queue.h``.
+
+    Elements are memory blocks whose word 0 is the link.  Dequeue
+    includes §3.3.2's sanity pattern: after unlinking, the dequeuer
+    pushes NULL through ``elem->next`` into the head — an *immediate
+    propagation chain* that must not create transaction flow when a
+    later consumer reads the NULL head.
+    """
+
+    def __init__(self, memory: Memory):
+        self.head_addr = memory.alloc(1)
+        self.tail_addr = memory.alloc(1)
+        memory.store(self.head_addr, NULL)
+        memory.store(self.tail_addr, NULL)
+        self.enqueue_program = self._build_enqueue()
+        self.dequeue_program = self._build_dequeue()
+        self.use_program = build_use_values(reads=1)
+
+    def _build_enqueue(self) -> Program:
+        asm = Assembler("slist_enqueue")
+        # r0 = element to enqueue
+        asm.emit(
+            Mov(Mem(0, base=R0), Imm(NULL)),   # elem->next = NULL
+            Cmp(Mem(self.tail_addr), Imm(NULL)),
+            Jnz("nonempty"),
+            Mov(Mem(self.head_addr), R0),      # head = elem
+            Mov(Mem(self.tail_addr), R0),      # tail = elem
+            Jmp("done"),
+            Label("nonempty"),
+            Mov(R1, Mem(self.tail_addr)),      # r1 = tail
+            Mov(Mem(0, base=R1), R0),          # tail->next = elem
+            Mov(Mem(self.tail_addr), R0),      # tail = elem
+            Label("done"),
+        )
+        return asm.build()
+
+    def _build_dequeue(self) -> Program:
+        asm = Assembler("slist_dequeue")
+        asm.emit(
+            Mov(R0, Mem(self.head_addr)),      # r0 = head
+            Cmp(R0, Imm(NULL)),
+            Jz("empty"),
+            Mov(R1, Mem(0, base=R0)),          # r1 = head->next
+            Mov(Mem(self.head_addr), R1),      # head = head->next
+            Cmp(Mem(self.head_addr), Imm(NULL)),
+            Jnz("done"),
+            Mov(Mem(self.tail_addr), Imm(NULL)),  # queue drained
+            Label("done"),
+            Mov(Mem(0, base=R0), Imm(NULL)),   # sanity: clear elem->next
+            Label("empty"),
+        )
+        return asm.build()
+
+    def head(self, memory: Memory) -> int:
+        return memory.load(self.head_addr)
+
+
+class TailQueue:
+    """A doubly-linked FIFO queue in the style of ``sys/queue.h`` TAILQ.
+
+    Elements are memory blocks: word 0 = next, word 1 = prev, payload
+    after.  Insert at tail, remove at head.  §3.3.2 reports verifying
+    the flow-detection algorithm on both singly- and doubly-linked
+    ``sys/queue.h`` structures; this is the doubly-linked one, with the
+    extra back-pointer maintenance that produces additional MOV chains
+    the algorithm must propagate through correctly.
+    """
+
+    NEXT = 0
+    PREV = 1
+
+    def __init__(self, memory: Memory):
+        self.head_addr = memory.alloc(1)
+        self.tail_addr = memory.alloc(1)
+        memory.store(self.head_addr, NULL)
+        memory.store(self.tail_addr, NULL)
+        self.insert_program = self._build_insert_tail()
+        self.remove_program = self._build_remove_head()
+        self.use_program = build_use_values(reads=1)
+
+    def _build_insert_tail(self) -> Program:
+        asm = Assembler("tailq_insert_tail")
+        # r0 = element
+        asm.emit(
+            Mov(Mem(self.NEXT, base=R0), Imm(NULL)),   # elem->next = NULL
+            Mov(R1, Mem(self.tail_addr)),              # r1 = tail
+            Mov(Mem(self.PREV, base=R0), R1),          # elem->prev = tail
+            Cmp(R1, Imm(NULL)),
+            Jz("was_empty"),
+            Mov(Mem(self.NEXT, base=R1), R0),          # tail->next = elem
+            Jmp("link_tail"),
+            Label("was_empty"),
+            Mov(Mem(self.head_addr), R0),              # head = elem
+            Label("link_tail"),
+            Mov(Mem(self.tail_addr), R0),              # tail = elem
+        )
+        return asm.build()
+
+    def _build_remove_head(self) -> Program:
+        asm = Assembler("tailq_remove_head")
+        asm.emit(
+            Mov(R0, Mem(self.head_addr)),              # r0 = head
+            Cmp(R0, Imm(NULL)),
+            Jz("empty"),
+            Mov(R1, Mem(self.NEXT, base=R0)),          # r1 = head->next
+            Mov(Mem(self.head_addr), R1),              # head = next
+            Cmp(R1, Imm(NULL)),
+            Jnz("fix_prev"),
+            Mov(Mem(self.tail_addr), Imm(NULL)),       # queue drained
+            Jmp("sanity"),
+            Label("fix_prev"),
+            Mov(Mem(self.PREV, base=R1), Imm(NULL)),   # next->prev = NULL
+            Label("sanity"),
+            Mov(Mem(self.NEXT, base=R0), Imm(NULL)),
+            Mov(Mem(self.PREV, base=R0), Imm(NULL)),
+            Label("empty"),
+        )
+        return asm.build()
+
+    def head(self, memory: Memory) -> int:
+        return memory.load(self.head_addr)
+
+    def tail(self, memory: Memory) -> int:
+        return memory.load(self.tail_addr)
+
+
+class SlotShuffleQueue:
+    """Element relocation inside a shared structure (§3.2's priority queue).
+
+    ``shuffle`` moves the element at slot A to slot B inside the
+    critical section; the associated transaction context must travel
+    with it so a later pop from slot B still sees the producer's
+    context.
+    """
+
+    def __init__(self, memory: Memory, slots: int = 8):
+        self.slots_addr = memory.alloc(slots)
+        self.slot_count = slots
+        self.store_program = self._build_store()
+        self.shuffle_program = self._build_shuffle()
+        self.load_program = self._build_load()
+        self.use_program = build_use_values(reads=1)
+
+    def _build_store(self) -> Program:
+        asm = Assembler("slot_store")
+        # r0 = value, r1 = slot index
+        asm.emit(Mov(Mem(self.slots_addr, index=R1), R0))
+        return asm.build()
+
+    def _build_shuffle(self) -> Program:
+        asm = Assembler("slot_shuffle")
+        # r0 = from index, r1 = to index
+        asm.emit(
+            Mov(R2, Mem(self.slots_addr, index=R0)),
+            Mov(Mem(self.slots_addr, index=R1), R2),
+            Mov(Mem(self.slots_addr, index=R0), Imm(NULL)),
+        )
+        return asm.build()
+
+    def _build_load(self) -> Program:
+        asm = Assembler("slot_load")
+        # r1 = slot index; result in r0
+        asm.emit(Mov(R0, Mem(self.slots_addr, index=R1)))
+        return asm.build()

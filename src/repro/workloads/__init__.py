@@ -1,0 +1,17 @@
+"""Workload generation: web traces and closed-loop client emulators."""
+
+from repro.workloads.webtrace import WebObject, WebTrace
+from repro.workloads.clients import HttpClientPool, TxLog
+from repro.workloads.openloop import OpenLoopClientPool
+from repro.workloads.logreplay import LogRecord, ReplayTrace, parse_log
+
+__all__ = [
+    "WebTrace",
+    "WebObject",
+    "HttpClientPool",
+    "OpenLoopClientPool",
+    "TxLog",
+    "ReplayTrace",
+    "LogRecord",
+    "parse_log",
+]

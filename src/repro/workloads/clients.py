@@ -1,0 +1,148 @@
+"""Closed-loop HTTP client emulators and transaction logging.
+
+The client emulator drives any server exposing a
+:class:`~repro.channels.socket.Listener`: each client connects, issues a
+few requests per connection (per the trace), reads responses, closes,
+optionally thinks, and reconnects — the paper's §9.2 workload.  Clients
+are *stageless* (no profiler) since the paper never profiles the client
+machines.
+
+:class:`TxLog` records per-transaction completions for throughput and
+response-time reporting (Figures 11 and 12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.channels.message import Message
+from repro.channels.socket import Listener, Recv, Send
+from repro.sim import Delay, Kernel
+from repro.sim.process import CurrentThread
+from repro.sim.rng import Rng
+from repro.workloads.webtrace import WebTrace
+
+REQUEST_BYTES = 300  # typical GET header size
+CLOSE = "close"
+
+
+class TxLog:
+    """Per-transaction completion records with reporting helpers."""
+
+    def __init__(self):
+        self.records: List[Tuple[Any, float, float]] = []
+
+    def add(self, tx_type: Any, start: float, end: float) -> None:
+        if end < start:
+            raise ValueError("transaction ends before it starts")
+        self.records.append((tx_type, start, end))
+
+    # ------------------------------------------------------------------
+    def count(self, tx_type: Any = None) -> int:
+        if tx_type is None:
+            return len(self.records)
+        return sum(1 for t, _, _ in self.records if t == tx_type)
+
+    def mean_response(self, tx_type: Any = None) -> float:
+        latencies = [
+            end - start
+            for t, start, end in self.records
+            if tx_type is None or t == tx_type
+        ]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    def percentile_response(self, q: float, tx_type: Any = None) -> float:
+        latencies = sorted(
+            end - start
+            for t, start, end in self.records
+            if tx_type is None or t == tx_type
+        )
+        if not latencies:
+            return 0.0
+        index = min(len(latencies) - 1, int(q * len(latencies)))
+        return latencies[index]
+
+    def throughput(self, window_start: float, window_end: float) -> float:
+        """Completions per second inside a measurement window."""
+        if window_end <= window_start:
+            return 0.0
+        completed = sum(
+            1 for _, _, end in self.records if window_start <= end <= window_end
+        )
+        return completed / (window_end - window_start)
+
+    def completions_in(self, window_start: float, window_end: float, tx_type: Any = None) -> int:
+        return sum(
+            1
+            for t, _, end in self.records
+            if window_start <= end <= window_end
+            and (tx_type is None or t == tx_type)
+        )
+
+    def types(self) -> List[Any]:
+        return sorted({t for t, _, _ in self.records}, key=repr)
+
+
+class HttpClientPool:
+    """A pool of closed-loop clients replaying a web trace.
+
+    Each client loops: connect → request/response × connection length →
+    close → think.  Response payloads are echoed object ids; byte counts
+    come from the trace's object sizes.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        listener: Listener,
+        trace: WebTrace,
+        clients: int = 8,
+        think_mean: float = 0.0,
+        rng: Optional[Rng] = None,
+        reconnect_delay: float = 50e-6,
+    ):
+        if reconnect_delay <= 0:
+            # A zero-cost reconnect against a zero-latency server would
+            # let a thinkless client loop forever without advancing
+            # virtual time; the TCP setup delay also happens to be real.
+            raise ValueError("reconnect_delay must be positive")
+        self.kernel = kernel
+        self.listener = listener
+        self.trace = trace
+        self.clients = clients
+        self.think_mean = think_mean
+        self.rng = rng or Rng(1)
+        self.reconnect_delay = reconnect_delay
+        self.log = TxLog()
+        self.bytes_received = 0
+        self.errors = 0
+        # Object ids in request order (determinism/functional checks).
+        self.requested: List[int] = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        for i in range(self.clients):
+            thread = self.kernel.spawn(self._client_loop(i), name=f"client-{i}")
+            thread.daemon = True
+
+    def _client_loop(self, index: int) -> Iterator:
+        yield CurrentThread()
+        think_rng = self.rng.stream(f"think-{index}")
+        # Desynchronise client start-up.
+        yield Delay(think_rng.random() * 0.05)
+        while True:
+            yield Delay(self.reconnect_delay)  # TCP connection setup
+            connection = self.listener.connect()
+            for obj in self.trace.session():
+                start = self.kernel.now
+                self.requested.append(obj.object_id)
+                yield Send(
+                    connection.to_server,
+                    Message(("GET", obj.object_id), REQUEST_BYTES),
+                )
+                response = yield Recv(connection.to_client)
+                self.bytes_received += response.size
+                self.log.add("GET", start, self.kernel.now)
+            yield Send(connection.to_server, Message((CLOSE, -1), 40))
+            if self.think_mean > 0:
+                yield Delay(think_rng.expovariate(1.0 / self.think_mean))

@@ -1,0 +1,156 @@
+"""Replay real web-server access logs as workloads.
+
+The paper replays a trace collected at Rice CS's web server.  That
+trace is not public, so our benchmarks use the synthetic
+:class:`~repro.workloads.webtrace.WebTrace`; this module lets a
+downstream user who *does* have an access log (Apache/nginx
+common/combined log format) replay it instead: the parsed requests
+define object identities, sizes and per-connection request runs.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, TextIO, Union
+
+from repro.workloads.webtrace import WebObject
+
+# Common Log Format:
+#   host ident user [timestamp] "METHOD /path HTTP/x.y" status bytes ...
+_CLF = re.compile(
+    r'^(?P<host>\S+)\s+\S+\s+\S+\s+\[[^\]]*\]\s+'
+    r'"(?P<method>\S+)\s+(?P<path>\S+)(?:\s+\S+)?"\s+'
+    r"(?P<status>\d{3})\s+(?P<size>\d+|-)"
+)
+
+
+class LogRecord:
+    """One parsed access-log line."""
+
+    __slots__ = ("host", "method", "path", "status", "size")
+
+    def __init__(self, host: str, method: str, path: str, status: int, size: int):
+        self.host = host
+        self.method = method
+        self.path = path
+        self.status = status
+        self.size = size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<LogRecord {self.method} {self.path} {self.status} {self.size}B>"
+
+
+def parse_line(line: str) -> Optional[LogRecord]:
+    """Parse one CLF/combined line; None for blank/malformed lines."""
+    line = line.strip()
+    if not line or line.startswith("#"):
+        return None
+    match = _CLF.match(line)
+    if match is None:
+        return None
+    size_text = match.group("size")
+    return LogRecord(
+        host=match.group("host"),
+        method=match.group("method"),
+        path=match.group("path"),
+        status=int(match.group("status")),
+        size=0 if size_text == "-" else int(size_text),
+    )
+
+
+def parse_log(source: Union[str, TextIO, Sequence[str]]) -> List[LogRecord]:
+    """Parse a log file (path, file object, or iterable of lines)."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8", errors="replace") as handle:
+            lines = handle.readlines()
+    elif hasattr(source, "read"):
+        lines = source.readlines()
+    else:
+        lines = list(source)
+    records = []
+    for line in lines:
+        record = parse_line(line)
+        if record is not None:
+            records.append(record)
+    return records
+
+
+class ReplayTrace:
+    """A :class:`WebTrace`-compatible workload built from an access log.
+
+    - Each distinct path becomes one object; its size is the largest
+      successful (2xx) transfer observed for it.
+    - Requests replay in log order.
+    - A *session* groups consecutive requests from the same client host
+      (as the trace's persistent connections would), capped at
+      ``max_requests_per_connection``.
+
+    Exposes the subset of the WebTrace interface the servers and client
+    pools consume: ``objects``, ``size_of``, ``next_object`` and
+    ``session``.
+    """
+
+    def __init__(
+        self,
+        records: List[LogRecord],
+        max_requests_per_connection: int = 8,
+        only_successful: bool = True,
+    ):
+        if only_successful:
+            records = [r for r in records if 200 <= r.status < 300]
+        if not records:
+            raise ValueError("no usable records in log")
+        self.records = records
+        self.max_requests_per_connection = max_requests_per_connection
+        self._path_ids: Dict[str, int] = {}
+        sizes: Dict[int, int] = {}
+        self._request_ids: List[int] = []
+        for record in records:
+            object_id = self._path_ids.setdefault(record.path, len(self._path_ids))
+            sizes[object_id] = max(sizes.get(object_id, 0), record.size)
+            self._request_ids.append(object_id)
+        self.objects = [
+            WebObject(object_id, sizes[object_id])
+            for object_id in range(len(self._path_ids))
+        ]
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    # WebTrace-compatible surface
+    # ------------------------------------------------------------------
+    def object(self, object_id: int) -> WebObject:
+        return self.objects[object_id]
+
+    def size_of(self, object_id: int) -> int:
+        return self.objects[object_id].size
+
+    def next_object(self) -> WebObject:
+        object_id = self._request_ids[self._cursor % len(self._request_ids)]
+        self._cursor += 1
+        return self.objects[object_id]
+
+    def connection_length(self) -> int:
+        """Length of the session starting at the current cursor."""
+        start = self._cursor % len(self._request_ids)
+        host = self.records[start].host
+        length = 1
+        index = start + 1
+        while (
+            index < len(self.records)
+            and self.records[index].host == host
+            and length < self.max_requests_per_connection
+        ):
+            length += 1
+            index += 1
+        return length
+
+    def session(self) -> Iterator[WebObject]:
+        for _ in range(self.connection_length()):
+            yield self.next_object()
+
+    def total_corpus_bytes(self) -> int:
+        return sum(o.size for o in self.objects)
+
+    @property
+    def distinct_objects(self) -> int:
+        return len(self.objects)

@@ -1,0 +1,76 @@
+"""Open-loop workload generation: Poisson session arrivals.
+
+The paper's client emulators are closed-loop (a fixed number of
+emulated browsers).  An open-loop generator is the standard complement
+for latency-vs-offered-load studies: sessions arrive at a fixed rate
+regardless of how the server is coping, so response times diverge as
+the offered load approaches capacity instead of self-throttling.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.channels.message import Message
+from repro.channels.socket import Listener, Recv, Send
+from repro.sim import Kernel
+from repro.sim.process import CurrentThread
+from repro.sim.rng import Rng
+from repro.workloads.clients import CLOSE, REQUEST_BYTES, TxLog
+from repro.workloads.webtrace import WebTrace
+
+
+class OpenLoopClientPool:
+    """Spawns one session thread per Poisson arrival."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        listener: Listener,
+        trace: WebTrace,
+        arrival_rate: float,
+        rng: Optional[Rng] = None,
+    ):
+        if arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.kernel = kernel
+        self.listener = listener
+        self.trace = trace
+        self.arrival_rate = arrival_rate
+        self.rng = rng or Rng(7)
+        self.log = TxLog()
+        self.bytes_received = 0
+        self.sessions_started = 0
+        self.sessions_finished = 0
+
+    def start(self) -> None:
+        generator = self.kernel.spawn(self._arrivals(), name="openloop-arrivals")
+        generator.daemon = True
+
+    def _arrivals(self) -> Iterator:
+        yield CurrentThread()
+        from repro.sim import Delay
+
+        arrival_rng = self.rng.stream("arrivals")
+        while True:
+            yield Delay(arrival_rng.expovariate(self.arrival_rate))
+            self.sessions_started += 1
+            session = self.kernel.spawn(
+                self._session(), name=f"session-{self.sessions_started}"
+            )
+            session.daemon = True
+
+    def _session(self) -> Iterator:
+        yield CurrentThread()
+        connection = self.listener.connect()
+        for obj in self.trace.session():
+            start = self.kernel.now
+            yield Send(
+                connection.to_server,
+                Message(("GET", obj.object_id), REQUEST_BYTES),
+            )
+            response = yield Recv(connection.to_client)
+            self.bytes_received += response.size
+            self.log.add("GET", start, self.kernel.now)
+        yield Send(connection.to_server, Message((CLOSE, -1), 40))
+        self.sessions_finished += 1

@@ -1,0 +1,73 @@
+"""Tests for TSV export of profiles and series."""
+
+import io
+
+import pytest
+
+from repro.analysis import (
+    export_crosstalk,
+    export_series,
+    export_stage_profile,
+    write_rows,
+)
+from repro.core.context import TransactionContext
+from repro.core.crosstalk import CrosstalkRecorder
+from repro.core.profiler import StageRuntime
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def test_write_rows_to_stream():
+    buffer = io.StringIO()
+    write_rows(buffer, ["a", "b"], [[1, 2], [3, 4]])
+    assert buffer.getvalue() == "a\tb\n1\t2\n3\t4\n"
+
+
+def test_write_rows_to_file(tmp_path):
+    path = tmp_path / "out.tsv"
+    write_rows(str(path), ["x"], [[42]])
+    assert path.read_text() == "x\n42\n"
+
+
+def test_export_stage_profile():
+    stage = StageRuntime("web")
+    stage.cct_for(ctxt("flow")).record_sample(("main", "work"), 75.0)
+    stage.cct_for(ctxt("flow")).record_sample(("main",), 25.0)
+    buffer = io.StringIO()
+    export_stage_profile(stage, buffer)
+    lines = buffer.getvalue().splitlines()
+    assert lines[0] == "context\tcall_path\tsamples\tshare_pct"
+    assert "main > work" in lines[1]
+    assert "75.0000" in lines[1]
+
+
+def test_export_stage_profile_empty():
+    buffer = io.StringIO()
+    export_stage_profile(StageRuntime("empty"), buffer)
+    assert len(buffer.getvalue().splitlines()) == 1  # header only
+
+
+def test_export_crosstalk():
+    recorder = CrosstalkRecorder()
+    recorder.record("B", "A", 0.010)
+    buffer = io.StringIO()
+    export_crosstalk(recorder, buffer)
+    lines = buffer.getvalue().splitlines()
+    assert lines[0].startswith("waiting\tholding")
+    assert "10.0000" in lines[1]
+
+
+def test_export_series_aligns_on_x():
+    buffer = io.StringIO()
+    export_series(
+        buffer,
+        "clients",
+        {"orig": {50: 400, 100: 800}, "cached": {100: 850, 200: 1700}},
+    )
+    lines = buffer.getvalue().splitlines()
+    assert lines[0] == "clients\torig\tcached"
+    assert lines[1] == "50\t400\t"
+    assert lines[2] == "100\t800\t850"
+    assert lines[3] == "200\t\t1700"

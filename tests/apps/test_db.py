@@ -1,0 +1,264 @@
+"""Tests for the MySQL-like engine: locking, crosstalk, stats counter."""
+
+import pytest
+
+from repro.apps.db import Database, DatabaseServer, INNODB, MYISAM, QueryPlan, Table
+from repro.channels.rpc import call
+from repro.core.context import TransactionContext
+from repro.core.flow import NO_FLOW_STATEFUL
+from repro.core.profiler import ProfilerMode, StageRuntime
+from repro.sim import CurrentThread, Delay, Kernel
+from repro.sim.process import frame
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def make_db(**kwargs):
+    kernel = Kernel()
+    db = Database(kernel, **kwargs)
+    db.add_table(Table("item", rows=1000, engine=MYISAM))
+    db.add_table(Table("orders", rows=5000, engine=MYISAM))
+    return kernel, db
+
+
+def run_query(kernel, db, plan, tx=None, delay=0.0, done=None):
+    def runner():
+        thread = yield CurrentThread()
+        if tx is not None:
+            thread.tran_ctxt = tx
+        if delay:
+            yield Delay(delay)
+        yield from db.execute(thread, plan)
+        if done is not None:
+            done.append(kernel.now)
+
+    kernel.spawn(runner(), stage=db.stage)
+
+
+def test_read_query_executes():
+    kernel, db = make_db()
+    done = []
+    run_query(kernel, db, QueryPlan("q", reads=("item",), cpu_cost=0.01), done=done)
+    kernel.run()
+    assert db.queries_executed == 1
+    assert done and done[0] >= 0.01
+
+
+def test_myisam_readers_do_not_block_each_other():
+    kernel, db = make_db()
+    done = []
+    plan = QueryPlan("read", reads=("item",), cpu_cost=0.0)
+
+    def reader():
+        thread = yield CurrentThread()
+        yield from db.execute(thread, plan)
+        done.append(kernel.now)
+
+    # Two pure readers with zero cost complete immediately (no blocking;
+    # the 2x parse cost is the only serialised part on one CPU).
+    kernel.spawn(reader(), stage=db.stage)
+    kernel.spawn(reader(), stage=db.stage)
+    kernel.run()
+    assert len(done) == 2
+
+
+def test_myisam_readers_stream_past_queued_writer():
+    """MyISAM table locks are reader-priority: a later reader overtakes
+
+    the queued writer (the starvation the InnoDB conversion fixes)."""
+    kernel, db = make_db()
+    events = []
+    heavy_read = QueryPlan("bestsellers", reads=("item",), cpu_cost=0.2)
+    write = QueryPlan("admin", writes=(("item", 7),), cpu_cost=0.05)
+
+    def reader(tag, delay):
+        thread = yield CurrentThread()
+        thread.tran_ctxt = ctxt(tag)
+        yield Delay(delay)
+        yield from db.execute(thread, heavy_read)
+        events.append((tag, kernel.now))
+
+    def writer():
+        thread = yield CurrentThread()
+        thread.tran_ctxt = ctxt("AdminConfirm")
+        yield Delay(0.05)
+        yield from db.execute(thread, write)
+        events.append(("AdminConfirm", kernel.now))
+
+    kernel.spawn(reader("BestSellers", 0.0), stage=db.stage)
+    kernel.spawn(writer(), stage=db.stage)
+    kernel.spawn(reader("Search", 0.1), stage=db.stage)  # bypasses the writer
+    kernel.run()
+    order = [tag for tag, _ in events]
+    assert order == ["BestSellers", "Search", "AdminConfirm"]
+
+
+def test_myisam_starvation_limit_eventually_blocks_new_readers():
+    from repro.apps.db.locks import WRITER_STARVATION_LIMIT
+
+    kernel, db = make_db()
+    events = []
+    long_read = QueryPlan("read", reads=("item",), cpu_cost=3.0)
+    write = QueryPlan("admin", writes=(("item", 1),), cpu_cost=0.01)
+
+    def reader(tag, delay):
+        thread = yield CurrentThread()
+        yield Delay(delay)
+        yield from db.execute(thread, long_read)
+        events.append((tag, kernel.now))
+
+    def writer():
+        thread = yield CurrentThread()
+        yield Delay(0.05)
+        yield from db.execute(thread, write)
+        events.append(("writer", kernel.now))
+
+    # A stream of overlapping long readers; without the limit the writer
+    # would wait for all of them.
+    kernel.spawn(reader("r0", 0.0), stage=db.stage)
+    kernel.spawn(writer(), stage=db.stage)
+    for i in range(1, 6):
+        kernel.spawn(reader(f"r{i}", i * 2.0), stage=db.stage)
+    kernel.run()
+    writer_done = dict((tag, t) for tag, t in events)["writer"]
+    last_reader = max(t for tag, t in events if tag != "writer")
+    assert writer_done < last_reader  # the writer did not wait for all
+    table_lock = db.table("item").table_lock
+    assert table_lock.writer_starvation_limit == WRITER_STARVATION_LIMIT
+
+
+def test_crosstalk_attributes_writer_wait_to_reader_context():
+    def type_of(c):
+        return c.elements[0] if len(c) else None
+
+    kernel = Kernel()
+    db = Database(kernel, type_of=type_of)
+    db.add_table(Table("item", engine=MYISAM))
+    heavy_read = QueryPlan("bestsellers", reads=("item",), cpu_cost=0.2)
+    write = QueryPlan("admin", writes=(("item", 1),), cpu_cost=0.01)
+
+    run_query(kernel, db, heavy_read, tx=ctxt("BestSellers"))
+    run_query(kernel, db, write, tx=ctxt("AdminConfirm"), delay=0.05)
+    kernel.run()
+    wait = db.crosstalk.mean_wait("AdminConfirm", "BestSellers")
+    assert wait > 0.1  # waited for the reader's CPU burst under lock
+
+
+def test_innodb_writer_does_not_block_readers():
+    kernel = Kernel()
+    db = Database(kernel)
+    db.add_table(Table("item", engine=INNODB))
+    events = []
+    read = QueryPlan("read", reads=("item",), cpu_cost=0.0)
+    write = QueryPlan("write", writes=(("item", 3),), cpu_cost=0.5)
+
+    def writer():
+        thread = yield CurrentThread()
+        yield from db.execute(thread, write)
+        events.append(("w", kernel.now))
+
+    def reader():
+        thread = yield CurrentThread()
+        yield Delay(0.01)
+        yield from db.execute(thread, read)
+        events.append(("r", kernel.now))
+
+    kernel.spawn(writer(), stage=db.stage)
+    kernel.spawn(reader(), stage=db.stage)
+    kernel.run()
+    # The reader finishes long before the writer's CPU burst ends...
+    # except both share one CPU; the reader's work is parse-only and the
+    # CPU is FCFS per slice, so the reader still finishes first.
+    assert events[0][0] == "r"
+
+
+def test_innodb_row_locks_are_per_row():
+    kernel = Kernel()
+    db = Database(kernel)
+    table = db.add_table(Table("item", engine=INNODB))
+    done = []
+    w1 = QueryPlan("w1", writes=(("item", 1),), cpu_cost=0.1)
+    w2 = QueryPlan("w2", writes=(("item", 2),), cpu_cost=0.1)
+
+    def writer(plan):
+        thread = yield CurrentThread()
+        yield from db.execute(thread, plan)
+        done.append(kernel.now)
+
+    kernel.spawn(writer(w1), stage=db.stage)
+    kernel.spawn(writer(w2), stage=db.stage)
+    kernel.run()
+    # Different rows: no lock conflict; the round-robin CPU interleaves
+    # the two bursts and both finish around 0.2s with no lock waits.
+    assert len(done) == 2
+    assert all(t == pytest.approx(0.2, abs=0.02) for t in done)
+    assert table.row_lock(1).wait_count == 0
+    assert table.row_lock(2).wait_count == 0
+
+
+def test_convert_table_engine():
+    table = Table("item", engine=MYISAM)
+    assert table.read_locks() == [table.table_lock]
+    table.convert(INNODB)
+    assert table.read_locks() == []
+    assert len(table.write_locks([5, 5, 6])) == 2
+    with pytest.raises(ValueError):
+        table.convert("isam")
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError):
+        Table("x", engine="heap")
+
+
+def test_stats_counter_classified_no_flow_stateful():
+    """§8.1: Whodunit detects MySQL's shared counter and correctly
+
+    deduces it does not constitute transaction flow."""
+    kernel, db = make_db()
+    threshold = db.region.detector.stateful_threshold
+    plan = QueryPlan("tiny", reads=("item",), cpu_cost=1e-6)
+    for i in range(threshold):
+        run_query(kernel, db, plan, delay=i * 0.001)
+    kernel.run()
+    classification = db.region.detector.roles.for_lock(db.stats_mutex).classification
+    assert classification == NO_FLOW_STATEFUL
+    assert db.region.detector.flow_edges() == []
+    assert db.stats_counter.value(db.region.machine.memory) == threshold
+
+
+def test_database_server_round_trip_propagates_context():
+    kernel = Kernel()
+    db = Database(kernel)
+    db.add_table(Table("item", engine=MYISAM))
+    server = DatabaseServer(db, latency=0.0)
+    server.start()
+    web = StageRuntime("tomcat", mode=ProfilerMode.WHODUNIT)
+    plan = QueryPlan("q", reads=("item",), cpu_cost=0.01, response_bytes=500)
+    log = {}
+
+    def client():
+        thread = yield CurrentThread()
+        connection = server.listener.connect()
+        with frame(thread, "servlet"):
+            with frame(thread, "BestSellers"):
+                response = yield from call(
+                    thread, connection.to_server, connection.to_client, plan, 200
+                )
+                log["response"] = response.payload
+
+    kernel.spawn(client(), stage=web)
+    kernel.run(until=1.0)
+    assert log["response"] == ("rows", "q")
+    # The db profile has a CCT labeled with the servlet's synopsis; the
+    # heavy frames sit under mysql_execute_command.
+    from repro.core.stitch import stitch_profiles
+
+    profile = stitch_profiles([web, db.stage])
+    db_contexts = profile.contexts_of("mysql")
+    assert ctxt("servlet", "BestSellers") in db_contexts
+    cct = profile.cct("mysql", ctxt("servlet", "BestSellers"))
+    flat = cct.by_frame()
+    assert flat.get("do_select", 0) > 0

@@ -1,0 +1,108 @@
+"""Integration tests: the Haboob-like SEDA server (§8.3)."""
+
+import pytest
+
+from repro.apps.haboob import HaboobConfig, HaboobServer
+from repro.core.context import TransactionContext
+from repro.core.profiler import ProfilerMode
+from repro.sim import Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+HIT_WRITE = ctxt(
+    "ListenStage", "HttpServer", "ReadStage", "HttpRecv", "CacheStage", "WriteStage"
+)
+MISS_WRITE = ctxt(
+    "ListenStage",
+    "HttpServer",
+    "ReadStage",
+    "HttpRecv",
+    "CacheStage",
+    "MissStage",
+    "FileIOStage",
+    "WriteStage",
+)
+
+
+def run_haboob(mode=ProfilerMode.WHODUNIT, clients=4, seconds=2.0, seed=23):
+    kernel = Kernel()
+    trace = WebTrace(Rng(seed), objects=150, requests_per_connection_mean=4.0)
+    server = HaboobServer(kernel, trace, mode=mode)
+    server.start()
+    pool = HttpClientPool(kernel, server.listener, trace, clients=clients)
+    pool.start()
+    kernel.run(until=seconds)
+    return server, pool
+
+
+def test_serves_requests():
+    server, pool = run_haboob()
+    assert server.responses_sent > 40
+    assert pool.log.count() > 40
+    assert server.page_cache.hits > 0
+    assert server.page_cache.misses > 0
+
+
+def test_write_stage_has_hit_and_miss_contexts():
+    """Fig 10: WriteStage appears once per path, hit and miss."""
+    server, _ = run_haboob()
+    labels = server.stage_runtime.ccts
+    assert HIT_WRITE in labels
+    assert MISS_WRITE in labels
+    assert labels[HIT_WRITE].total_weight() > 0
+    assert labels[MISS_WRITE].total_weight() > 0
+
+
+def test_write_stage_dominates_profile():
+    """Fig 10: the WriteStage carries most of Haboob's CPU."""
+    server, _ = run_haboob(seconds=3.0)
+    runtime = server.stage_runtime
+    total = runtime.total_weight()
+    write_weight = sum(
+        cct.total_weight()
+        for label, cct in runtime.ccts.items()
+        if label.elements and label.elements[-1] == "WriteStage"
+    )
+    assert write_weight / total > 0.5
+
+
+def test_stage_contexts_form_the_fig10_graph():
+    server, _ = run_haboob()
+    labels = set(server.stage_runtime.ccts.keys())
+    # Each prefix of the pipeline is a context of the stage at its end.
+    assert ctxt("ListenStage") in labels
+    assert ctxt("ListenStage", "HttpServer") in labels
+    assert ctxt("ListenStage", "HttpServer", "ReadStage") in labels
+    miss_prefix = ctxt(
+        "ListenStage", "HttpServer", "ReadStage", "HttpRecv", "CacheStage", "MissStage"
+    )
+    assert miss_prefix in labels
+
+
+def test_persistent_connection_prunes_loop():
+    """Re-entering ReadStage after WriteStage prunes, so no context
+
+    grows beyond the two canonical paths."""
+    server, _ = run_haboob(seconds=3.0)
+    for label in server.stage_runtime.ccts:
+        elements = list(label.elements)
+        assert len(elements) == len(set(elements)), f"loop in {label!r}"
+        assert len(elements) <= len(MISS_WRITE.elements)
+
+
+def test_profiling_off_serves_identically():
+    server, _ = run_haboob(mode=ProfilerMode.OFF)
+    assert server.responses_sent > 40
+    assert server.stage_runtime.ccts == {}
+
+
+def test_whodunit_overhead_on_haboob_is_modest():
+    baseline, _ = run_haboob(mode=ProfilerMode.OFF)
+    profiled, _ = run_haboob(mode=ProfilerMode.WHODUNIT)
+    # §9.3: ~4.2% throughput cost; allow a loose band.
+    assert profiled.bytes_sent > baseline.bytes_sent * 0.8
+    assert profiled.bytes_sent <= baseline.bytes_sent * 1.02

@@ -1,0 +1,118 @@
+"""Integration tests: the Apache-like server under a web workload.
+
+These validate §8.1's claims: transaction flow through the shared queue
+is detected, the listener's context labels the workers' profiles, and
+the synchronized allocator is classified no-flow.
+"""
+
+import pytest
+
+from repro.apps.httpd import HttpdConfig, HttpdServer
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW, NO_FLOW_ALLOCATOR
+from repro.core.profiler import LOCAL, ProfilerMode
+from repro.sim import Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+LISTENER_PUSH_CTXT = TransactionContext(
+    ("main", "listener_thread", "ap_queue_push")
+)
+
+
+def run_httpd(mode=ProfilerMode.WHODUNIT, clients=4, seconds=2.0, seed=7,
+              config=None):
+    kernel = Kernel()
+    trace = WebTrace(Rng(seed), objects=200, requests_per_connection_mean=3.0)
+    server = HttpdServer(kernel, trace, mode=mode, config=config)
+    server.start()
+    pool = HttpClientPool(kernel, server.listener_socket, trace, clients=clients)
+    pool.start()
+    kernel.run(until=seconds)
+    return server, pool
+
+
+def test_serves_requests_and_bytes():
+    server, pool = run_httpd()
+    assert server.requests_served > 50
+    # At the horizon cut a response may still be in flight.
+    assert 0 <= server.bytes_sent - pool.bytes_received <= 512 * 1024
+    assert server.connections_accepted > 10
+
+
+def test_flow_detected_on_fd_queue():
+    server, _ = run_httpd()
+    roles = server.region.detector.roles.for_lock(server.queue.mutex)
+    assert roles.classification == FLOW
+    listener_tid = server.threads[0].tid
+    assert listener_tid in roles.producers
+    worker_tids = {t.tid for t in server.threads[1:]}
+    assert roles.consumers & worker_tids
+    assert not roles.consumers & {listener_tid}
+
+
+def test_allocator_classified_no_flow():
+    server, _ = run_httpd()
+    roles = server.region.detector.roles.for_lock(server.alloc_mutex)
+    assert roles.classification == NO_FLOW_ALLOCATOR
+    # After classification, allocator critical sections run natively.
+    from repro.vm.emulator import DIRECT
+
+    assert server.region.detector.mode_for(server.alloc_mutex) == DIRECT
+
+
+def test_worker_profile_labeled_with_listener_context():
+    """Fig 8: worker samples are annotated with the listener's context."""
+    server, _ = run_httpd()
+    stage = server.stage
+    assert LISTENER_PUSH_CTXT in stage.ccts
+    flow_cct = stage.ccts[LISTENER_PUSH_CTXT]
+    # The bulk of worker CPU (ap_process_connection subtree) lands here.
+    path = ("main", "worker_thread", "ap_process_connection")
+    assert flow_cct.inclusive_weight_of(path) > 0
+    sendfile = path + ("sendfile",)
+    assert flow_cct.weight_of(sendfile) > 0
+
+
+def test_listener_samples_in_local_cct():
+    server, _ = run_httpd()
+    local = server.stage.ccts[LOCAL]
+    accept_path = ("main", "listener_thread", "apr_socket_accept")
+    assert local.weight_of(accept_path) > 0
+
+
+def test_worker_share_dominates_listener_share():
+    """Fig 8's triangles: ~2.4% under the listener subtree vs ~22.7%
+
+    under ap_process_connection per worker — in aggregate the flow CCT
+    dominates the stage profile.
+    """
+    server, _ = run_httpd(seconds=3.0)
+    stage = server.stage
+    total = stage.total_weight()
+    flow_weight = stage.ccts[LISTENER_PUSH_CTXT].total_weight()
+    local_weight = stage.ccts[LOCAL].total_weight()
+    assert flow_weight / total > 0.5
+    assert local_weight / total < 0.4
+
+
+def test_profiling_off_serves_identically_but_tracks_nothing():
+    server, _ = run_httpd(mode=ProfilerMode.OFF)
+    assert server.requests_served > 50
+    assert server.stage.ccts == {}
+    assert server.region.detector.consume_events == []
+
+
+def test_whodunit_overhead_is_small():
+    baseline, _ = run_httpd(mode=ProfilerMode.OFF, seconds=2.0)
+    profiled, _ = run_httpd(mode=ProfilerMode.WHODUNIT, seconds=2.0)
+    # §9.2: Whodunit costs a few percent of throughput, not more.
+    assert profiled.bytes_sent > baseline.bytes_sent * 0.85
+    assert profiled.bytes_sent <= baseline.bytes_sent
+
+
+def test_no_allocator_config():
+    config = HttpdConfig(use_allocator=False)
+    server, _ = run_httpd(config=config)
+    assert server.requests_served > 0
+    roles = server.region.detector.roles.for_lock(server.alloc_mutex)
+    assert roles.cs_executions == 0

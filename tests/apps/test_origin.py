@@ -1,0 +1,79 @@
+"""Tests for the chunk-streaming origin server."""
+
+import pytest
+
+from repro.apps.proxy.origin import CHUNK_BYTES, OriginServer
+from repro.channels import Message, Recv, Send
+from repro.sim import CurrentThread, Kernel
+
+
+def fetch(kernel, origin, key, chunks_out):
+    def client():
+        yield CurrentThread()
+        connection = origin.listener.connect()
+        yield Send(connection.to_server, Message(key, 100))
+        while True:
+            chunk = yield Recv(connection.to_client)
+            chunks_out.append(chunk)
+            if chunk.last:
+                return
+
+    kernel.spawn(client())
+
+
+def test_small_object_single_chunk():
+    kernel = Kernel()
+    origin = OriginServer(kernel, size_of=lambda key: 1000, latency=0.0)
+    origin.start()
+    chunks = []
+    fetch(kernel, origin, "obj", chunks)
+    kernel.run(until=1.0)
+    assert len(chunks) == 1
+    assert chunks[0].size == 1000
+    assert chunks[0].last
+
+
+def test_large_object_streams_chunks():
+    kernel = Kernel()
+    size = int(CHUNK_BYTES * 2.5)
+    origin = OriginServer(kernel, size_of=lambda key: size, latency=0.0)
+    origin.start()
+    chunks = []
+    fetch(kernel, origin, "big", chunks)
+    kernel.run(until=1.0)
+    assert len(chunks) == 3
+    assert sum(c.size for c in chunks) == size
+    assert [c.last for c in chunks] == [False, False, True]
+    assert origin.requests_served == 1
+
+
+def test_zero_size_object():
+    kernel = Kernel()
+    origin = OriginServer(kernel, size_of=lambda key: 0, latency=0.0)
+    origin.start()
+    chunks = []
+    fetch(kernel, origin, "empty", chunks)
+    kernel.run(until=1.0)
+    assert len(chunks) == 1
+    assert chunks[0].size == 0
+    assert chunks[0].last
+
+
+def test_multiple_requests_on_one_connection():
+    kernel = Kernel()
+    origin = OriginServer(kernel, size_of=lambda key: 500, latency=0.0)
+    origin.start()
+    got = []
+
+    def client():
+        yield CurrentThread()
+        connection = origin.listener.connect()
+        for i in range(3):
+            yield Send(connection.to_server, Message(("GET", i), 100))
+            chunk = yield Recv(connection.to_client)
+            got.append(chunk.payload)
+
+    kernel.spawn(client())
+    kernel.run(until=1.0)
+    assert got == [("GET", 0), ("GET", 1), ("GET", 2)]
+    assert origin.requests_served == 3

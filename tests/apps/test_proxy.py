@@ -1,0 +1,161 @@
+"""Integration tests: the Squid-like proxy under a web workload (§8.2)."""
+
+import pytest
+
+from repro.apps.proxy import LruCache, OriginServer, SquidProxy
+from repro.core.context import TransactionContext
+from repro.core.profiler import ProfilerMode
+from repro.sim import Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+HIT_WRITE = ctxt("httpAccept", "clientReadRequest", "commHandleWrite")
+MISS_WRITE = ctxt("httpAccept", "clientReadRequest", "httpReadReply", "commHandleWrite")
+READ_REPLY = ctxt("httpAccept", "clientReadRequest", "httpReadReply")
+
+
+# ----------------------------------------------------------------------
+# LruCache unit tests
+# ----------------------------------------------------------------------
+def test_cache_hit_miss_counting():
+    cache = LruCache(1000)
+    assert cache.lookup("a") is None
+    cache.insert("a", "va", 100)
+    assert cache.lookup("a") == ("va", 100)
+    assert cache.hits == 1 and cache.misses == 1
+    assert cache.hit_ratio == 0.5
+
+
+def test_cache_lru_eviction():
+    cache = LruCache(250)
+    cache.insert("a", 1, 100)
+    cache.insert("b", 2, 100)
+    cache.lookup("a")  # refresh a
+    cache.insert("c", 3, 100)  # evicts b
+    assert "a" in cache and "c" in cache and "b" not in cache
+    assert cache.evictions == 1
+    assert cache.used_bytes == 200
+
+
+def test_cache_oversized_object_not_cached():
+    cache = LruCache(100)
+    cache.insert("big", 1, 200)
+    assert "big" not in cache
+    assert len(cache) == 0
+
+
+def test_cache_reinsert_updates_size():
+    cache = LruCache(300)
+    cache.insert("a", 1, 100)
+    cache.insert("a", 2, 200)
+    assert cache.used_bytes == 200
+    assert cache.lookup("a") == (2, 200)
+
+
+def test_cache_invalidate():
+    cache = LruCache(100)
+    cache.insert("a", 1, 50)
+    assert cache.invalidate("a")
+    assert not cache.invalidate("a")
+    assert cache.used_bytes == 0
+
+
+def test_cache_validation():
+    with pytest.raises(ValueError):
+        LruCache(0)
+    with pytest.raises(ValueError):
+        LruCache(10).insert("a", 1, -5)
+
+
+# ----------------------------------------------------------------------
+# Full proxy integration
+# ----------------------------------------------------------------------
+def run_squid(mode=ProfilerMode.WHODUNIT, clients=4, seconds=2.0, seed=11,
+              objects=150):
+    kernel = Kernel()
+    trace = WebTrace(Rng(seed), objects=objects, requests_per_connection_mean=4.0)
+    origin = OriginServer(kernel, size_of=lambda key: trace.size_of(key[1]))
+    origin.start()
+    squid = SquidProxy(kernel, origin.listener, mode=mode)
+    squid.start()
+    pool = HttpClientPool(kernel, squid.listener, trace, clients=clients)
+    pool.start()
+    kernel.run(until=seconds)
+    return squid, origin, pool
+
+
+def test_proxy_serves_requests():
+    squid, origin, pool = run_squid()
+    assert squid.responses_sent > 50
+    assert pool.log.count() > 50
+    assert squid.bytes_to_clients > 0
+
+
+def test_cache_hits_and_misses_both_occur():
+    squid, origin, pool = run_squid()
+    assert squid.cache.hits > 0
+    assert squid.cache.misses > 0
+    # Zipf popularity makes the hit ratio substantial.
+    assert squid.cache.hit_ratio > 0.4
+    # Misses were fetched from the origin.
+    assert origin.requests_served == squid.cache.misses
+
+
+def test_commhandlewrite_appears_in_two_contexts():
+    """Fig 9's headline: hit and miss writes are distinct contexts."""
+    squid, _, _ = run_squid()
+    labels = set(squid.stage.ccts.keys())
+    assert HIT_WRITE in labels
+    assert MISS_WRITE in labels
+    hit_weight = squid.stage.ccts[HIT_WRITE].total_weight()
+    miss_weight = squid.stage.ccts[MISS_WRITE].total_weight()
+    assert hit_weight > 0 and miss_weight > 0
+
+
+def test_read_reply_context_excludes_connect_after_warmup():
+    """With persistent origin connections, httpReadReply mostly runs
+
+    directly under clientReadRequest (commConnectHandle is tiny)."""
+    squid, _, _ = run_squid(seconds=3.0)
+    labels = squid.stage.ccts
+    assert READ_REPLY in labels
+    connect_ctxt = ctxt("httpAccept", "clientReadRequest", "commConnectHandle")
+    total = squid.stage.total_weight()
+    connect_weight = sum(
+        cct.total_weight()
+        for label, cct in labels.items()
+        if "commConnectHandle" in label.elements
+    )
+    assert connect_weight / total < 0.1
+    assert labels[READ_REPLY].total_weight() > connect_weight
+
+
+def test_sample_paths_run_through_comm_poll():
+    squid, _, _ = run_squid()
+    cct = squid.stage.ccts[HIT_WRITE]
+    flat = cct.flatten()
+    assert any(path[0] == "comm_poll" for path in flat)
+
+
+def test_persistent_connections_reuse_origin_pool():
+    squid, origin, _ = run_squid(seconds=3.0)
+    # Far fewer origin connections than origin requests.
+    assert origin.listener.accepted_count < origin.requests_served
+
+
+def test_profiling_off_still_serves():
+    squid, _, pool = run_squid(mode=ProfilerMode.OFF)
+    assert squid.responses_sent > 50
+    assert squid.stage.ccts == {}
+
+
+def test_whodunit_overhead_on_squid_is_modest():
+    baseline, _, _ = run_squid(mode=ProfilerMode.OFF, seconds=2.0)
+    profiled, _, _ = run_squid(mode=ProfilerMode.WHODUNIT, seconds=2.0)
+    # §9.3: ~5.5% throughput cost; allow a loose band.
+    assert profiled.bytes_to_clients > baseline.bytes_to_clients * 0.8
+    assert profiled.bytes_to_clients <= baseline.bytes_to_clients * 1.02

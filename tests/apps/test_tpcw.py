@@ -1,0 +1,170 @@
+"""Integration tests for the three-tier TPC-W system (§8.4).
+
+Short simulations (tens of virtual seconds) validating the structural
+claims; the full Table 1 / Fig 11 / Fig 12 reproductions live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.apps.db.locks import INNODB
+from repro.apps.tpcw import (
+    BROWSING_MIX,
+    DB_CPU_COST,
+    INTERACTIONS,
+    TpcwSystem,
+)
+from repro.core.profiler import ProfilerMode
+
+
+@pytest.fixture(scope="module")
+def busy_system():
+    # Long enough that the rare writing interactions (BuyConfirm 0.69%,
+    # AdminConfirm 0.09%) appear and contend at least a few times.
+    system = TpcwSystem(clients=80, seed=7)
+    results = system.run(duration=180.0, warmup=20.0)
+    return system, results
+
+
+def test_mix_weights_sum_to_100():
+    assert sum(BROWSING_MIX.values()) == pytest.approx(100.0)
+    assert set(BROWSING_MIX) == set(INTERACTIONS)
+    assert set(DB_CPU_COST) == set(INTERACTIONS)
+
+
+def test_all_tiers_serve_requests(busy_system):
+    system, results = busy_system
+    assert results.log.count() > 300
+    assert system.squid.responses_sent > results.log.count()
+    assert system.tomcat.requests_served > results.log.count()
+    assert system.db.queries_executed > 100
+
+
+def test_mix_frequencies_roughly_match(busy_system):
+    system, results = busy_system
+    total = results.log.count()
+    home_share = results.log.count("Home") / total
+    assert home_share == pytest.approx(0.29, abs=0.06)
+    detail_share = results.log.count("ProductDetail") / total
+    assert detail_share == pytest.approx(0.21, abs=0.06)
+
+
+def test_static_images_cached_at_squid(busy_system):
+    system, _ = busy_system
+    assert system.squid.cache.hits > 0
+    # Dynamic pages are never cached at the proxy.
+    assert all(key[0] == "IMG" for key in system.squid.cache._entries)
+
+
+def test_separate_db_context_per_interaction(busy_system):
+    """§8.4: Whodunit extends a separate transaction context from Tomcat
+
+    to MySQL for each interaction."""
+    system, results = busy_system
+    shares = results.db_cpu_share()
+    assert "<other>" not in shares or shares.get("<other>", 0) < 1.0
+    # The heavy hitters of Table 1 dominate.
+    assert shares["BestSellers"] > 35
+    assert shares["SearchResult"] > 30
+    assert shares["BestSellers"] + shares["SearchResult"] > 80
+
+
+def test_db_profile_labels_resolve_through_both_hops(busy_system):
+    system, _ = busy_system
+    from repro.core.stitch import resolve_context
+
+    stages = {
+        "squid": system.squid.stage,
+        "tomcat": system.tomcat.stage,
+        "mysql": system.db.stage,
+    }
+    for label in system.db.stage.ccts:
+        resolved = resolve_context(label, stages)
+        # Fully resolved: no synopsis refs remain, and the squid event
+        # handlers appear at the front.
+        assert all(isinstance(e, str) for e in resolved.elements)
+        if len(resolved) > 0:
+            assert resolved.elements[0] == "httpAccept"
+
+
+def test_crosstalk_attributed_to_interactions(busy_system):
+    system, results = busy_system
+    waits = results.crosstalk_wait_ms()
+    # Writers wait far longer than the common read-only interactions.
+    writer_wait = max(
+        waits.get("BuyConfirm", 0.0), waits.get("AdminConfirm", 0.0)
+    )
+    assert writer_wait > waits.get("Home", 0.0)
+    assert writer_wait > 1.0
+
+
+def test_context_bytes_are_tiny_fraction_of_data(busy_system):
+    """§9.1: ~1% communication overhead."""
+    system, results = busy_system
+    comm = results.comm_overhead()
+    assert comm["context_bytes"] > 0
+    assert comm["context_bytes"] < 0.02 * comm["data_bytes"]
+
+
+def test_caching_raises_throughput():
+    base = TpcwSystem(clients=200, seed=5).run(duration=60, warmup=20)
+    cached = TpcwSystem(clients=200, seed=5, caching=True).run(duration=60, warmup=20)
+    assert cached.throughput_tpm() > base.throughput_tpm() * 1.2
+
+
+def test_innodb_reduces_adminconfirm_response():
+    base = TpcwSystem(clients=200, seed=8).run(duration=120, warmup=20)
+    inno = TpcwSystem(clients=200, seed=8, item_engine=INNODB).run(
+        duration=120, warmup=20
+    )
+    if base.log.count("AdminConfirm") and inno.log.count("AdminConfirm"):
+        assert inno.mean_response("AdminConfirm") < base.mean_response(
+            "AdminConfirm"
+        )
+
+
+def test_shopping_mix_changes_load_shape():
+    browsing = TpcwSystem(clients=60, seed=6, mix="browsing").run(40, 10)
+    ordering = TpcwSystem(clients=60, seed=6, mix="ordering").run(40, 10)
+    # The ordering mix issues far more buy-path interactions...
+    assert ordering.log.count("BuyConfirm") > 4 * max(
+        browsing.log.count("BuyConfirm"), 1
+    )
+    # ...and far fewer heavy BestSellers queries, so the database CPU
+    # distribution shifts away from BestSellers/SearchResult dominance.
+    b_shares = browsing.db_cpu_share()
+    o_shares = ordering.db_cpu_share()
+    assert o_shares.get("BestSellers", 0) < b_shares.get("BestSellers", 100)
+
+
+def test_unknown_mix_rejected():
+    with pytest.raises(ValueError):
+        TpcwSystem(clients=5, mix="mixed-up")
+
+
+def test_profiler_off_runs_and_tracks_nothing():
+    system = TpcwSystem(clients=30, seed=9, profiler_mode=ProfilerMode.OFF)
+    results = system.run(duration=30, warmup=10)
+    assert results.log.count() > 50
+    assert system.db.stage.ccts == {}
+    assert results.db_cpu_share() == {}
+
+
+def test_whodunit_overhead_small_vs_off():
+    off = TpcwSystem(clients=150, seed=4, profiler_mode=ProfilerMode.OFF).run(
+        duration=60, warmup=20
+    )
+    on = TpcwSystem(clients=150, seed=4, profiler_mode=ProfilerMode.WHODUNIT).run(
+        duration=60, warmup=20
+    )
+    assert on.throughput_tpm() > off.throughput_tpm() * 0.9
+
+
+def test_gprof_costs_more_than_whodunit():
+    whodunit = TpcwSystem(
+        clients=250, seed=4, profiler_mode=ProfilerMode.WHODUNIT
+    ).run(duration=60, warmup=20)
+    gprof = TpcwSystem(clients=250, seed=4, profiler_mode=ProfilerMode.GPROF).run(
+        duration=60, warmup=20
+    )
+    assert gprof.throughput_tpm() < whodunit.throughput_tpm() * 0.92

@@ -1,0 +1,121 @@
+"""Tests for the TPC-W model: parameters, plans, lock footprints."""
+
+import pytest
+
+from repro.apps.tpcw.model import (
+    BROWSING_MIX,
+    DB_CPU_COST,
+    INTERACTIONS,
+    NUM_ITEMS,
+    NUM_SUBJECTS,
+    SCAN_FRACTION,
+    UPDATE_COST,
+    TpcwModel,
+)
+from repro.sim import Rng
+
+
+@pytest.fixture
+def model():
+    return TpcwModel(Rng(9))
+
+
+def test_param_generation_in_range(model):
+    for _ in range(200):
+        assert 0 <= model.subject() < NUM_SUBJECTS
+        assert 0 <= model.item_id() < NUM_ITEMS
+    kind, term = model.search_param()
+    assert kind in ("subject", "title", "author")
+
+
+def test_param_for_every_interaction(model):
+    for interaction in INTERACTIONS:
+        model.param_for(interaction)  # must not raise
+
+
+def test_plans_exist_for_every_interaction(model):
+    for interaction in INTERACTIONS:
+        plans = model.query_plans(interaction, model.param_for(interaction))
+        assert plans, interaction
+        total = sum(plan.cpu_cost for plan in plans)
+        assert total == pytest.approx(DB_CPU_COST[interaction], rel=1e-6)
+
+
+def test_heavy_queries_split_scan_and_sort(model):
+    plans = model.query_plans("BestSellers", 3)
+    assert [p.name for p in plans] == ["BestSellers.scan", "BestSellers.sort"]
+    scan, sort = plans
+    assert scan.reads == ("item", "orders")
+    assert sort.reads == ()  # sort holds no table locks
+    assert scan.cpu_cost == pytest.approx(
+        DB_CPU_COST["BestSellers"] * SCAN_FRACTION
+    )
+
+
+def test_admin_confirm_updates_item_rows(model):
+    plans = model.query_plans("AdminConfirm", 77)
+    names = [p.name for p in plans]
+    assert names == [
+        "AdminConfirm.scan",
+        "AdminConfirm.sort",
+        "AdminConfirm.update",
+        "AdminConfirm.related",
+    ]
+    update = plans[2]
+    assert update.writes == (("item", 77),)
+    assert update.cpu_cost == UPDATE_COST
+    related = plans[3]
+    assert all(table == "item" for table, _ in related.writes)
+
+
+def test_buy_confirm_writes_stock_and_order(model):
+    plans = model.query_plans("BuyConfirm", 5)
+    update = plans[1]
+    tables = {table for table, _ in update.writes}
+    assert tables == {"item", "orders"}
+
+
+def test_read_only_interactions_write_nothing(model):
+    for interaction in ("Home", "ProductDetail", "SearchRequest", "BestSellers"):
+        for plan in model.query_plans(interaction, model.param_for(interaction)):
+            assert plan.writes == (), interaction
+
+
+def test_mix_and_cost_tables_consistent():
+    assert set(BROWSING_MIX) == set(INTERACTIONS)
+    assert set(DB_CPU_COST) == set(INTERACTIONS)
+    assert sum(BROWSING_MIX.values()) == pytest.approx(100.0)
+    # The Table 1 calibration: share ∝ weight × cost; BestSellers and
+    # SearchResult must dominate.
+    shares = {
+        name: BROWSING_MIX[name] * DB_CPU_COST[name] for name in INTERACTIONS
+    }
+    total = sum(shares.values())
+    assert shares["BestSellers"] / total == pytest.approx(0.515, abs=0.05)
+    assert shares["SearchResult"] / total == pytest.approx(0.433, abs=0.05)
+
+
+def test_all_three_mixes_are_valid():
+    from repro.apps.tpcw.model import MIXES
+
+    assert set(MIXES) == {"browsing", "shopping", "ordering"}
+    for name, mix in MIXES.items():
+        assert set(mix) == set(INTERACTIONS), name
+        assert sum(mix.values()) == pytest.approx(100.0), name
+
+
+def test_ordering_mix_is_write_heavy():
+    from repro.apps.tpcw.model import BROWSING_MIX, ORDERING_MIX
+
+    writers = ("BuyConfirm", "CustomerRegistration", "BuyRequest")
+    browsing = sum(BROWSING_MIX[w] for w in writers)
+    ordering = sum(ORDERING_MIX[w] for w in writers)
+    assert ordering > 10 * browsing
+
+
+def test_model_is_deterministic():
+    a = TpcwModel(Rng(4))
+    b = TpcwModel(Rng(4))
+    assert [a.param_for("ProductDetail") for _ in range(20)] == [
+        b.param_for("ProductDetail") for _ in range(20)
+    ]

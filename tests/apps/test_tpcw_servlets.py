@@ -1,0 +1,52 @@
+"""Unit tests for the TPC-W servlets and their caching rules."""
+
+import pytest
+
+from repro.apps.tpcw.model import INTERACTIONS, TpcwModel
+from repro.apps.tpcw.servlets import (
+    RESULT_CACHE_TTL,
+    BestSellersServlet,
+    SearchResultServlet,
+    TpcwServlet,
+    build_servlets,
+)
+from repro.sim import Rng
+
+
+@pytest.fixture
+def model():
+    return TpcwModel(Rng(2))
+
+
+def test_build_servlets_covers_all_interactions(model):
+    servlets = build_servlets(model)
+    assert set(servlets) == set(INTERACTIONS)
+    assert isinstance(servlets["BestSellers"], BestSellersServlet)
+    assert isinstance(servlets["SearchResult"], SearchResultServlet)
+    assert type(servlets["Home"]) is TpcwServlet
+
+
+def test_only_the_two_paper_servlets_are_cacheable(model):
+    servlets = build_servlets(model)
+    cacheable = {name for name, s in servlets.items() if s.cacheable}
+    assert cacheable == {"BestSellers", "SearchResult"}
+
+
+def test_bestsellers_cached_per_subject_for_30s(model):
+    servlet = build_servlets(model)["BestSellers"]
+    assert servlet.cache_key(3) == ("BestSellers", 3)
+    assert servlet.cache_key(3) != servlet.cache_key(4)
+    assert servlet.cache_ttl_for(3) == RESULT_CACHE_TTL == 30.0
+
+
+def test_searchresult_ttl_depends_on_search_type(model):
+    """Clause 6.3.3.1: subject searches 30s; title/author forever."""
+    servlet = build_servlets(model)["SearchResult"]
+    assert servlet.cache_ttl_for(("subject", 5)) == RESULT_CACHE_TTL
+    assert servlet.cache_ttl_for(("title", 123)) is None
+    assert servlet.cache_ttl_for(("author", 9)) is None
+
+
+def test_page_sizes_positive(model):
+    for servlet in build_servlets(model).values():
+        assert servlet.page_bytes > 0

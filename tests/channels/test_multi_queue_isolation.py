@@ -1,0 +1,113 @@
+"""Two shared queues in one process: per-lock isolation of flows."""
+
+import pytest
+
+from repro.channels import SharedMemoryRegion, SharedQueue
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW
+from repro.core.profiler import ProfilerMode, StageRuntime
+from repro.sim import CPU, CurrentThread, Delay, Kernel
+from repro.sim.process import frame
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def test_two_queues_keep_separate_flows():
+    """A process with two independent shared queues (one region, two
+
+    locks): each consumer inherits the context of its own queue's
+    producer, and the detector classifies both locks independently.
+    """
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    stage = StageRuntime("srv", mode=ProfilerMode.WHODUNIT)
+    region = SharedMemoryRegion(cpu)
+    queue_a = SharedQueue(region, name="qa")
+    queue_b = SharedQueue(region, name="qb")
+    results = {}
+
+    def producer(queue, tag, sd):
+        def body():
+            thread = yield CurrentThread()
+            with frame(thread, "main"):
+                with frame(thread, tag):
+                    yield from queue.push(thread, sd, sd)
+
+        return body
+
+    def consumer(queue, tag):
+        def body():
+            thread = yield CurrentThread()
+            with frame(thread, "main"):
+                sd, _ = yield from queue.pop(thread)
+                results[tag] = (sd, thread.tran_ctxt)
+
+        return body
+
+    kernel.spawn(producer(queue_a, "produce_a", 101)(), stage=stage)
+    kernel.spawn(producer(queue_b, "produce_b", 202)(), stage=stage)
+    kernel.spawn(consumer(queue_a, "a")(), stage=stage)
+    kernel.spawn(consumer(queue_b, "b")(), stage=stage)
+    kernel.run(until=1.0)
+
+    assert results["a"][0] == 101
+    assert results["b"][0] == 202
+    assert results["a"][1] == ctxt("main", "produce_a")
+    assert results["b"][1] == ctxt("main", "produce_b")
+    detector = region.detector
+    assert detector.roles.for_lock(queue_a.mutex).classification == FLOW
+    assert detector.roles.for_lock(queue_b.mutex).classification == FLOW
+    # Roles never leak across locks.
+    assert (
+        detector.roles.for_lock(queue_a.mutex).producers
+        != detector.roles.for_lock(queue_b.mutex).producers
+    )
+
+
+def test_same_thread_producing_one_queue_consuming_another_is_flow():
+    """A pipeline thread popping from one queue and pushing to the next
+
+    must NOT trigger the allocator classification: the roles are on
+    different locks."""
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    stage = StageRuntime("srv", mode=ProfilerMode.WHODUNIT)
+    region = SharedMemoryRegion(cpu)
+    first = SharedQueue(region, name="first")
+    second = SharedQueue(region, name="second")
+    out = {}
+
+    def source():
+        thread = yield CurrentThread()
+        with frame(thread, "source"):
+            yield from first.push(thread, 7, 7)
+
+    def middle():
+        thread = yield CurrentThread()
+        with frame(thread, "middle"):
+            sd, p = yield from first.pop(thread)
+            yield from second.push(thread, sd, p)
+
+    def sink():
+        thread = yield CurrentThread()
+        with frame(thread, "sink"):
+            sd, _ = yield from second.pop(thread)
+            out["sd"] = sd
+            out["ctxt"] = thread.tran_ctxt
+
+    kernel.spawn(source(), stage=stage)
+    kernel.spawn(middle(), stage=stage)
+    kernel.spawn(sink(), stage=stage)
+    kernel.run(until=1.0)
+
+    assert out["sd"] == 7
+    detector = region.detector
+    assert not detector.roles.for_lock(first.mutex).is_no_flow
+    assert not detector.roles.for_lock(second.mutex).is_no_flow
+    # The sink's inherited context chains through the middle thread: the
+    # middle thread adopted the source's context before pushing, so its
+    # push context starts with the source's context elements.
+    assert out["ctxt"] is not None
+    assert out["ctxt"].elements[0] == "source"

@@ -1,0 +1,177 @@
+"""Tests for the VM-backed shared queue: Apache's fd_queue in simulation."""
+
+import pytest
+
+from repro.channels import SharedMemoryRegion, SharedQueue
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW
+from repro.core.profiler import ProfilerMode, StageRuntime
+from repro.sim import CPU, CurrentThread, Delay, Kernel
+from repro.sim.process import frame
+from repro.vm.emulator import DIRECT, EMULATE
+
+
+def setup(mode=ProfilerMode.WHODUNIT):
+    kernel = Kernel()
+    cpu = CPU(kernel, name="httpd-cpu")
+    stage = StageRuntime("httpd", mode=mode)
+    region = SharedMemoryRegion(cpu)
+    queue = SharedQueue(region, capacity=8)
+    return kernel, cpu, stage, region, queue
+
+
+def test_push_pop_transfers_values():
+    kernel, cpu, stage, region, queue = setup()
+    got = []
+
+    def listener():
+        thread = yield CurrentThread()
+        with frame(thread, "listener_main"):
+            yield from queue.push(thread, 1111, 2222)
+
+    def worker():
+        thread = yield CurrentThread()
+        with frame(thread, "worker_main"):
+            sd, p = yield from queue.pop(thread)
+            got.append((sd, p))
+
+    kernel.spawn(listener(), stage=stage)
+    kernel.spawn(worker(), stage=stage)
+    kernel.run()
+    assert got == [(1111, 2222)]
+    assert queue.pushes == 1 and queue.pops == 1
+
+
+def test_worker_blocks_until_push():
+    kernel, cpu, stage, region, queue = setup()
+    times = []
+
+    def worker():
+        thread = yield CurrentThread()
+        yield from queue.pop(thread)
+        times.append(kernel.now)
+
+    def listener():
+        thread = yield CurrentThread()
+        yield Delay(1.0)
+        yield from queue.push(thread, 1, 2)
+
+    kernel.spawn(worker(), stage=stage)
+    kernel.spawn(listener(), stage=stage)
+    kernel.run()
+    assert len(times) == 1
+    assert times[0] >= 1.0
+
+
+def test_worker_inherits_producer_context():
+    kernel, cpu, stage, region, queue = setup()
+    contexts = []
+
+    def listener():
+        thread = yield CurrentThread()
+        with frame(thread, "main"):
+            with frame(thread, "listener_thread"):
+                with frame(thread, "ap_queue_push"):
+                    yield from queue.push(thread, 7, 8)
+
+    def worker():
+        thread = yield CurrentThread()
+        with frame(thread, "main"):
+            with frame(thread, "worker_thread"):
+                yield from queue.pop(thread)
+                contexts.append(thread.tran_ctxt)
+
+    kernel.spawn(listener(), stage=stage)
+    kernel.spawn(worker(), stage=stage)
+    kernel.run()
+    # §3.5: the worker's context is the listener's context at the
+    # produce point — its call path through ap_queue_push.
+    assert contexts == [
+        TransactionContext(("main", "listener_thread", "ap_queue_push"))
+    ]
+    assert region.detector.roles.for_lock(queue.mutex).classification == FLOW
+
+
+def test_profiling_off_runs_native_and_tracks_nothing():
+    kernel, cpu, stage, region, queue = setup(mode=ProfilerMode.OFF)
+    got = []
+
+    def listener():
+        thread = yield CurrentThread()
+        yield from queue.push(thread, 5, 6)
+
+    def worker():
+        thread = yield CurrentThread()
+        got.append((yield from queue.pop(thread)))
+        got.append(thread.tran_ctxt)
+
+    kernel.spawn(listener(), stage=stage)
+    kernel.spawn(worker(), stage=stage)
+    kernel.run()
+    assert got == [(5, 6), None]
+    assert region.detector.consume_events == []
+    assert not region.emulator.is_translated(queue.layout.push_program)
+
+
+def test_emulation_costs_more_time_than_native():
+    def run_once(mode):
+        kernel, cpu, stage, region, queue = setup(mode=mode)
+        end = {}
+
+        def listener():
+            thread = yield CurrentThread()
+            for i in range(10):
+                yield from queue.push(thread, i, i)
+
+        def worker():
+            thread = yield CurrentThread()
+            for _ in range(10):
+                yield from queue.pop(thread)
+            end["t"] = kernel.now
+
+        kernel.spawn(listener(), stage=stage)
+        kernel.spawn(worker(), stage=stage)
+        kernel.run()
+        return end["t"]
+
+    native = run_once(ProfilerMode.OFF)
+    emulated = run_once(ProfilerMode.WHODUNIT)
+    assert emulated > native * 10
+
+
+def test_queue_overflow_raises():
+    kernel, cpu, stage, region, queue = setup()
+
+    def listener():
+        thread = yield CurrentThread()
+        for i in range(9):  # capacity is 8
+            yield from queue.push(thread, i, i)
+
+    kernel.spawn(listener(), stage=stage)
+    with pytest.raises(OverflowError):
+        kernel.run()
+
+
+def test_many_workers_fifo_blocking():
+    kernel, cpu, stage, region, queue = setup()
+    got = []
+
+    def worker(tag):
+        thread = yield CurrentThread()
+        sd, p = yield from queue.pop(thread)
+        got.append((tag, sd))
+
+    def listener():
+        thread = yield CurrentThread()
+        yield Delay(0.1)
+        for i in range(3):
+            yield from queue.push(thread, i, i)
+
+    for tag in range(3):
+        kernel.spawn(worker(tag), stage=stage)
+    kernel.spawn(listener(), stage=stage)
+    kernel.run()
+    # Each push wakes one blocked worker, which immediately pops the
+    # single queued element — FIFO handoff, in worker arrival order.
+    assert sorted(got) == [(0, 0), (1, 1), (2, 2)]
+    assert len(got) == 3

@@ -1,0 +1,51 @@
+"""Tests for the call-path value helpers."""
+
+import pytest
+
+from repro.core.callpath import (
+    EMPTY_PATH,
+    common_prefix,
+    format_path,
+    is_prefix,
+    make_path,
+)
+
+
+def test_make_path_builds_tuple():
+    assert make_path("main", "foo", "send") == ("main", "foo", "send")
+
+
+def test_make_path_rejects_empty_frames():
+    with pytest.raises(ValueError):
+        make_path("main", "")
+
+
+def test_make_path_rejects_non_strings():
+    with pytest.raises(ValueError):
+        make_path("main", 3)
+
+
+def test_empty_path_constant():
+    assert EMPTY_PATH == ()
+
+
+def test_is_prefix_true_cases():
+    assert is_prefix((), ("a", "b"))
+    assert is_prefix(("a",), ("a", "b"))
+    assert is_prefix(("a", "b"), ("a", "b"))
+
+
+def test_is_prefix_false_cases():
+    assert not is_prefix(("b",), ("a", "b"))
+    assert not is_prefix(("a", "b", "c"), ("a", "b"))
+
+
+def test_common_prefix():
+    assert common_prefix(("a", "b", "c"), ("a", "b", "d")) == ("a", "b")
+    assert common_prefix(("x",), ("y",)) == ()
+    assert common_prefix((), ("a",)) == ()
+
+
+def test_format_path():
+    assert format_path(("main", "foo")) == "main > foo"
+    assert format_path(()) == "<empty>"

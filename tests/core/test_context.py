@@ -1,0 +1,179 @@
+"""Tests for TransactionContext: concatenation, collapse, loop pruning."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import SynopsisRef, TransactionContext
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def test_empty_context_singleton_behaviour():
+    assert TransactionContext.empty().is_empty
+    assert len(TransactionContext.empty()) == 0
+
+
+def test_from_call_path():
+    c = TransactionContext.from_call_path(("main", "accept"))
+    assert c.elements == ("main", "accept")
+
+
+def test_append_grows_sequence():
+    c = ctxt("accept").append("read")
+    assert c.elements == ("accept", "read")
+
+
+def test_append_collapses_consecutive_duplicates():
+    """evhB scheduled repeatedly for one long read collapses to one entry."""
+    c = ctxt("accept", "read")
+    assert c.append("read").elements == ("accept", "read")
+
+
+def test_append_collapse_disabled_keeps_duplicates():
+    c = ctxt("accept", "read")
+    assert c.append("read", collapse=False, prune=False).elements == (
+        "accept",
+        "read",
+        "read",
+    )
+
+
+def test_loop_pruning_persistent_connection():
+    """Paper's example: [accept, read, write] + read prunes to [accept, read]."""
+    c = ctxt("accept", "read", "write")
+    pruned = c.append("read")
+    assert pruned.elements == ("accept", "read")
+
+
+def test_loop_pruning_stabilises_over_many_requests():
+    """A persistent connection cycling read/write reaches a fixed point."""
+    c = ctxt("accept")
+    seen = set()
+    for _ in range(10):
+        c = c.append("read")
+        seen.add(c.elements)
+        c = c.append("write")
+        seen.add(c.elements)
+    assert seen == {("accept", "read"), ("accept", "read", "write")}
+
+
+def test_prune_disabled_grows_history():
+    c = ctxt("accept", "read", "write")
+    grown = c.append("read", prune=False)
+    assert grown.elements == ("accept", "read", "write", "read")
+
+
+def test_concat_orders_elements():
+    assert ctxt("a", "b").concat(ctxt("c")).elements == ("a", "b", "c")
+
+
+def test_concat_with_empty_is_identity():
+    c = ctxt("a", "b")
+    assert c.concat(TransactionContext.empty()) is c
+    assert TransactionContext.empty().concat(c) is c
+
+
+def test_extend_path():
+    c = ctxt("syn").extend_path(("main", "handler"))
+    assert c.elements == ("syn", "main", "handler")
+
+
+def test_extend_path_empty_is_identity():
+    c = ctxt("a")
+    assert c.extend_path(()) is c
+
+
+def test_starts_with():
+    c = ctxt("a", "b", "c")
+    assert c.starts_with(ctxt("a", "b"))
+    assert c.starts_with(TransactionContext.empty())
+    assert not c.starts_with(ctxt("b"))
+    assert not ctxt("a").starts_with(c)
+
+
+def test_equality_and_hash():
+    assert ctxt("a", "b") == ctxt("a", "b")
+    assert hash(ctxt("a", "b")) == hash(ctxt("a", "b"))
+    assert ctxt("a") != ctxt("b")
+    assert ctxt("a") != "a"
+
+
+def test_contexts_usable_as_dict_keys():
+    d = {ctxt("a"): 1, ctxt("a", "b"): 2}
+    assert d[ctxt("a")] == 1
+    assert d[ctxt("a", "b")] == 2
+
+
+def test_synopsis_ref_equality():
+    assert SynopsisRef("web", 3) == SynopsisRef("web", 3)
+    assert SynopsisRef("web", 3) != SynopsisRef("db", 3)
+    assert SynopsisRef("web", 3) != SynopsisRef("web", 4)
+
+
+def test_synopsis_ref_bounds():
+    SynopsisRef("web", 0)
+    SynopsisRef("web", 0xFFFFFFFF)
+    with pytest.raises(ValueError):
+        SynopsisRef("web", -1)
+    with pytest.raises(ValueError):
+        SynopsisRef("web", 2**32)
+
+
+def test_context_with_synopsis_ref_elements():
+    ref = SynopsisRef("web", 7)
+    c = TransactionContext((ref,)).extend_path(("main", "query"))
+    assert c.elements[0] == ref
+    assert c.elements[1:] == ("main", "query")
+
+
+# ----------------------------------------------------------------------
+# Property-based tests on normalisation laws
+# ----------------------------------------------------------------------
+elements = st.sampled_from(["accept", "read", "write", "cache", "miss"])
+
+
+@given(st.lists(elements, max_size=30))
+def test_no_consecutive_duplicates_after_appends(seq):
+    c = TransactionContext.empty()
+    for e in seq:
+        c = c.append(e)
+    assert all(a != b for a, b in zip(c.elements, c.elements[1:]))
+
+
+@given(st.lists(elements, max_size=30))
+def test_all_elements_distinct_after_pruning_appends(seq):
+    """Loop pruning guarantees each element appears at most once."""
+    c = TransactionContext.empty()
+    for e in seq:
+        c = c.append(e)
+    assert len(set(c.elements)) == len(c.elements)
+
+
+@given(st.lists(elements, max_size=30))
+def test_last_appended_element_is_suffix_or_absorbed(seq):
+    c = TransactionContext.empty()
+    for e in seq:
+        c = c.append(e)
+        assert c.elements[-1] == e
+
+
+@given(st.lists(elements, max_size=15), st.lists(elements, max_size=15))
+def test_concat_associative(a, b):
+    ca, cb = TransactionContext(a), TransactionContext(b)
+    cc = TransactionContext(["x"])
+    left = ca.concat(cb).concat(cc)
+    right = ca.concat(cb.concat(cc))
+    assert left == right
+
+
+@given(st.lists(elements, max_size=20))
+def test_append_idempotent_on_duplicates(seq):
+    """Appending the same element twice in a row equals appending once."""
+    c = TransactionContext.empty()
+    for e in seq:
+        once = c.append(e)
+        twice = once.append(e)
+        assert once == twice
+        c = once

@@ -1,0 +1,27 @@
+"""Tests for context wire-size accounting (synopsis ablation support)."""
+
+import pytest
+
+from repro.core.context import SynopsisRef, TransactionContext
+
+
+def test_wire_size_strings():
+    c = TransactionContext(("accept", "read"))
+    assert c.wire_size() == len("accept") + 1 + len("read") + 1
+
+
+def test_wire_size_refs_cost_four_bytes():
+    c = TransactionContext((SynopsisRef("web", 9), "svc"))
+    assert c.wire_size() == 4 + len("svc") + 1
+
+
+def test_wire_size_empty():
+    assert TransactionContext.empty().wire_size() == 0
+
+
+def test_wire_size_grows_with_depth():
+    shallow = TransactionContext(("a",))
+    deep = shallow
+    for name in ["handler" + str(i) for i in range(10)]:
+        deep = deep.append(name)
+    assert deep.wire_size() > 10 * shallow.wire_size()

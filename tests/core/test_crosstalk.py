@@ -1,0 +1,149 @@
+"""Tests for transaction crosstalk measurement (§6)."""
+
+import pytest
+
+from repro.core.context import TransactionContext
+from repro.core.crosstalk import CrosstalkRecorder, PairStats
+from repro.sim import Acquire, Delay, Kernel, Mutex, Release
+
+
+def test_pair_stats_accumulate():
+    stats = PairStats()
+    stats.add(1.0)
+    stats.add(3.0)
+    assert stats.count == 2
+    assert stats.total == 4.0
+    assert stats.mean == 2.0
+    assert stats.max == 3.0
+
+
+def test_empty_pair_stats_mean_zero():
+    assert PairStats().mean == 0.0
+
+
+def test_record_aggregates_by_ordered_pair():
+    recorder = CrosstalkRecorder()
+    recorder.record("B", "A", 2.0)
+    recorder.record("B", "A", 4.0)
+    recorder.record("A", "B", 1.0)
+    assert recorder.mean_wait("B", "A") == 3.0
+    assert recorder.mean_wait("A", "B") == 1.0
+    assert recorder.mean_wait("A", "C") == 0.0
+
+
+def test_by_waiter_totals():
+    recorder = CrosstalkRecorder()
+    recorder.record("B", "A", 2.0)
+    recorder.record("B", "C", 3.0)
+    assert recorder.total_wait_of("B") == 5.0
+    assert recorder.total_wait_of("A") == 0.0
+
+
+def test_pair_table_sorted_by_impact():
+    recorder = CrosstalkRecorder()
+    recorder.record("light", "x", 0.001)
+    for _ in range(10):
+        recorder.record("heavy", "y", 1.0)
+    rows = recorder.pair_table()
+    assert rows[0][0] == "heavy"
+    assert rows[0][2] == 10
+
+
+def test_classifier_maps_context_to_type():
+    recorder = CrosstalkRecorder(type_of=lambda ctxt: ctxt.elements[0])
+    assert recorder.classify(TransactionContext(("BestSellers", "query"))) == (
+        "BestSellers"
+    )
+    assert recorder.classify(None) is None
+
+
+def test_mutex_observation_records_holder_context():
+    kernel = Kernel()
+    mutex = Mutex("item-table")
+    recorder = CrosstalkRecorder(type_of=lambda c: c.elements[0])
+    recorder.observe(mutex)
+
+    def holder():
+        thread = yield from _current()
+        thread.tran_ctxt = TransactionContext(("AdminConfirm",))
+        yield Acquire(mutex)
+        yield Delay(0.094)
+        yield Release(mutex)
+
+    def waiter():
+        thread = yield from _current()
+        thread.tran_ctxt = TransactionContext(("BuyConfirm",))
+        yield Delay(0.01)
+        yield Acquire(mutex)
+        yield Release(mutex)
+
+    def _current():
+        from repro.sim import CurrentThread
+
+        thread = yield CurrentThread()
+        return thread
+
+    kernel.spawn(holder())
+    kernel.spawn(waiter())
+    kernel.run()
+    assert recorder.mean_wait("BuyConfirm", "AdminConfirm") == pytest.approx(0.084)
+
+
+def test_mutex_observation_splits_wait_among_shared_holders():
+    kernel = Kernel()
+    mutex = Mutex("table")
+    recorder = CrosstalkRecorder(type_of=lambda c: c.elements[0])
+    recorder.observe(mutex)
+
+    def reader(name, hold):
+        from repro.sim import CurrentThread
+
+        thread = yield CurrentThread()
+        thread.tran_ctxt = TransactionContext((name,))
+        yield Acquire(mutex, shared=True)
+        yield Delay(hold)
+        yield Release(mutex)
+
+    def writer():
+        from repro.sim import CurrentThread
+
+        thread = yield CurrentThread()
+        thread.tran_ctxt = TransactionContext(("AdminConfirm",))
+        yield Delay(0.01)
+        yield Acquire(mutex)
+        yield Release(mutex)
+
+    kernel.spawn(reader("Home", 0.05))
+    kernel.spawn(reader("Search", 0.05))
+    kernel.spawn(writer())
+    kernel.run()
+    # Writer waited 0.04s behind two readers: 0.02s attributed to each.
+    assert recorder.mean_wait("AdminConfirm", "Home") == pytest.approx(0.02)
+    assert recorder.mean_wait("AdminConfirm", "Search") == pytest.approx(0.02)
+    assert recorder.total_wait_of("AdminConfirm") == pytest.approx(0.04)
+
+
+def test_zero_wait_not_recorded():
+    recorder = CrosstalkRecorder()
+    recorder._on_wait(Mutex("m"), None, (), "exclusive", 0.0)
+    assert recorder.events == []
+
+
+def test_unknown_holder_attributed_to_none():
+    recorder = CrosstalkRecorder()
+
+    class FakeThread:
+        tran_ctxt = None
+
+    recorder._on_wait(Mutex("m"), FakeThread(), (), "exclusive", 1.5)
+    assert recorder.mean_wait(None, None) == 1.5
+
+
+def test_merge_combines_recorders():
+    a = CrosstalkRecorder()
+    b = CrosstalkRecorder()
+    a.record("X", "Y", 1.0)
+    b.record("X", "Y", 3.0)
+    a.merge(b)
+    assert a.mean_wait("X", "Y") == 2.0
+    assert len(a.events) == 2

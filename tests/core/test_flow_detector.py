@@ -1,0 +1,351 @@
+"""End-to-end tests of the flow-detection algorithm on §3's programs.
+
+These mirror the paper's own validation: the Apache queue (Fig 1) must
+produce transaction flow from listener to worker; the shared counter
+(Fig 2) and the memory allocator (Fig 3) must not; NULL sanity-checking
+and element relocation (§3.3.2, §3.2) must behave as described.
+"""
+
+import pytest
+
+from repro.core.context import TransactionContext
+from repro.core.flow import (
+    FLOW,
+    FlowDetector,
+    NO_FLOW_ALLOCATOR,
+    NO_FLOW_STATEFUL,
+)
+from repro.vm import Emulator, Machine
+from repro.vm.emulator import DIRECT, EMULATE
+from repro.vm.programs import (
+    BoundedQueue,
+    FreeListAllocator,
+    LinkedQueue,
+    SharedCounter,
+    SlotShuffleQueue,
+)
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+class Harness:
+    """Drives critical sections the way the shared-memory channel does."""
+
+    def __init__(self):
+        self.machine = Machine()
+        self.emulator = Emulator()
+        self.detector = FlowDetector()
+
+    def run_cs(self, lock, thread, context, program, args=(), use_program=None):
+        """Run one critical section (and its use window); returns consumes."""
+        self.machine.registers(thread).load_arguments(*args)
+        if self.detector.mode_for(lock) == DIRECT:
+            self.emulator.run(program, self.machine, thread, mode=DIRECT)
+            if use_program is not None:
+                self.emulator.run(use_program, self.machine, thread, mode=DIRECT)
+            return []
+        cs = self.detector.enter_cs(lock, thread, context)
+        self.emulator.run(program, self.machine, thread, hooks=cs)
+        window = self.detector.exit_cs(cs)
+        if use_program is not None:
+            self.emulator.run(use_program, self.machine, thread, hooks=window)
+        return window.consumed
+
+
+@pytest.fixture
+def harness():
+    return Harness()
+
+
+# ----------------------------------------------------------------------
+# Fig 1: the Apache queue — flow must be detected
+# ----------------------------------------------------------------------
+def test_queue_push_pop_detects_flow(harness):
+    q = BoundedQueue(harness.machine.memory)
+    lock = "one_big_mutex"
+    listener_ctxt = ctxt("main", "listener", "ap_queue_push")
+
+    harness.run_cs(lock, "listener", listener_ctxt, q.push_program, (111, 222))
+    consumed = harness.run_cs(
+        lock, "worker", ctxt(), q.pop_program, (), use_program=q.use_program
+    )
+
+    assert len(consumed) >= 1
+    event = consumed[0]
+    assert event.context == listener_ctxt
+    assert event.producer == "listener"
+    roles = harness.detector.roles.for_lock(lock)
+    assert roles.classification == FLOW
+    assert "listener" in roles.producers
+    assert "worker" in roles.consumers
+
+
+def test_queue_flow_repeats_for_many_elements(harness):
+    q = BoundedQueue(harness.machine.memory)
+    lock = "q"
+    contexts = [ctxt("push", str(i)) for i in range(5)]
+    for i, c in enumerate(contexts):
+        harness.run_cs(lock, "listener", c, q.push_program, (100 + i, 200 + i))
+    seen = []
+    for _ in range(5):
+        consumed = harness.run_cs(
+            lock, "worker", ctxt(), q.pop_program, (), use_program=q.use_program
+        )
+        seen.append(consumed[0].context)
+    # LIFO pop order: contexts come back newest-first.
+    assert seen == list(reversed(contexts))
+
+
+def test_two_workers_each_get_producer_context(harness):
+    q = BoundedQueue(harness.machine.memory)
+    lock = "q"
+    harness.run_cs(lock, "listener", ctxt("c1"), q.push_program, (1, 2))
+    harness.run_cs(lock, "listener", ctxt("c2"), q.push_program, (3, 4))
+    first = harness.run_cs(lock, "w1", ctxt(), q.pop_program, (), use_program=q.use_program)
+    second = harness.run_cs(lock, "w2", ctxt(), q.pop_program, (), use_program=q.use_program)
+    assert first[0].context == ctxt("c2")
+    assert second[0].context == ctxt("c1")
+    roles = harness.detector.roles.for_lock(lock)
+    assert roles.consumers == {"w1", "w2"}
+    assert roles.classification == FLOW
+
+
+def test_flow_lock_keeps_being_emulated(harness):
+    q = BoundedQueue(harness.machine.memory)
+    lock = "q"
+    for i in range(40):
+        harness.run_cs(lock, "listener", ctxt(f"c{i}"), q.push_program, (i, i))
+        harness.run_cs(lock, "worker", ctxt(), q.pop_program, (), use_program=q.use_program)
+    assert harness.detector.mode_for(lock) == EMULATE
+
+
+# ----------------------------------------------------------------------
+# Fig 2: the shared counter — no flow, classified stateful
+# ----------------------------------------------------------------------
+def test_counter_produces_no_flow_and_goes_native(harness):
+    counter = SharedCounter(harness.machine.memory)
+    lock = "count_mutex"
+    threshold = harness.detector.stateful_threshold
+    for i in range(threshold):
+        thread = "t1" if i % 2 == 0 else "t2"
+        consumed = harness.run_cs(
+            lock, thread, ctxt("tx", str(i)), counter.increment_program
+        )
+        assert consumed == []
+    roles = harness.detector.roles.for_lock(lock)
+    assert roles.classification == NO_FLOW_STATEFUL
+    assert roles.producers == set()
+    assert roles.consumers == set()
+    assert harness.detector.mode_for(lock) == DIRECT
+    # Counter keeps functioning natively afterwards.
+    harness.run_cs(lock, "t1", ctxt(), counter.increment_program)
+    assert counter.value(harness.machine.memory) == threshold + 1
+
+
+def test_counter_location_carries_invalid_context(harness):
+    from repro.core.flow.dictionary import INVALID
+    from repro.vm.machine import mem_loc
+
+    counter = SharedCounter(harness.machine.memory)
+    harness.run_cs("l", "t1", ctxt("a"), counter.increment_program)
+    entry = harness.detector.dictionary.get(mem_loc(counter.count_addr))
+    assert entry is not None
+    assert entry.context is INVALID
+
+
+# ----------------------------------------------------------------------
+# Fig 3: the memory allocator — producer/consumer overlap, no flow
+# ----------------------------------------------------------------------
+def test_allocator_classified_no_flow(harness):
+    allocator = FreeListAllocator(harness.machine.memory, blocks=4)
+    lock = "alloc_mutex"
+
+    def alloc(thread, tx):
+        harness.run_cs(
+            lock, thread, tx, allocator.alloc_program, (), use_program=allocator.use_program
+        )
+        return harness.machine.registers(thread).read(0)
+
+    def free(thread, tx, block):
+        harness.run_cs(lock, thread, tx, allocator.free_program, (block,))
+
+    # Threads allocate, work, free — blocks recycle across threads.
+    block_a = alloc("tA", ctxt("txA"))
+    free("tA", ctxt("txA"), block_a)
+    block_b = alloc("tB", ctxt("txB"))  # tB may consume tA's ctxt: flow-ish
+    free("tB", ctxt("txB"), block_b)
+    alloc("tA", ctxt("txA2"))  # tA consumes tB's block: overlap
+
+    roles = harness.detector.roles.for_lock(lock)
+    assert roles.classification == NO_FLOW_ALLOCATOR
+    assert harness.detector.mode_for(lock) == DIRECT
+
+
+def test_allocator_flow_edges_suppressed_in_report(harness):
+    allocator = FreeListAllocator(harness.machine.memory, blocks=2)
+    lock = "alloc"
+
+    def cycle(thread, tx):
+        harness.run_cs(
+            lock, thread, tx, allocator.alloc_program, (), use_program=allocator.use_program
+        )
+        block = harness.machine.registers(thread).read(0)
+        harness.run_cs(lock, thread, tx, allocator.free_program, (block,))
+
+    for i in range(6):
+        cycle("tA" if i % 2 == 0 else "tB", ctxt("tx", str(i)))
+
+    assert harness.detector.roles.for_lock(lock).is_no_flow
+    # Transient consume events happened on this lock before it was
+    # classified, but flow_edges() excludes them all.
+    assert any(e.lock == lock for e in harness.detector.consume_events)
+    assert harness.detector.flow_edges() == []
+
+
+# ----------------------------------------------------------------------
+# §3.3.2: NULL sanity-checking must not create reverse flow
+# ----------------------------------------------------------------------
+def test_linked_queue_flow_detected_and_null_head_is_invalid(harness):
+    q = LinkedQueue(harness.machine.memory)
+    lock = "slist"
+    e1 = harness.machine.memory.alloc(2)
+    harness.run_cs(lock, "prod", ctxt("enq1"), q.enqueue_program, (e1,))
+    consumed = harness.run_cs(
+        lock, "cons1", ctxt(), q.dequeue_program, (), use_program=q.use_program
+    )
+    assert consumed and consumed[0].context == ctxt("enq1")
+
+    # Queue now empty; head was written with a NULL propagated through
+    # elem->next (invalid context).  A second consumer must not consume.
+    consumed2 = harness.run_cs(
+        lock, "cons2", ctxt(), q.dequeue_program, (), use_program=None
+    )
+    assert consumed2 == []
+    assert "cons2" not in harness.detector.roles.for_lock(lock).consumers
+
+
+def test_null_cleared_slot_does_not_flow_back_to_producer(harness):
+    """The consumer writes NULL into the slot; the producer later reads
+
+    it (sanity check) — the paper: no flow from consumer to producer.
+    """
+    q = LinkedQueue(harness.machine.memory)
+    lock = "slist"
+    e1 = harness.machine.memory.alloc(2)
+    harness.run_cs(lock, "prod", ctxt("enq"), q.enqueue_program, (e1,))
+    harness.run_cs(lock, "cons", ctxt(), q.dequeue_program, (), use_program=q.use_program)
+    # Producer enqueues the same element again, reading its cleared next
+    # pointer in the process.
+    harness.run_cs(lock, "prod", ctxt("enq2"), q.enqueue_program, (e1,))
+    roles = harness.detector.roles.for_lock(lock)
+    assert "prod" not in roles.consumers
+    assert roles.classification == FLOW
+
+
+# ----------------------------------------------------------------------
+# §3.2: element relocation preserves the producer's context
+# ----------------------------------------------------------------------
+def test_slot_shuffle_preserves_context(harness):
+    q = SlotShuffleQueue(harness.machine.memory)
+    lock = "pq"
+    harness.run_cs(lock, "prod", ctxt("stored"), q.store_program, (777, 2))
+    # A third thread rearranges the queue internally.
+    harness.run_cs(lock, "shuffler", ctxt("shuffle"), q.shuffle_program, (2, 5))
+    consumed = harness.run_cs(
+        lock, "cons", ctxt(), q.load_program, (0, 5), use_program=q.use_program
+    )
+    assert consumed
+    assert consumed[0].context == ctxt("stored")
+    assert consumed[0].producer == "prod"
+
+
+# ----------------------------------------------------------------------
+# Lock-mismatch flushing
+# ----------------------------------------------------------------------
+def test_access_under_different_lock_flushes_context(harness):
+    q = BoundedQueue(harness.machine.memory)
+    harness.run_cs("lockA", "listener", ctxt("A"), q.push_program, (1, 2))
+    # Pop the same memory under a DIFFERENT lock: the entry must flush,
+    # so no consumption can be inferred.
+    consumed = harness.run_cs(
+        "lockB", "worker", ctxt(), q.pop_program, (), use_program=q.use_program
+    )
+    assert consumed == []
+
+
+# ----------------------------------------------------------------------
+# Detector mechanics
+# ----------------------------------------------------------------------
+def test_registers_cleared_on_cs_entry(harness):
+    from repro.vm.machine import reg_loc
+
+    q = BoundedQueue(harness.machine.memory)
+    harness.detector.dictionary.set(reg_loc("listener", 0), ctxt("stale"), "q", "x")
+    harness.run_cs("q", "listener", ctxt("fresh"), q.push_program, (9, 9))
+    # The stale r0 entry cannot have been propagated into the queue:
+    consumed = harness.run_cs(
+        "q", "worker", ctxt(), q.pop_program, (), use_program=q.use_program
+    )
+    assert consumed[0].context == ctxt("fresh")
+
+
+def test_exit_cs_twice_raises(harness):
+    cs = harness.detector.enter_cs("l", "t", ctxt())
+    harness.detector.exit_cs(cs)
+    with pytest.raises(RuntimeError):
+        harness.detector.exit_cs(cs)
+
+
+def test_window_budget_limits_consumption_reads():
+    from repro.vm.machine import mem_loc
+
+    detector = FlowDetector(max_window=2)
+    detector.dictionary.set(mem_loc(1), ctxt("a"), "l", "prod")
+    detector.dictionary.set(mem_loc(2), ctxt("b"), "l", "prod")
+    detector.dictionary.set(mem_loc(3), ctxt("c"), "l", "prod")
+    cs = detector.enter_cs("l", "cons", ctxt())
+    window = detector.exit_cs(cs)
+    window.read(mem_loc(1))
+    window.read(mem_loc(2))
+    window.read(mem_loc(3))  # beyond the MAX window
+    assert [e.context for e in window.consumed] == [ctxt("a"), ctxt("b")]
+
+
+def test_own_writes_are_not_consumed():
+    from repro.vm.machine import mem_loc
+
+    detector = FlowDetector()
+    detector.dictionary.set(mem_loc(1), ctxt("mine"), "l", "me")
+    cs = detector.enter_cs("l", "me", ctxt())
+    window = detector.exit_cs(cs)
+    window.read(mem_loc(1))
+    assert window.consumed == []
+
+
+def test_window_writes_untrack_locations():
+    from repro.vm.machine import mem_loc
+
+    detector = FlowDetector()
+    detector.dictionary.set(mem_loc(1), ctxt("a"), "l", "prod")
+    cs = detector.enter_cs("l", "cons", ctxt())
+    window = detector.exit_cs(cs)
+    window.write_invalid(mem_loc(1))
+    assert detector.dictionary.get(mem_loc(1)) is None
+
+
+def test_flow_edges_lists_consumptions(harness):
+    q = BoundedQueue(harness.machine.memory)
+    harness.run_cs("q", "l", ctxt("origin"), q.push_program, (1, 1))
+    harness.run_cs("q", "w", ctxt(), q.pop_program, (), use_program=q.use_program)
+    edges = harness.detector.flow_edges()
+    assert (ctxt("origin"), "w") in edges
+
+
+def test_classifications_snapshot(harness):
+    counter = SharedCounter(harness.machine.memory)
+    for _ in range(harness.detector.stateful_threshold):
+        harness.run_cs("c", "t", ctxt(), counter.increment_program)
+    snapshot = harness.detector.classifications()
+    assert snapshot["c"] == NO_FLOW_STATEFUL

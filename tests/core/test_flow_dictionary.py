@@ -1,0 +1,118 @@
+"""Tests for the flow dictionary and role tables."""
+
+from repro.core.flow import (
+    FLOW,
+    INVALID,
+    FlowDictionary,
+    LockRoles,
+    NO_FLOW_ALLOCATOR,
+    NO_FLOW_STATEFUL,
+    RoleTable,
+)
+from repro.vm.machine import mem_loc, reg_loc
+
+
+def test_invalid_is_singleton():
+    from repro.core.flow.dictionary import _Invalid
+
+    assert _Invalid() is INVALID
+    assert repr(INVALID) == "invlctxt"
+
+
+def test_set_get_remove():
+    d = FlowDictionary()
+    loc = mem_loc(5)
+    d.set(loc, "ctx", "lockA", "t1")
+    entry = d.get(loc)
+    assert entry.context == "ctx"
+    assert entry.lock == "lockA"
+    assert entry.writer == "t1"
+    assert entry.valid
+    d.remove(loc)
+    assert d.get(loc) is None
+    d.remove(loc)  # idempotent
+
+
+def test_invalid_entry_not_valid():
+    d = FlowDictionary()
+    entry = d.set(mem_loc(1), INVALID, "l", "t")
+    assert not entry.valid
+
+
+def test_flush_if_foreign_lock():
+    d = FlowDictionary()
+    lock_a, lock_b = object(), object()
+    d.set(mem_loc(1), "ctx", lock_a, "t")
+    assert not d.flush_if_foreign_lock(mem_loc(1), lock_a)
+    assert d.get(mem_loc(1)) is not None
+    assert d.flush_if_foreign_lock(mem_loc(1), lock_b)
+    assert d.get(mem_loc(1)) is None
+    assert not d.flush_if_foreign_lock(mem_loc(1), lock_b)  # already gone
+
+
+def test_clear_registers_only_affects_one_thread():
+    d = FlowDictionary()
+    d.set(reg_loc("t1", 0), "c", "l", "t1")
+    d.set(reg_loc("t1", 1), "c", "l", "t1")
+    d.set(reg_loc("t2", 0), "c", "l", "t2")
+    d.set(mem_loc(9), "c", "l", "t1")
+    assert d.clear_registers("t1") == 2
+    assert d.get(reg_loc("t1", 0)) is None
+    assert d.get(reg_loc("t2", 0)) is not None
+    assert d.get(mem_loc(9)) is not None
+
+
+def test_lock_roles_allocator_classification():
+    roles = LockRoles()
+    roles.add_producer("t1")
+    assert roles.classification is None
+    roles.add_consumer("t2")
+    assert roles.classification is None
+    roles.add_consumer("t1")  # overlap!
+    assert roles.classification == NO_FLOW_ALLOCATOR
+    assert roles.is_no_flow
+
+
+def test_overlap_overrides_flow_classification():
+    roles = LockRoles()
+    roles.add_producer("t1")
+    roles.add_consumer("t2")
+    roles.note_flow()
+    assert roles.classification == FLOW
+    roles.add_consumer("t1")
+    assert roles.classification == NO_FLOW_ALLOCATOR
+
+
+def test_stateful_classification_after_threshold():
+    roles = LockRoles()
+    for _ in range(31):
+        roles.note_execution(stateful_threshold=32)
+    assert roles.classification is None
+    roles.note_execution(stateful_threshold=32)
+    assert roles.classification == NO_FLOW_STATEFUL
+
+
+def test_valid_produce_prevents_stateful_classification():
+    roles = LockRoles()
+    roles.valid_produced = True
+    for _ in range(100):
+        roles.note_execution(stateful_threshold=32)
+    assert roles.classification is None
+
+
+def test_flow_classification_sticks():
+    roles = LockRoles()
+    roles.note_flow()
+    for _ in range(100):
+        roles.note_execution(stateful_threshold=32)
+    assert roles.classification == FLOW
+    assert roles.flows_detected == 1
+
+
+def test_role_table_lazily_creates():
+    table = RoleTable()
+    lock = object()
+    assert table.classification(lock) is None
+    roles = table.for_lock(lock)
+    assert table.for_lock(lock) is roles
+    assert len(table) == 1

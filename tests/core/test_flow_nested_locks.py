@@ -1,0 +1,88 @@
+"""Tests for nested critical sections (§3.3.2).
+
+"Programs often use nested locks.  Our algorithm analyzes all
+instructions that are in the critical section protected by the
+outermost lock.  Thus, all internal critical sections are also
+analyzed."
+"""
+
+import pytest
+
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW, FlowDetector
+from repro.vm import Emulator, Machine
+from repro.vm.programs import BoundedQueue
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def test_nested_enter_returns_outer_hooks():
+    detector = FlowDetector()
+    outer = detector.enter_cs("outer", "t1", ctxt("a"))
+    inner = detector.enter_cs("inner", "t1", ctxt("a"))
+    assert inner is outer
+    assert outer.depth == 2
+    assert outer.lock == "outer"
+
+
+def test_nested_exit_keeps_section_open():
+    detector = FlowDetector()
+    outer = detector.enter_cs("outer", "t1", ctxt("a"))
+    detector.enter_cs("inner", "t1", ctxt("a"))
+    assert detector.exit_cs(outer) is None  # inner exit
+    assert not outer.closed
+    window = detector.exit_cs(outer)  # outer exit
+    assert window is not None
+    assert outer.closed
+
+
+def test_nested_instructions_attributed_to_outer_lock():
+    """A push executed while holding an inner lock still produces for
+
+    the OUTER lock's resource lists."""
+    machine = Machine()
+    emulator = Emulator()
+    detector = FlowDetector()
+    queue = BoundedQueue(machine.memory)
+
+    # Producer holds outer then inner; the push runs "inside" inner.
+    outer = detector.enter_cs("outer", "prod", ctxt("produce"))
+    detector.enter_cs("inner", "prod", ctxt("produce"))
+    machine.registers("prod").load_arguments(5, 6)
+    emulator.run(queue.push_program, machine, "prod", hooks=outer)
+    detector.exit_cs(outer)
+    detector.exit_cs(outer)
+
+    roles_outer = detector.roles.for_lock("outer")
+    roles_inner = detector.roles.for_lock("inner")
+    assert "prod" in roles_outer.producers
+    assert not roles_inner.producers
+
+    # The consumer (single flat lock) still receives the context: the
+    # dictionary entry was recorded under "outer", and the consumer
+    # accesses it under "outer" too.
+    cs = detector.enter_cs("outer", "cons", ctxt())
+    emulator.run(queue.pop_program, machine, "cons", hooks=cs)
+    window = detector.exit_cs(cs)
+    emulator.run(queue.use_program, machine, "cons", hooks=window)
+    assert window.consumed
+    assert window.consumed[0].context == ctxt("produce")
+    assert detector.roles.for_lock("outer").classification == FLOW
+
+
+def test_different_threads_do_not_share_sections():
+    detector = FlowDetector()
+    a = detector.enter_cs("lock", "t1", ctxt())
+    b = detector.enter_cs("lock", "t2", ctxt())
+    assert a is not b
+
+
+def test_reentry_after_close_creates_new_section():
+    detector = FlowDetector()
+    first = detector.enter_cs("lock", "t1", ctxt())
+    detector.exit_cs(first)
+    second = detector.enter_cs("lock", "t1", ctxt())
+    assert second is not first
+    assert second.depth == 1

@@ -1,0 +1,149 @@
+"""Property-based tests of the flow-detection algorithm.
+
+Random interleavings of pushes and pops over the VM-backed queue must
+always satisfy the paper's correctness property: every consumption
+returns the transaction context of the push that stored that element,
+and the queue lock is classified as flow, never as allocator.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW, FlowDetector, NO_FLOW_ALLOCATOR
+from repro.vm import Emulator, Machine
+from repro.vm.emulator import DIRECT
+from repro.vm.programs import BoundedQueue, FreeListAllocator
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+class QueueHarness:
+    def __init__(self):
+        self.machine = Machine()
+        self.emulator = Emulator()
+        self.detector = FlowDetector()
+        self.queue = BoundedQueue(self.machine.memory, capacity=64)
+        self.lock = "q"
+        self.model = []  # python-side mirror of queue contents
+
+    def push(self, thread, tag):
+        context = ctxt("push", str(tag))
+        self.machine.registers(thread).load_arguments(100 + tag, 200 + tag)
+        cs = self.detector.enter_cs(self.lock, thread, context)
+        self.emulator.run(self.queue.push_program, self.machine, thread, hooks=cs)
+        self.detector.exit_cs(cs)
+        self.model.append((100 + tag, context))
+
+    def pop(self, thread):
+        cs = self.detector.enter_cs(self.lock, thread, ctxt())
+        self.emulator.run(self.queue.pop_program, self.machine, thread, hooks=cs)
+        window = self.detector.exit_cs(cs)
+        self.emulator.run(self.queue.use_program, self.machine, thread, hooks=window)
+        sd = self.machine.registers(thread).read(0)
+        return sd, window.consumed
+
+
+# Operations: (kind, thread index, tag)
+operations = st.lists(
+    st.tuples(
+        st.sampled_from(["push", "pop"]),
+        st.integers(0, 3),
+        st.integers(0, 99),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(operations)
+def test_every_consumption_returns_the_pushers_context(ops):
+    harness = QueueHarness()
+    producers = set()
+    for kind, thread_index, tag in ops:
+        thread = f"t{thread_index}"
+        if kind == "push":
+            if len(harness.model) >= 60:
+                continue
+            harness.push(thread, tag)
+            producers.add(thread)
+        else:
+            if not harness.model:
+                continue
+            expected_sd, expected_ctxt = harness.model.pop()  # LIFO
+            sd, consumed = harness.pop(thread)
+            assert sd == expected_sd
+            if consumed and thread not in producers:
+                # The handed-over context is exactly the push context.
+                assert consumed[0].context == expected_ctxt
+    roles = harness.detector.roles.for_lock(harness.lock)
+    # The queue lock must never be classified as an allocator unless a
+    # thread really did both push and pop.
+    if roles.classification == NO_FLOW_ALLOCATOR:
+        assert roles.producers & roles.consumers
+
+
+@settings(max_examples=40, deadline=None)
+@given(operations)
+def test_distinct_producer_consumer_threads_classify_flow(ops):
+    """When pushes come only from t0/t1 and pops only from t2/t3, any
+
+    classification must be flow (or undecided), never no-flow."""
+    harness = QueueHarness()
+    did_consume = False
+    for kind, thread_index, tag in ops:
+        if kind == "push":
+            if len(harness.model) >= 60:
+                continue
+            harness.push(f"p{thread_index % 2}", tag)
+        else:
+            if not harness.model:
+                continue
+            harness.model.pop()
+            _, consumed = harness.pop(f"c{thread_index % 2}")
+            did_consume = did_consume or bool(consumed)
+    roles = harness.detector.roles.for_lock(harness.lock)
+    assert roles.classification in (None, FLOW)
+    if did_consume:
+        assert roles.classification == FLOW
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.integers(0, 3), min_size=2, max_size=30),
+)
+def test_allocator_never_classified_flow_permanently(thread_sequence):
+    """Alloc/free cycles from arbitrary threads must end no-flow (or
+
+    transiently undecided/flow before the lists first intersect)."""
+    machine = Machine()
+    emulator = Emulator()
+    detector = FlowDetector()
+    allocator = FreeListAllocator(machine.memory, blocks=8)
+    lock = "alloc"
+
+    for i, thread_index in enumerate(thread_sequence):
+        thread = f"t{thread_index}"
+        if detector.mode_for(lock) == DIRECT:
+            break
+        cs = detector.enter_cs(lock, thread, ctxt("tx", str(i)))
+        emulator.run(allocator.alloc_program, machine, thread, hooks=cs)
+        window = detector.exit_cs(cs)
+        emulator.run(allocator.use_program, machine, thread, hooks=window)
+        block = machine.registers(thread).read(0)
+        if block:
+            cs = detector.enter_cs(lock, thread, ctxt("tx", str(i)))
+            machine.registers(thread).load_arguments(block)
+            emulator.run(allocator.free_program, machine, thread, hooks=cs)
+            detector.exit_cs(cs)
+
+    roles = detector.roles.for_lock(lock)
+    distinct = len(set(thread_sequence))
+    if roles.classification == NO_FLOW_ALLOCATOR:
+        assert roles.producers & roles.consumers
+    # With a single thread, consumption never fires (writer == reader),
+    # so the lock can never be classified flow.
+    if distinct == 1:
+        assert roles.classification in (None,)

@@ -1,0 +1,107 @@
+"""Tests for synopsis allocation, composition and round-tripping."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.context import TransactionContext
+from repro.core.synopsis import CompositeSynopsis, SynopsisTable
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def test_synopsis_allocated_once_per_context():
+    table = SynopsisTable("web")
+    a = table.synopsis(ctxt("main", "foo"))
+    b = table.synopsis(ctxt("main", "foo"))
+    assert a == b
+    assert len(table) == 1
+
+
+def test_distinct_contexts_get_distinct_synopses():
+    table = SynopsisTable("web")
+    a = table.synopsis(ctxt("main", "foo"))
+    b = table.synopsis(ctxt("main", "bar"))
+    assert a != b
+
+
+def test_zero_reserved():
+    table = SynopsisTable("web")
+    assert table.synopsis(ctxt("x")) != 0
+
+
+def test_resolve_round_trip():
+    table = SynopsisTable("web")
+    context = ctxt("main", "foo", "send")
+    assert table.resolve(table.synopsis(context)) == context
+
+
+def test_resolve_unknown_raises():
+    table = SynopsisTable("web")
+    with pytest.raises(KeyError):
+        table.resolve(99)
+
+
+def test_lookup_without_allocation():
+    table = SynopsisTable("web")
+    assert table.lookup(ctxt("a")) is None
+    value = table.synopsis(ctxt("a"))
+    assert table.lookup(ctxt("a")) == value
+
+
+def test_make_response_composes():
+    table = SynopsisTable("db")
+    request = 7
+    composite = table.make_response(request, ctxt("svc_run", "send"))
+    assert composite.prefix == 7
+    assert table.resolve(composite.suffix) == ctxt("svc_run", "send")
+
+
+def test_is_own_prefix_distinguishes_callers():
+    caller = SynopsisTable("web")
+    callee = SynopsisTable("db")
+    request = caller.synopsis(ctxt("main", "foo", "send"))
+    response = callee.make_response(request, ctxt("svc_run", "send"))
+    assert caller.is_own_prefix(response)
+    assert not callee.is_own_prefix(response)
+
+
+def test_composite_wire_size_is_nine_bytes():
+    """4 bytes + '#' + 4 bytes, per §7.4."""
+    assert CompositeSynopsis(1, 2).wire_size() == 9
+
+
+def test_composite_equality():
+    assert CompositeSynopsis(1, 2) == CompositeSynopsis(1, 2)
+    assert CompositeSynopsis(1, 2) != CompositeSynopsis(2, 1)
+
+
+def test_items_lists_all_allocations():
+    table = SynopsisTable("web")
+    contexts = [ctxt("a"), ctxt("b"), ctxt("c")]
+    values = [table.synopsis(c) for c in contexts]
+    assert dict(table.items()) == dict(zip(contexts, values))
+
+
+@given(st.lists(st.lists(st.sampled_from("abcdef"), max_size=5), max_size=40))
+def test_synopses_injective(paths):
+    """Distinct contexts never share a synopsis (uniqueness guarantee)."""
+    table = SynopsisTable("stage")
+    contexts = [TransactionContext(tuple(p)) for p in paths]
+    values = {}
+    for context in contexts:
+        value = table.synopsis(context)
+        if context in values:
+            assert values[context] == value
+        values[context] = value
+    distinct_contexts = set(values.keys())
+    distinct_values = set(values.values())
+    assert len(distinct_contexts) == len(distinct_values)
+
+
+@given(st.lists(st.sampled_from("abcdef"), max_size=8))
+def test_resolve_inverse_of_synopsis(path):
+    table = SynopsisTable("stage")
+    context = TransactionContext(tuple(path))
+    assert table.resolve(table.synopsis(context)) == context

@@ -1,0 +1,107 @@
+"""Edge cases of event-loop control: stop, park, re-entry."""
+
+import pytest
+
+from repro.core.profiler import ProfilerMode, StageRuntime
+from repro.events import Event, EventLoop
+from repro.sim import Delay, Kernel
+
+
+def make_loop(kernel):
+    stage = StageRuntime("ev", mode=ProfilerMode.OFF)
+    loop = EventLoop(kernel)
+    thread = kernel.spawn(loop.run(), stage=stage)
+    return loop, thread
+
+
+def test_stop_wakes_a_parked_loop():
+    kernel = Kernel()
+    loop, thread = make_loop(kernel)
+
+    def stopper():
+        yield Delay(1.0)
+        loop.stop()
+
+    kernel.spawn(stopper())
+    kernel.run(until=2.0)
+    assert not thread.alive  # the loop exited cleanly
+
+
+def test_events_added_after_stop_never_run():
+    kernel = Kernel()
+    loop, thread = make_loop(kernel)
+    ran = []
+
+    def handler(lp, ev):
+        ran.append(1)
+        return
+        yield  # pragma: no cover
+
+    def stopper():
+        yield Delay(0.5)
+        loop.stop()
+        loop.event_add(Event("late", handler))
+
+    kernel.spawn(stopper())
+    kernel.run(until=2.0)
+    assert ran == []
+
+
+def test_stop_inside_handler_halts_after_current_event():
+    kernel = Kernel()
+    loop, thread = make_loop(kernel)
+    ran = []
+
+    def first(lp, ev):
+        ran.append("first")
+        lp.stop()
+        lp.event_add(Event("second", second))
+        return
+        yield  # pragma: no cover
+
+    def second(lp, ev):
+        ran.append("second")
+        return
+        yield  # pragma: no cover
+
+    loop.event_add(Event("first", first))
+    kernel.run(until=1.0)
+    assert ran == ["first"]
+    assert not thread.alive
+
+
+def test_loop_processes_events_in_fifo_order():
+    kernel = Kernel()
+    loop, thread = make_loop(kernel)
+    order = []
+
+    def handler(tag):
+        def run(lp, ev):
+            order.append(tag)
+            if tag == "c":
+                lp.stop()
+            return
+            yield  # pragma: no cover
+
+        return run
+
+    for tag in ["a", "b", "c"]:
+        loop.event_add(Event(tag, handler(tag)))
+    kernel.run(until=1.0)
+    assert order == ["a", "b", "c"]
+
+
+def test_handler_yields_are_allowed():
+    kernel = Kernel()
+    loop, thread = make_loop(kernel)
+    times = []
+
+    def slow(lp, ev):
+        times.append(kernel.now)
+        yield Delay(0.5)
+        times.append(kernel.now)
+        lp.stop()
+
+    loop.event_add(Event("slow", slow))
+    kernel.run(until=1.0)
+    assert times == [0.0, 0.5]

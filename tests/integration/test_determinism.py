@@ -1,0 +1,102 @@
+"""Reproducibility: identical seeds must yield identical simulations.
+
+Determinism is the property that makes this reproduction's experiments
+meaningful: every benchmark number in EXPERIMENTS.md regenerates
+exactly.
+"""
+
+import pytest
+
+from repro.apps.tpcw import TpcwSystem
+from repro.apps.httpd import HttpdServer
+from repro.core.profiler import ProfilerMode
+from repro.sim import Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+
+def tpcw_fingerprint(seed):
+    system = TpcwSystem(clients=25, seed=seed)
+    results = system.run(duration=30.0, warmup=5.0)
+    return (
+        tuple(results.log.records),
+        system.db.queries_executed,
+        round(system.db.cpu.busy_time, 9),
+        tuple(sorted(results.db_cpu_share().items())),
+    )
+
+
+def test_tpcw_identical_across_runs():
+    assert tpcw_fingerprint(11) == tpcw_fingerprint(11)
+
+
+def test_tpcw_differs_across_seeds():
+    assert tpcw_fingerprint(11) != tpcw_fingerprint(12)
+
+
+def httpd_fingerprint(seed):
+    kernel = Kernel()
+    trace = WebTrace(Rng(seed), objects=100)
+    server = HttpdServer(kernel, trace)
+    server.start()
+    pool = HttpClientPool(kernel, server.listener_socket, trace, clients=4)
+    pool.start()
+    kernel.run(until=1.0)
+    stage = server.stage
+    return (
+        server.requests_served,
+        server.bytes_sent,
+        tuple(sorted((repr(l), round(c.total_weight(), 6)) for l, c in stage.ccts.items())),
+    )
+
+
+def test_httpd_identical_across_runs():
+    assert httpd_fingerprint(3) == httpd_fingerprint(3)
+
+
+def test_determinism_across_processes_and_hash_seeds():
+    """Seeded streams must not depend on Python's per-process string
+
+    hash randomisation (PYTHONHASHSEED)."""
+    import os
+    import subprocess
+    import sys
+
+    code = (
+        "from repro.sim import Rng\n"
+        "r = Rng(5).stream('clients').stream('think-3')\n"
+        "print([r.randint(0, 99999) for _ in range(8)])\n"
+    )
+    outputs = set()
+    for hash_seed in ("1", "77"):
+        env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+        result = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env=env,
+            check=True,
+        )
+        outputs.add(result.stdout)
+    assert len(outputs) == 1
+
+
+def test_profiling_does_not_change_functional_behaviour():
+    """Whodunit slows the server but never changes what it serves."""
+
+    def served(mode):
+        kernel = Kernel()
+        trace = WebTrace(Rng(5), objects=100)
+        server = HttpdServer(kernel, trace, mode=mode)
+        server.start()
+        # A single client: its request sequence is deterministic, so the
+        # first N object ids must be identical whether or not the server
+        # is being profiled — profiling only shifts timing, not content.
+        pool = HttpClientPool(kernel, server.listener_socket, trace, clients=1)
+        pool.start()
+        kernel.run(until=1.0)
+        return pool.requested[:50]
+
+    baseline = served(ProfilerMode.OFF)
+    profiled = served(ProfilerMode.WHODUNIT)
+    assert baseline[:30] == profiled[:30]
+    assert len(baseline) >= 30

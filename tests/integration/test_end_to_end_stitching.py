@@ -1,0 +1,76 @@
+"""End-to-end stitching and flow-graph validation on the full TPC-W.
+
+The presentation-phase outputs (stitched profile, Fig-7 flow graph,
+persisted dumps) must be consistent with each other on a real
+three-tier run.
+"""
+
+import pytest
+
+from repro.apps.tpcw import TpcwSystem
+from repro.core.context import TransactionContext
+from repro.core.persist import decode_stage, encode_stage
+from repro.core.stitch import flow_graph, stitch_profiles
+
+
+@pytest.fixture(scope="module")
+def system_and_stages():
+    system = TpcwSystem(clients=40, seed=21)
+    system.run(duration=60.0, warmup=15.0)
+    stages = [system.squid.stage, system.tomcat.stage, system.db.stage]
+    return system, stages
+
+
+def test_flow_graph_covers_both_hops(system_and_stages):
+    system, stages = system_and_stages
+    edges = flow_graph(stages)
+    pairs = {(e.from_stage, e.to_stage) for e in edges}
+    assert ("squid", "tomcat") in pairs
+    assert ("tomcat", "mysql") in pairs
+    # No edges out of mysql (it is the last tier).
+    assert not any(e.from_stage == "mysql" for e in edges)
+
+
+def test_every_mysql_edge_context_is_fully_resolved(system_and_stages):
+    system, stages = system_and_stages
+    for edge in flow_graph(stages):
+        assert all(isinstance(el, str) for el in edge.to_context.elements)
+        if edge.to_stage == "mysql":
+            # The resolved context threads squid's event handlers and a
+            # tomcat servlet.
+            assert edge.to_context.elements[0] == "httpAccept"
+            assert "executeQuery" in edge.to_context.elements
+
+
+def test_stitched_weights_match_stage_totals(system_and_stages):
+    system, stages = system_and_stages
+    profile = stitch_profiles(stages)
+    for stage in stages:
+        assert profile.stage_weight(stage.name) == pytest.approx(
+            stage.total_weight(), rel=1e-9
+        )
+
+
+def test_persisted_stages_stitch_identically(system_and_stages):
+    system, stages = system_and_stages
+    clones = [decode_stage(encode_stage(stage)) for stage in stages]
+    original = stitch_profiles(stages)
+    reloaded = stitch_profiles(clones)
+    assert original.total_weight() == pytest.approx(reloaded.total_weight())
+    for stage_name in original.stages():
+        assert set(original.contexts_of(stage_name)) == set(
+            reloaded.contexts_of(stage_name)
+        )
+
+
+def test_mysql_contexts_name_each_heavy_servlet(system_and_stages):
+    system, stages = system_and_stages
+    profile = stitch_profiles(stages)
+    mysql_contexts = profile.contexts_of("mysql")
+    servlets_seen = {
+        element
+        for context in mysql_contexts
+        for element in context.elements
+        if element in ("BestSellers", "SearchResult", "Home", "ProductDetail")
+    }
+    assert {"BestSellers", "SearchResult", "Home", "ProductDetail"} <= servlets_seen

@@ -1,0 +1,118 @@
+"""Failure injection: the substrate surfaces broken applications loudly.
+
+A simulation framework that silently swallows bugs produces wrong
+profiles; these tests pin down the failure behaviour users rely on.
+"""
+
+import pytest
+
+from repro.channels import SharedMemoryRegion, SharedQueue
+from repro.core.profiler import ProfilerMode, StageRuntime
+from repro.events import Event, EventLoop
+from repro.sim import (
+    Acquire,
+    CPU,
+    CurrentThread,
+    Delay,
+    Kernel,
+    Mutex,
+    Release,
+    UseCPU,
+)
+from repro.sim.kernel import Deadlock
+from repro.vm import Assembler, Jmp, Label, Machine, VMError
+
+
+def test_thread_dying_with_held_lock_strands_waiters():
+    kernel = Kernel()
+    mutex = Mutex("m")
+
+    def dies_holding():
+        yield Acquire(mutex)
+        raise RuntimeError("crashed in critical section")
+
+    def waiter():
+        yield Delay(0.1)
+        yield Acquire(mutex)
+
+    kernel.spawn(dies_holding())
+    kernel.spawn(waiter())
+    with pytest.raises(RuntimeError):
+        kernel.run()
+    # The waiter can never proceed: unbounded run detects the deadlock.
+    with pytest.raises(Deadlock):
+        kernel.run()
+
+
+def test_infinite_vm_loop_raises_instead_of_hanging():
+    machine = Machine()
+    program = Assembler("spin").emit(Label("top"), Jmp("top")).build()
+    from repro.vm import Emulator
+
+    with pytest.raises(VMError):
+        Emulator().run(program, machine, "t", max_steps=1000)
+
+
+def test_handler_exception_propagates_out_of_event_loop():
+    kernel = Kernel()
+    loop = EventLoop(kernel)
+    stage = StageRuntime("s", mode=ProfilerMode.OFF)
+    kernel.spawn(loop.run(), stage=stage)
+
+    def bad(lp, ev):
+        raise KeyError("handler bug")
+        yield  # pragma: no cover
+
+    loop.event_add(Event("bad", bad))
+    with pytest.raises(KeyError):
+        kernel.run(until=1.0)
+
+
+def test_queue_overflow_is_loud():
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    stage = StageRuntime("s", mode=ProfilerMode.OFF)
+    region = SharedMemoryRegion(cpu)
+    queue = SharedQueue(region, capacity=2)
+
+    def pusher():
+        thread = yield CurrentThread()
+        for i in range(3):
+            yield from queue.push(thread, i, i)
+
+    kernel.spawn(pusher(), stage=stage)
+    with pytest.raises(OverflowError):
+        kernel.run()
+    # The failed push released the mutex on its way out.
+    assert not queue.mutex.holders
+
+
+def test_negative_cpu_demand_is_rejected():
+    kernel = Kernel()
+    cpu = CPU(kernel)
+
+    def worker():
+        yield UseCPU(cpu, -1.0)
+
+    kernel.spawn(worker())
+    with pytest.raises(ValueError):
+        kernel.run()
+
+
+def test_release_of_foreign_mutex_is_rejected():
+    kernel = Kernel()
+    mutex = Mutex("m")
+
+    def holder():
+        yield Acquire(mutex)
+        yield Delay(10.0)
+        yield Release(mutex)
+
+    def thief():
+        yield Delay(0.1)
+        yield Release(mutex)
+
+    kernel.spawn(holder())
+    kernel.spawn(thief())
+    with pytest.raises(RuntimeError):
+        kernel.run()

@@ -1,0 +1,93 @@
+"""Tests for the FCFS disk model."""
+
+import pytest
+
+from repro.sim import CurrentThread, Delay, Kernel
+from repro.sim.disk import Disk, ReadDisk
+
+
+def test_single_read_takes_position_plus_transfer():
+    kernel = Kernel()
+    disk = Disk(kernel, positioning_time=0.008, transfer_rate=1e6)
+    done = []
+
+    def reader():
+        yield ReadDisk(disk, 1_000_000)
+        done.append(kernel.now)
+
+    kernel.spawn(reader())
+    kernel.run()
+    assert done == [pytest.approx(0.008 + 1.0)]
+    assert disk.reads_served == 1
+    assert disk.bytes_read == 1_000_000
+
+
+def test_reads_queue_fcfs():
+    kernel = Kernel()
+    disk = Disk(kernel, positioning_time=0.01, transfer_rate=1e9)
+    done = []
+
+    def reader(tag):
+        yield ReadDisk(disk, 0)
+        done.append((tag, kernel.now))
+
+    for tag in range(3):
+        kernel.spawn(reader(tag))
+    kernel.run()
+    times = [t for _, t in done]
+    assert times == [
+        pytest.approx(0.01),
+        pytest.approx(0.02),
+        pytest.approx(0.03),
+    ]
+
+
+def test_queue_length_and_utilization():
+    kernel = Kernel()
+    disk = Disk(kernel, positioning_time=0.5, transfer_rate=1e9)
+    lengths = []
+
+    def reader():
+        yield ReadDisk(disk, 0)
+
+    def probe():
+        yield Delay(0.25)
+        lengths.append(disk.queue_length)
+
+    kernel.spawn(reader())
+    kernel.spawn(reader())
+    kernel.spawn(probe())
+    kernel.run(until=2.0)
+    assert lengths == [1]
+    assert disk.utilization() == pytest.approx(0.5)
+
+
+def test_invalid_parameters_rejected():
+    kernel = Kernel()
+    with pytest.raises(ValueError):
+        Disk(kernel, positioning_time=-1)
+    with pytest.raises(ValueError):
+        Disk(kernel, transfer_rate=0)
+    disk = Disk(kernel)
+
+    def reader():
+        yield ReadDisk(disk, -5)
+
+    kernel.spawn(reader())
+    with pytest.raises(ValueError):
+        kernel.run()
+
+
+def test_disk_idle_after_queue_drains():
+    kernel = Kernel()
+    disk = Disk(kernel, positioning_time=0.01, transfer_rate=1e9)
+
+    def reader():
+        yield ReadDisk(disk, 100)
+        yield Delay(1.0)
+        yield ReadDisk(disk, 100)
+
+    kernel.spawn(reader())
+    kernel.run()
+    assert disk.reads_served == 2
+    assert not disk._busy

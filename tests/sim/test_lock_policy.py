@@ -1,0 +1,98 @@
+"""Tests for reader-priority locking and the writer-starvation limit."""
+
+import pytest
+
+from repro.sim import Acquire, Delay, Kernel, Mutex, Release
+from repro.sim.sync import READER_PRIORITY
+
+
+def spawn_reader(kernel, mutex, log, tag, start, hold):
+    def reader():
+        yield Delay(start)
+        yield Acquire(mutex, shared=True)
+        yield Delay(hold)
+        log.append((tag, kernel.now))
+        yield Release(mutex)
+
+    kernel.spawn(reader())
+
+
+def spawn_writer(kernel, mutex, log, tag, start, hold=0.1):
+    def writer():
+        yield Delay(start)
+        yield Acquire(mutex)
+        yield Delay(hold)
+        log.append((tag, kernel.now))
+        yield Release(mutex)
+
+    kernel.spawn(writer())
+
+
+def test_unknown_policy_rejected():
+    with pytest.raises(ValueError):
+        Mutex("m", policy="elevator")
+
+
+def test_reader_priority_new_readers_bypass_queued_writer():
+    kernel = Kernel()
+    mutex = Mutex("t", policy=READER_PRIORITY)
+    log = []
+    spawn_reader(kernel, mutex, log, "r1", 0.0, 1.0)
+    spawn_writer(kernel, mutex, log, "w", 0.5)
+    spawn_reader(kernel, mutex, log, "r2", 0.6, 1.0)  # bypasses w
+    kernel.run()
+    assert [tag for tag, _ in log] == ["r1", "r2", "w"]
+
+
+def test_fifo_policy_blocks_new_readers_behind_writer():
+    kernel = Kernel()
+    mutex = Mutex("t")  # default fifo
+    log = []
+    spawn_reader(kernel, mutex, log, "r1", 0.0, 1.0)
+    spawn_writer(kernel, mutex, log, "w", 0.5)
+    spawn_reader(kernel, mutex, log, "r2", 0.6, 1.0)
+    kernel.run()
+    assert [tag for tag, _ in log] == ["r1", "w", "r2"]
+
+
+def test_reader_priority_queued_readers_skip_writer_on_wake():
+    """Readers that blocked behind a writer-held lock are granted past a
+
+    queued writer when the readers' turn comes."""
+    kernel = Kernel()
+    mutex = Mutex("t", policy=READER_PRIORITY)
+    log = []
+    spawn_writer(kernel, mutex, log, "w1", 0.0, 1.0)  # holds first
+    spawn_reader(kernel, mutex, log, "r1", 0.1, 1.0)  # queued
+    spawn_writer(kernel, mutex, log, "w2", 0.2)       # queued
+    spawn_reader(kernel, mutex, log, "r2", 0.3, 1.0)  # queued after w2
+    kernel.run()
+    # After w1 releases, r1 is head; r2 skips past w2 and joins r1.
+    assert [tag for tag, _ in log] == ["w1", "r1", "r2", "w2"]
+
+
+def test_starvation_limit_stops_reader_bypass():
+    kernel = Kernel()
+    mutex = Mutex("t", policy=READER_PRIORITY, writer_starvation_limit=2.0)
+    log = []
+    # Overlapping readers would starve the writer forever without the
+    # limit; with limit 2.0 the writer gets in once readers drain.
+    for i in range(6):
+        spawn_reader(kernel, mutex, log, f"r{i}", i * 1.0, 1.5)
+    spawn_writer(kernel, mutex, log, "w", 0.5)
+    kernel.run()
+    writer_time = dict(log)["w"]
+    assert writer_time < max(t for tag, t in log if tag != "w")
+
+
+def test_unbounded_starvation_without_limit():
+    kernel = Kernel()
+    mutex = Mutex("t", policy=READER_PRIORITY)
+    log = []
+    for i in range(6):
+        spawn_reader(kernel, mutex, log, f"r{i}", i * 1.0, 1.5)
+    spawn_writer(kernel, mutex, log, "w", 0.5)
+    kernel.run()
+    # The writer waits for the entire read stream to drain.
+    writer_time = dict(log)["w"]
+    assert writer_time > max(t for tag, t in log if tag != "w")

@@ -1,0 +1,68 @@
+"""Tests for the blocking resource pool."""
+
+import pytest
+
+from repro.sim import CurrentThread, Delay, Kernel
+from repro.sim.pool import Get, ResourcePool
+
+
+def test_get_returns_items_fifo():
+    kernel = Kernel()
+    pool = ResourcePool(kernel, ["a", "b"])
+    got = []
+
+    def worker():
+        item = yield Get(pool)
+        got.append(item)
+
+    kernel.spawn(worker())
+    kernel.spawn(worker())
+    kernel.run()
+    assert got == ["a", "b"]
+    assert pool.available == 0
+    assert pool.checkouts == 2
+
+
+def test_get_blocks_until_put():
+    kernel = Kernel()
+    pool = ResourcePool(kernel, [])
+    got = []
+
+    def worker():
+        item = yield Get(pool)
+        got.append((item, kernel.now))
+
+    def producer():
+        yield Delay(1.0)
+        pool.put("x")
+
+    kernel.spawn(worker())
+    kernel.spawn(producer())
+    kernel.run()
+    assert got == [("x", 1.0)]
+    assert pool.total_wait_events == 1
+
+
+def test_put_hands_directly_to_waiter():
+    kernel = Kernel()
+    pool = ResourcePool(kernel, ["only"])
+    order = []
+
+    def worker(tag, hold):
+        item = yield Get(pool)
+        order.append((tag, kernel.now))
+        yield Delay(hold)
+        pool.put(item)
+
+    kernel.spawn(worker("first", 1.0))
+    kernel.spawn(worker("second", 1.0))
+    kernel.spawn(worker("third", 1.0))
+    kernel.run()
+    assert order == [("first", 0.0), ("second", 1.0), ("third", 2.0)]
+
+
+def test_put_without_waiters_buffers():
+    kernel = Kernel()
+    pool = ResourcePool(kernel)
+    pool.put("z")
+    assert pool.available == 1

@@ -1,0 +1,79 @@
+"""Tests for seeded random streams and workload distributions."""
+
+import pytest
+
+from repro.sim import Rng
+
+
+def test_same_seed_same_sequence():
+    a = Rng(7)
+    b = Rng(7)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_diverge():
+    a = Rng(1)
+    b = Rng(2)
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_streams_are_independent_and_deterministic():
+    master = Rng(42)
+    s1 = master.stream("clients")
+    s2 = master.stream("sizes")
+    s1_again = Rng(42).stream("clients")
+    assert [s1.random() for _ in range(5)] == [s1_again.random() for _ in range(5)]
+    assert s1.seed != s2.seed
+
+
+def test_zipf_table_is_monotone_cumulative():
+    rng = Rng(0)
+    table = rng.zipf_table(100, alpha=1.0)
+    assert len(table) == 100
+    assert all(b >= a for a, b in zip(table, table[1:]))
+    assert table[-1] == pytest.approx(1.0)
+
+
+def test_zipf_pick_favours_low_ranks():
+    rng = Rng(3)
+    table = rng.zipf_table(1000, alpha=1.0)
+    picks = [rng.zipf_pick(table) for _ in range(5000)]
+    top10 = sum(1 for p in picks if p < 10)
+    assert top10 > 0.3 * len(picks)  # zipf(1): top-10 of 1000 ≈ 39%
+
+
+def test_zipf_pick_within_bounds():
+    rng = Rng(5)
+    table = rng.zipf_table(50)
+    assert all(0 <= rng.zipf_pick(table) < 50 for _ in range(1000))
+
+
+def test_bounded_pareto_within_bounds():
+    rng = Rng(9)
+    samples = [rng.bounded_pareto(1.2, 100.0, 1e6) for _ in range(2000)]
+    assert all(100.0 <= s <= 1e6 for s in samples)
+
+
+def test_bounded_pareto_is_heavy_tailed():
+    rng = Rng(11)
+    samples = sorted(rng.bounded_pareto(1.2, 100.0, 1e6) for _ in range(5000))
+    median = samples[len(samples) // 2]
+    mean = sum(samples) / len(samples)
+    assert mean > 2 * median  # heavy tail pulls the mean up
+
+
+def test_weighted_pick_respects_weights():
+    rng = Rng(13)
+    items = [("a", 0.9), ("b", 0.1)]
+    picks = [rng.weighted_pick(items) for _ in range(2000)]
+    assert picks.count("a") > picks.count("b") * 4
+
+
+def test_weighted_pick_single_item():
+    rng = Rng(1)
+    assert rng.weighted_pick([("only", 1.0)]) == "only"
+
+
+def test_expovariate_positive():
+    rng = Rng(17)
+    assert all(rng.expovariate(1.0) > 0 for _ in range(100))

@@ -1,0 +1,100 @@
+"""Property-based tests of simulation-kernel invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim import (
+    Acquire,
+    CPU,
+    Delay,
+    Kernel,
+    Mutex,
+    Release,
+    UseCPU,
+)
+
+actions = st.lists(
+    st.tuples(
+        st.sampled_from(["delay", "cpu", "lock"]),
+        st.floats(min_value=0.0, max_value=0.05, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=8,
+)
+workloads = st.lists(actions, min_size=1, max_size=6)
+
+
+def build_worker(kernel, cpu, mutex, script, trace):
+    def worker():
+        for kind, amount in script:
+            trace.append(kernel.now)
+            if kind == "delay":
+                yield Delay(amount)
+            elif kind == "cpu":
+                yield UseCPU(cpu, amount)
+            else:
+                yield Acquire(mutex)
+                yield Delay(amount)
+                yield Release(mutex)
+        return "done"
+
+    return worker
+
+
+@settings(max_examples=50, deadline=None)
+@given(workloads)
+def test_all_threads_complete_and_clock_is_monotone(scripts):
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    mutex = Mutex("m")
+    traces = []
+    threads = []
+    for script in scripts:
+        trace = []
+        traces.append(trace)
+        threads.append(
+            kernel.spawn(build_worker(kernel, cpu, mutex, script, trace)())
+        )
+    kernel.run()
+    assert all(not t.alive for t in threads)
+    assert all(t.result == "done" for t in threads)
+    for trace in traces:
+        assert all(b >= a for a, b in zip(trace, trace[1:]))
+    # Nothing is left holding the lock.
+    assert not mutex.holders
+
+
+@settings(max_examples=50, deadline=None)
+@given(workloads)
+def test_cpu_busy_time_conserves_demand(scripts):
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    mutex = Mutex("m")
+    for script in scripts:
+        kernel.spawn(build_worker(kernel, cpu, mutex, script, [])())
+    kernel.run()
+    expected = sum(
+        amount for script in scripts for kind, amount in script if kind == "cpu"
+    )
+    assert cpu.busy_time == pytest.approx(expected, abs=1e-9)
+    assert cpu.total_demand == pytest.approx(expected, abs=1e-9)
+    # The clock can never end before the busiest resource finished.
+    assert kernel.now >= cpu.busy_time - 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(workloads)
+def test_lock_wait_time_is_consistent(scripts):
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    mutex = Mutex("m")
+    observed = []
+    mutex.observers.append(
+        lambda m, w, holders, mode, wait: observed.append(wait)
+    )
+    for script in scripts:
+        kernel.spawn(build_worker(kernel, cpu, mutex, script, [])())
+    kernel.run()
+    assert mutex.wait_count == len(observed)
+    assert mutex.total_wait_time == pytest.approx(sum(observed), abs=1e-9)
+    assert all(w >= 0 for w in observed)

@@ -1,0 +1,364 @@
+"""Tests for mutexes (shared/exclusive, FIFO, wait hooks) and conditions."""
+
+import pytest
+
+from repro.sim import (
+    Acquire,
+    Condition,
+    Delay,
+    Kernel,
+    Mutex,
+    Notify,
+    NotifyAll,
+    Release,
+    Wait,
+)
+
+
+def test_uncontended_acquire_is_immediate():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    log = []
+
+    def worker():
+        yield Acquire(mutex)
+        log.append(kernel.now)
+        yield Release(mutex)
+
+    kernel.spawn(worker())
+    kernel.run()
+    assert log == [0.0]
+    assert not mutex.holders
+
+
+def test_exclusive_mutex_serializes_critical_sections():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    log = []
+
+    def worker(tag, hold):
+        yield Acquire(mutex)
+        log.append((tag, "in", kernel.now))
+        yield Delay(hold)
+        log.append((tag, "out", kernel.now))
+        yield Release(mutex)
+
+    kernel.spawn(worker("a", 2.0))
+    kernel.spawn(worker("b", 1.0))
+    kernel.run()
+    assert log == [
+        ("a", "in", 0.0),
+        ("a", "out", 2.0),
+        ("b", "in", 2.0),
+        ("b", "out", 3.0),
+    ]
+
+
+def test_fifo_ordering_of_waiters():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    order = []
+
+    def worker(tag, start):
+        yield Delay(start)
+        yield Acquire(mutex)
+        order.append(tag)
+        yield Delay(1.0)
+        yield Release(mutex)
+
+    for i, tag in enumerate(["w0", "w1", "w2", "w3"]):
+        kernel.spawn(worker(tag, i * 0.1))
+    kernel.run()
+    assert order == ["w0", "w1", "w2", "w3"]
+
+
+def test_shared_holders_overlap():
+    kernel = Kernel()
+    mutex = Mutex("table")
+    concurrent = []
+
+    def reader(start):
+        yield Delay(start)
+        yield Acquire(mutex, shared=True)
+        concurrent.append(len(mutex.holders))
+        yield Delay(1.0)
+        yield Release(mutex)
+
+    kernel.spawn(reader(0.0))
+    kernel.spawn(reader(0.1))
+    kernel.run()
+    assert max(concurrent) == 2
+
+
+def test_writer_excludes_readers():
+    kernel = Kernel()
+    mutex = Mutex("table")
+    log = []
+
+    def writer():
+        yield Acquire(mutex)
+        yield Delay(2.0)
+        log.append(("writer-out", kernel.now))
+        yield Release(mutex)
+
+    def reader():
+        yield Delay(0.5)
+        yield Acquire(mutex, shared=True)
+        log.append(("reader-in", kernel.now))
+        yield Release(mutex)
+
+    kernel.spawn(writer())
+    kernel.spawn(reader())
+    kernel.run()
+    assert log == [("writer-out", 2.0), ("reader-in", 2.0)]
+
+
+def test_pending_writer_blocks_new_readers():
+    """FIFO fairness: a queued writer prevents reader starvation."""
+    kernel = Kernel()
+    mutex = Mutex("table")
+    log = []
+
+    def reader(tag, start, hold):
+        yield Delay(start)
+        yield Acquire(mutex, shared=True)
+        log.append((tag, kernel.now))
+        yield Delay(hold)
+        yield Release(mutex)
+
+    def writer(start):
+        yield Delay(start)
+        yield Acquire(mutex)
+        log.append(("writer", kernel.now))
+        yield Delay(1.0)
+        yield Release(mutex)
+
+    kernel.spawn(reader("r1", 0.0, 2.0))
+    kernel.spawn(writer(0.5))
+    kernel.spawn(reader("r2", 1.0, 1.0))  # arrives while writer queued
+    kernel.run()
+    assert log == [("r1", 0.0), ("writer", 2.0), ("r2", 3.0)]
+
+
+def test_wait_time_observer_reports_holder_snapshot():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    reports = []
+
+    def observer(mtx, waiter, holders, mode, wait_time):
+        reports.append(
+            (waiter.name, [h.name for h, _ in holders], mode, wait_time)
+        )
+
+    mutex.observers.append(observer)
+
+    def holder():
+        yield Acquire(mutex)
+        yield Delay(3.0)
+        yield Release(mutex)
+
+    def waiter():
+        yield Delay(1.0)
+        yield Acquire(mutex)
+        yield Release(mutex)
+
+    kernel.spawn(holder(), name="holder")
+    kernel.spawn(waiter(), name="waiter")
+    kernel.run()
+    assert reports == [("waiter", ["holder"], "exclusive", 2.0)]
+
+
+def test_observer_not_called_for_uncontended_acquire():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    reports = []
+    mutex.observers.append(lambda *args: reports.append(args))
+
+    def worker():
+        yield Acquire(mutex)
+        yield Release(mutex)
+
+    kernel.spawn(worker())
+    kernel.run()
+    assert reports == []
+
+
+def test_holder_snapshot_carries_transaction_context():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    contexts = []
+
+    def observer(mtx, waiter, holders, mode, wait_time):
+        contexts.extend(ctxt for _, ctxt in holders)
+
+    mutex.observers.append(observer)
+
+    def holder():
+        yield Acquire(mutex)
+        yield Delay(1.0)
+        yield Release(mutex)
+
+    def waiter():
+        yield Delay(0.5)
+        yield Acquire(mutex)
+        yield Release(mutex)
+
+    holder_thread = kernel.spawn(holder())
+    holder_thread.tran_ctxt = ("BestSellers",)
+    kernel.spawn(waiter())
+    kernel.run()
+    assert contexts == [("BestSellers",)]
+
+
+def test_double_release_raises():
+    kernel = Kernel()
+    mutex = Mutex("m")
+
+    def worker():
+        yield Acquire(mutex)
+        yield Release(mutex)
+        yield Release(mutex)
+
+    kernel.spawn(worker())
+    with pytest.raises(RuntimeError):
+        kernel.run()
+
+
+def test_reacquire_while_held_raises():
+    kernel = Kernel()
+    mutex = Mutex("m")
+
+    def worker():
+        yield Acquire(mutex)
+        yield Acquire(mutex)
+
+    kernel.spawn(worker())
+    with pytest.raises(RuntimeError):
+        kernel.run()
+
+
+def test_wait_statistics_accumulate():
+    kernel = Kernel()
+    mutex = Mutex("m")
+
+    def worker(start):
+        yield Delay(start)
+        yield Acquire(mutex)
+        yield Delay(1.0)
+        yield Release(mutex)
+
+    for i in range(3):
+        kernel.spawn(worker(0.0))
+    kernel.run()
+    # Second waits 1s, third waits 2s.
+    assert mutex.wait_count == 2
+    assert mutex.total_wait_time == pytest.approx(3.0)
+    assert mutex.acquire_count == 3
+
+
+def test_condition_wait_notify_handoff():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    cond = Condition(mutex, "item-ready")
+    log = []
+
+    def consumer():
+        yield Acquire(mutex)
+        while not items:
+            yield Wait(cond)
+        log.append(("consumed", items.pop(), kernel.now))
+        yield Release(mutex)
+
+    def producer():
+        yield Delay(2.0)
+        yield Acquire(mutex)
+        items.append("x")
+        yield Notify(cond)
+        yield Release(mutex)
+
+    items = []
+    kernel.spawn(consumer())
+    kernel.spawn(producer())
+    kernel.run()
+    assert log == [("consumed", "x", 2.0)]
+
+
+def test_notify_without_mutex_held_raises():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    cond = Condition(mutex)
+
+    def worker():
+        yield Notify(cond)
+
+    kernel.spawn(worker())
+    with pytest.raises(RuntimeError):
+        kernel.run()
+
+
+def test_notify_all_wakes_every_waiter():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    cond = Condition(mutex)
+    woken = []
+
+    def waiter(tag):
+        yield Acquire(mutex)
+        yield Wait(cond)
+        woken.append(tag)
+        yield Release(mutex)
+
+    def broadcaster():
+        yield Delay(1.0)
+        yield Acquire(mutex)
+        yield NotifyAll(cond)
+        yield Release(mutex)
+
+    for tag in ["a", "b", "c"]:
+        kernel.spawn(waiter(tag))
+    kernel.spawn(broadcaster())
+    kernel.run()
+    assert sorted(woken) == ["a", "b", "c"]
+
+
+def test_notify_with_no_waiters_is_noop():
+    kernel = Kernel()
+    mutex = Mutex("m")
+    cond = Condition(mutex)
+    done = []
+
+    def worker():
+        yield Acquire(mutex)
+        yield Notify(cond)
+        yield Release(mutex)
+        done.append(True)
+
+    kernel.spawn(worker())
+    kernel.run()
+    assert done == [True]
+
+
+def test_mesa_semantics_waiter_recontends_for_mutex():
+    """After notify, the waiter must re-acquire before proceeding."""
+    kernel = Kernel()
+    mutex = Mutex("m")
+    cond = Condition(mutex)
+    log = []
+
+    def waiter():
+        yield Acquire(mutex)
+        yield Wait(cond)
+        log.append(("waiter-resumed", kernel.now))
+        yield Release(mutex)
+
+    def notifier():
+        yield Delay(1.0)
+        yield Acquire(mutex)
+        yield Notify(cond)
+        yield Delay(2.0)  # keep holding: waiter cannot resume yet
+        yield Release(mutex)
+
+    kernel.spawn(waiter())
+    kernel.spawn(notifier())
+    kernel.run()
+    assert log == [("waiter-resumed", 3.0)]

@@ -1,0 +1,119 @@
+"""Smoke tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_table3_runs(capsys):
+    assert main(["table3"]) == 0
+    out = capsys.readouterr().out
+    assert "ap_queue_push" in out
+    assert "emulate only" in out
+
+
+def test_apache_runs(capsys):
+    assert main(["apache", "--seconds", "0.5", "--clients", "2", "--objects", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "lock classifications" in out
+    assert "fd_queue" not in out  # name is httpd.one_big_mutex
+    assert "one_big_mutex" in out
+
+
+def test_squid_runs(capsys):
+    assert main(["squid", "--seconds", "0.5", "--clients", "2", "--objects", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "transactional profile of stage squid" in out
+
+
+def test_haboob_runs(capsys):
+    assert main(["haboob", "--seconds", "0.5", "--clients", "2", "--objects", "50"]) == 0
+    out = capsys.readouterr().out
+    assert "transactional profile of stage haboob" in out
+
+
+def test_dot_output(tmp_path, capsys):
+    path = tmp_path / "profile.dot"
+    assert (
+        main(
+            [
+                "apache",
+                "--seconds",
+                "0.5",
+                "--clients",
+                "2",
+                "--objects",
+                "50",
+                "--dot",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    content = path.read_text()
+    assert content.startswith("digraph")
+    assert "ap_queue_push" in content
+
+
+def test_tpcw_mix_option(capsys):
+    assert (
+        main(
+            [
+                "tpcw",
+                "--clients",
+                "10",
+                "--duration",
+                "10",
+                "--warmup",
+                "2",
+                "--mix",
+                "ordering",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "interactions/min" in out
+
+
+def test_tpcw_runs(capsys):
+    assert (
+        main(["tpcw", "--clients", "10", "--duration", "10", "--warmup", "2"]) == 0
+    )
+    out = capsys.readouterr().out
+    assert "interactions/min" in out
+    assert "MySQL CPU %" in out
+
+
+def test_tpcw_save_profiles_and_stitch(tmp_path, capsys):
+    assert (
+        main(
+            [
+                "tpcw",
+                "--clients",
+                "10",
+                "--duration",
+                "10",
+                "--warmup",
+                "2",
+                "--save-profiles",
+                str(tmp_path),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    paths = [
+        str(tmp_path / f"{name}.profile.json")
+        for name in ("squid", "tomcat", "mysql")
+    ]
+    assert main(["stitch"] + paths) == 0
+    out = capsys.readouterr().out
+    assert "end-to-end transactional profile" in out
+    assert "## stage mysql" in out
+    assert "==request==>" in out

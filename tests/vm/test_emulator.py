@@ -1,0 +1,350 @@
+"""Tests for the emulator: semantics, hooks, translation cache, costs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.vm import (
+    Add,
+    Assembler,
+    Cmp,
+    CostModel,
+    Dec,
+    EmulationHooks,
+    Emulator,
+    Imm,
+    Inc,
+    Jge,
+    Jl,
+    Jmp,
+    Jnz,
+    Jz,
+    Label,
+    Lea,
+    Machine,
+    Mem,
+    Mov,
+    Mul,
+    Nop,
+    Reg,
+    Sub,
+    VMError,
+    Xor,
+)
+from repro.vm.machine import mem_loc, reg_loc
+
+R0, R1, R2 = Reg(0), Reg(1), Reg(2)
+
+
+def run(instructions, machine=None, thread="t", mode="emulate", hooks=None):
+    machine = machine or Machine()
+    program = Assembler("test").emit(*instructions).build()
+    emulator = Emulator()
+    result = emulator.run(program, machine, thread, mode=mode, hooks=hooks)
+    return machine, result
+
+
+class RecordingHooks(EmulationHooks):
+    def __init__(self):
+        self.reads = []
+        self.movs = []
+        self.invalid_writes = []
+
+    def read(self, loc):
+        self.reads.append(loc)
+
+    def mov(self, dst, src):
+        self.movs.append((dst, src))
+
+    def write_invalid(self, dst):
+        self.invalid_writes.append(dst)
+
+
+# ----------------------------------------------------------------------
+# Functional semantics
+# ----------------------------------------------------------------------
+def test_mov_imm_to_reg():
+    machine, _ = run([Mov(R0, Imm(7))])
+    assert machine.registers("t").read(0) == 7
+
+
+def test_mov_reg_to_mem_and_back():
+    machine = Machine()
+    run([Mov(R0, Imm(9)), Mov(Mem(100), R0), Mov(R1, Mem(100))], machine)
+    assert machine.memory.load(100) == 9
+    assert machine.registers("t").read(1) == 9
+
+
+def test_mem_addressing_base_index_scale():
+    machine = Machine()
+    machine.registers("t").write(1, 10)  # base
+    machine.registers("t").write(2, 3)   # index
+    machine.memory.store(10 + 5 + 3 * 2, 77)
+    run([Mov(R0, Mem(5, base=R1, index=R2, scale=2))], machine)
+    assert machine.registers("t").read(0) == 77
+
+
+def test_arithmetic_operations():
+    machine, _ = run(
+        [
+            Mov(R0, Imm(10)),
+            Add(R0, Imm(5)),   # 15
+            Sub(R0, Imm(3)),   # 12
+            Mul(R0, Imm(2)),   # 24
+            Xor(R0, Imm(1)),   # 25
+        ]
+    )
+    assert machine.registers("t").read(0) == 25
+
+
+def test_inc_dec_memory():
+    machine = Machine()
+    machine.memory.store(50, 10)
+    run([Inc(Mem(50)), Inc(Mem(50)), Dec(Mem(50))], machine)
+    assert machine.memory.load(50) == 11
+
+
+def test_lea_computes_address_without_loading():
+    machine = Machine()
+    machine.registers("t").write(1, 100)
+    machine.memory.store(108, 999)  # must NOT be loaded
+    run([Lea(R0, Mem(8, base=R1))], machine)
+    assert machine.registers("t").read(0) == 108
+
+
+def test_cmp_and_conditional_jumps():
+    # Loop: r0 counts 0..4
+    machine, result = run(
+        [
+            Mov(R0, Imm(0)),
+            Label("loop"),
+            Add(R0, Imm(1)),
+            Cmp(R0, Imm(5)),
+            Jl("loop"),
+        ]
+    )
+    assert machine.registers("t").read(0) == 5
+
+
+def test_jz_jnz():
+    machine, _ = run(
+        [
+            Mov(R0, Imm(3)),
+            Cmp(R0, Imm(3)),
+            Jz("equal"),
+            Mov(R1, Imm(111)),
+            Label("equal"),
+            Cmp(R0, Imm(4)),
+            Jnz("done"),
+            Mov(R2, Imm(222)),
+            Label("done"),
+        ]
+    )
+    regs = machine.registers("t")
+    assert regs.read(1) == 0    # skipped by jz
+    assert regs.read(2) == 0    # skipped by jnz
+
+
+def test_jge():
+    machine, _ = run(
+        [
+            Mov(R0, Imm(5)),
+            Cmp(R0, Imm(5)),
+            Jge("skip"),
+            Mov(R1, Imm(1)),
+            Label("skip"),
+        ]
+    )
+    assert machine.registers("t").read(1) == 0
+
+
+def test_infinite_loop_raises():
+    with pytest.raises(VMError):
+        run([Label("x"), Jmp("x")])
+
+
+def test_direct_and_emulated_execution_agree():
+    instructions = [
+        Mov(R0, Imm(6)),
+        Mov(Mem(10), R0),
+        Add(Mem(10), Imm(4)),
+        Mov(R1, Mem(10)),
+    ]
+    m1, _ = run(instructions, mode="direct")
+    m2, _ = run(instructions, mode="emulate")
+    assert m1.memory.load(10) == m2.memory.load(10) == 10
+    assert m1.registers("t").dump() == m2.registers("t").dump()
+
+
+# ----------------------------------------------------------------------
+# Hooks
+# ----------------------------------------------------------------------
+def test_mov_reg_to_mem_fires_mov_hook():
+    hooks = RecordingHooks()
+    run([Mov(Mem(100), R0)], hooks=hooks)
+    assert hooks.movs == [(mem_loc(100), reg_loc("t", 0))]
+
+
+def test_mov_imm_fires_write_invalid():
+    hooks = RecordingHooks()
+    run([Mov(Mem(100), Imm(0))], hooks=hooks)
+    assert hooks.invalid_writes == [mem_loc(100)]
+    assert hooks.movs == []
+
+
+def test_arith_fires_write_invalid_and_reads():
+    hooks = RecordingHooks()
+    run([Inc(Mem(50))], hooks=hooks)
+    assert hooks.invalid_writes == [mem_loc(50)]
+    assert mem_loc(50) in hooks.reads
+
+
+def test_address_base_register_read_is_reported():
+    """Dereferencing a pointer register is a use of the pointer."""
+    hooks = RecordingHooks()
+    machine = Machine()
+    machine.registers("t").write(0, 100)
+    run([Mov(R1, Mem(0, base=R0))], machine, hooks=hooks)
+    assert reg_loc("t", 0) in hooks.reads
+
+
+def test_lea_reports_invalid_write_not_mov():
+    hooks = RecordingHooks()
+    run([Lea(R0, Mem(4, base=R1))], hooks=hooks)
+    assert hooks.invalid_writes == [reg_loc("t", 0)]
+    assert hooks.movs == []
+    assert reg_loc("t", 1) in hooks.reads
+
+
+def test_cmp_fires_reads_only():
+    hooks = RecordingHooks()
+    run([Cmp(R0, Mem(5))], hooks=hooks)
+    assert hooks.invalid_writes == []
+    assert hooks.movs == []
+    assert reg_loc("t", 0) in hooks.reads
+    assert mem_loc(5) in hooks.reads
+
+
+def test_direct_mode_fires_no_hooks():
+    hooks = RecordingHooks()
+    run([Mov(Mem(100), R0), Inc(Mem(100))], mode="direct", hooks=hooks)
+    assert hooks.reads == []
+    assert hooks.movs == []
+    assert hooks.invalid_writes == []
+
+
+# ----------------------------------------------------------------------
+# Costs and the translation cache (Table 3 mechanics)
+# ----------------------------------------------------------------------
+def test_emulation_costs_translation_on_first_run_only():
+    program = Assembler("p").emit(*[Nop() for _ in range(10)]).build()
+    machine = Machine()
+    emulator = Emulator()
+    first = emulator.run(program, machine, "t")
+    second = emulator.run(program, machine, "t")
+    assert first.translated
+    assert not second.translated
+    assert first.cycles > second.cycles
+    model = emulator.cost_model
+    assert first.cycles == pytest.approx(
+        second.cycles + model.translation_cost(program)
+    )
+
+
+def test_direct_mode_does_not_consume_translation_cache():
+    program = Assembler("p").emit(Nop()).build()
+    machine = Machine()
+    emulator = Emulator()
+    emulator.run(program, machine, "t", mode="direct")
+    assert not emulator.is_translated(program)
+
+
+def test_direct_cost_far_below_emulation_cost():
+    instructions = [Mov(Mem(1), Imm(1)) for _ in range(10)]
+    program = Assembler("p").emit(*instructions).build()
+    machine = Machine()
+    emulator = Emulator()
+    direct = emulator.run(program, machine, "t", mode="direct")
+    emulator.invalidate_cache()
+    emulated = emulator.run(program, machine, "t")  # includes translation
+    cached = emulator.run(program, machine, "t")
+    assert direct.cycles < cached.cycles / 20
+    assert cached.cycles < emulated.cycles
+
+
+def test_invalidate_cache_forces_retranslation():
+    program = Assembler("p").emit(Nop()).build()
+    machine = Machine()
+    emulator = Emulator()
+    emulator.run(program, machine, "t")
+    emulator.invalidate_cache()
+    assert emulator.run(program, machine, "t").translated
+
+
+def test_cost_counts_executed_not_static_instructions():
+    # Loop body executes 5 times: emulation cost scales with steps.
+    instructions = [
+        Mov(R0, Imm(0)),
+        Label("loop"),
+        Add(R0, Imm(1)),
+        Cmp(R0, Imm(5)),
+        Jl("loop"),
+    ]
+    program = Assembler("p").emit(*instructions).build()
+    machine = Machine()
+    emulator = Emulator()
+    result = emulator.run(program, machine, "t")
+    assert result.steps == 1 + 3 * 5
+    expected = (
+        emulator.cost_model.translation_cost(program)
+        + result.steps * emulator.cost_model.emulate_per_instruction
+    )
+    assert result.cycles == pytest.approx(expected)
+
+
+def test_memory_operands_cost_more_direct():
+    model = CostModel()
+    assert model.direct_cost(Mov(Mem(0), Imm(1))) > model.direct_cost(
+        Mov(R0, Imm(1))
+    )
+
+
+def test_unknown_mode_rejected():
+    program = Assembler("p").emit(Nop()).build()
+    with pytest.raises(ValueError):
+        Emulator().run(program, Machine(), "t", mode="native")
+
+
+# ----------------------------------------------------------------------
+# Property-based: emulate vs direct equivalence on random straightline code
+# ----------------------------------------------------------------------
+@st.composite
+def straightline_program(draw):
+    ops = []
+    for _ in range(draw(st.integers(1, 20))):
+        kind = draw(st.sampled_from(["mov_imm", "mov_rr", "mov_rm", "mov_mr", "add", "inc"]))
+        r1 = Reg(draw(st.integers(0, 3)))
+        r2 = Reg(draw(st.integers(0, 3)))
+        addr = draw(st.integers(0, 7))
+        if kind == "mov_imm":
+            ops.append(Mov(r1, Imm(draw(st.integers(-100, 100)))))
+        elif kind == "mov_rr":
+            ops.append(Mov(r1, r2))
+        elif kind == "mov_rm":
+            ops.append(Mov(r1, Mem(addr)))
+        elif kind == "mov_mr":
+            ops.append(Mov(Mem(addr), r1))
+        elif kind == "add":
+            ops.append(Add(r1, r2))
+        else:
+            ops.append(Inc(Mem(addr)))
+    return ops
+
+
+@given(straightline_program())
+def test_modes_equivalent_on_random_programs(ops):
+    program = Assembler("rand").emit(*ops).build()
+    m1, m2 = Machine(), Machine()
+    Emulator().run(program, m1, "t", mode="direct")
+    Emulator().run(program, m2, "t", mode="emulate")
+    assert m1.memory.snapshot() == m2.memory.snapshot()
+    assert m1.registers("t").dump() == m2.registers("t").dump()

@@ -1,0 +1,120 @@
+"""Tests for operands, instructions, and the assembler."""
+
+import pytest
+
+from repro.vm import (
+    Add,
+    Assembler,
+    Cmp,
+    Imm,
+    Jmp,
+    Jz,
+    Label,
+    Lea,
+    Mem,
+    Mov,
+    Nop,
+    Reg,
+)
+from repro.vm.assembler import AssemblyError
+
+
+def test_reg_bounds():
+    Reg(0)
+    Reg(15)
+    with pytest.raises(ValueError):
+        Reg(16)
+    with pytest.raises(ValueError):
+        Reg(-1)
+
+
+def test_reg_equality():
+    assert Reg(3) == Reg(3)
+    assert Reg(3) != Reg(4)
+    assert hash(Reg(3)) == hash(Reg(3))
+
+
+def test_imm_equality():
+    assert Imm(5) == Imm(5)
+    assert Imm(5) != Imm(6)
+
+
+def test_mem_address_registers():
+    m = Mem(8, base=Reg(1), index=Reg(2), scale=4)
+    assert m.address_registers() == [Reg(1), Reg(2)]
+    assert Mem(8).address_registers() == []
+
+
+def test_mem_scale_validation():
+    with pytest.raises(ValueError):
+        Mem(0, scale=0)
+
+
+def test_mov_operand_validation():
+    with pytest.raises(TypeError):
+        Mov(Imm(1), Reg(0))  # immediate destination
+    with pytest.raises(TypeError):
+        Mov(Reg(0), "garbage")
+
+
+def test_lea_operand_validation():
+    with pytest.raises(TypeError):
+        Lea(Mem(0), Mem(0))
+    with pytest.raises(TypeError):
+        Lea(Reg(0), Reg(1))
+
+
+def test_branch_target_must_be_string():
+    with pytest.raises(TypeError):
+        Jmp(42)
+
+
+def test_assembler_builds_program_with_labels():
+    asm = Assembler("p")
+    asm.emit(
+        Nop(),
+        Label("loop"),
+        Add(Reg(0), Imm(1)),
+        Cmp(Reg(0), Imm(3)),
+        Jz("end"),
+        Jmp("loop"),
+        Label("end"),
+    )
+    program = asm.build()
+    assert len(program) == 5  # labels are not instructions
+    assert program.labels == {"loop": 1, "end": 5}
+
+
+def test_duplicate_label_rejected():
+    asm = Assembler("p")
+    asm.emit(Label("x"))
+    with pytest.raises(AssemblyError):
+        asm.emit(Label("x"))
+
+
+def test_undefined_branch_target_rejected_at_build():
+    asm = Assembler("p")
+    asm.emit(Jmp("nowhere"))
+    with pytest.raises(AssemblyError):
+        asm.build()
+
+
+def test_emit_rejects_non_instructions():
+    asm = Assembler("p")
+    with pytest.raises(TypeError):
+        asm.emit("mov r0, r1")
+
+
+def test_program_ids_unique():
+    a = Assembler("a").emit(Nop()).build()
+    b = Assembler("b").emit(Nop()).build()
+    assert a.program_id != b.program_id
+
+
+def test_listing_contains_labels_and_instructions():
+    asm = Assembler("demo")
+    asm.emit(Label("start"), Mov(Reg(0), Imm(1)), Jmp("start"))
+    listing = asm.build().listing()
+    assert "start:" in listing
+    assert "mov" in listing
+    assert "demo" in listing

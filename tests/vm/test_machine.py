@@ -1,0 +1,83 @@
+"""Tests for memory, register files, and location descriptors."""
+
+import pytest
+
+from repro.vm import Machine, Memory, RegisterFile, VMError
+from repro.vm.machine import mem_loc, reg_loc
+
+
+def test_memory_load_store():
+    memory = Memory()
+    memory.store(100, 42)
+    assert memory.load(100) == 42
+
+
+def test_uninitialised_memory_reads_zero():
+    assert Memory().load(12345) == 0
+
+
+def test_negative_address_rejected():
+    memory = Memory()
+    with pytest.raises(VMError):
+        memory.load(-1)
+    with pytest.raises(VMError):
+        memory.store(-1, 0)
+
+
+def test_alloc_returns_disjoint_regions():
+    memory = Memory()
+    a = memory.alloc(10)
+    b = memory.alloc(10)
+    assert b >= a + 10
+
+
+def test_alloc_alignment():
+    memory = Memory()
+    memory.alloc(3)
+    aligned = memory.alloc(4, align=8)
+    assert aligned % 8 == 0
+
+
+def test_alloc_rejects_nonpositive():
+    with pytest.raises(VMError):
+        Memory().alloc(0)
+
+
+def test_register_file_read_write():
+    regs = RegisterFile("t1")
+    regs.write(3, 99)
+    assert regs.read(3) == 99
+    assert regs.read(0) == 0
+
+
+def test_load_arguments():
+    regs = RegisterFile("t1")
+    regs.load_arguments(10, 20, 30)
+    assert regs.dump()[:3] == (10, 20, 30)
+
+
+def test_load_too_many_arguments():
+    with pytest.raises(VMError):
+        RegisterFile("t").load_arguments(*range(17))
+
+
+def test_machine_register_files_per_thread():
+    machine = Machine()
+    machine.registers("a").write(0, 1)
+    machine.registers("b").write(0, 2)
+    assert machine.registers("a").read(0) == 1
+    assert machine.registers("b").read(0) == 2
+    assert machine.registers("a") is machine.registers("a")
+
+
+def test_location_descriptors():
+    assert mem_loc(5) == ("mem", 5)
+    assert reg_loc("t1", 3) == ("reg", "t1", 3)
+    assert mem_loc(5) != reg_loc("t", 5)
+
+
+def test_snapshot():
+    memory = Memory()
+    memory.store(1, 10)
+    memory.store(2, 20)
+    assert memory.snapshot() == {1: 10, 2: 20}

@@ -1,0 +1,163 @@
+"""Functional tests for the critical-section programs of §3's figures."""
+
+import pytest
+
+from repro.vm import Emulator, Machine
+from repro.vm.programs import (
+    NULL,
+    BoundedQueue,
+    FreeListAllocator,
+    LinkedQueue,
+    SharedCounter,
+    SlotShuffleQueue,
+)
+
+
+@pytest.fixture
+def machine():
+    return Machine()
+
+
+@pytest.fixture
+def emulator():
+    return Emulator()
+
+
+def call(emulator, machine, thread, program, *args):
+    machine.registers(thread).load_arguments(*args)
+    emulator.run(program, machine, thread)
+    return machine.registers(thread)
+
+
+# ----------------------------------------------------------------------
+# BoundedQueue (Fig 1)
+# ----------------------------------------------------------------------
+def test_queue_push_stores_element(machine, emulator):
+    q = BoundedQueue(machine.memory)
+    call(emulator, machine, "listener", q.push_program, 111, 222)
+    assert q.length(machine.memory) == 1
+    assert machine.memory.load(q.data_addr) == 111
+    assert machine.memory.load(q.data_addr + 1) == 222
+
+
+def test_queue_pop_returns_pushed_values(machine, emulator):
+    q = BoundedQueue(machine.memory)
+    call(emulator, machine, "listener", q.push_program, 111, 222)
+    regs = call(emulator, machine, "worker", q.pop_program)
+    assert regs.read(0) == 111
+    assert regs.read(1) == 222
+    assert q.length(machine.memory) == 0
+
+
+def test_queue_lifo_order_as_in_apache(machine, emulator):
+    q = BoundedQueue(machine.memory)
+    call(emulator, machine, "l", q.push_program, 1, 10)
+    call(emulator, machine, "l", q.push_program, 2, 20)
+    regs = call(emulator, machine, "w", q.pop_program)
+    assert (regs.read(0), regs.read(1)) == (2, 20)
+    regs = call(emulator, machine, "w", q.pop_program)
+    assert (regs.read(0), regs.read(1)) == (1, 10)
+
+
+def test_queue_multiple_pushes_grow_nelts(machine, emulator):
+    q = BoundedQueue(machine.memory)
+    for i in range(5):
+        call(emulator, machine, "l", q.push_program, i, i)
+    assert q.length(machine.memory) == 5
+
+
+# ----------------------------------------------------------------------
+# SharedCounter (Fig 2)
+# ----------------------------------------------------------------------
+def test_counter_increments(machine, emulator):
+    counter = SharedCounter(machine.memory)
+    for thread in ["t1", "t2", "t1"]:
+        call(emulator, machine, thread, counter.increment_program)
+    assert counter.value(machine.memory) == 3
+
+
+# ----------------------------------------------------------------------
+# FreeListAllocator (Fig 3)
+# ----------------------------------------------------------------------
+def test_alloc_returns_blocks_then_empties(machine, emulator):
+    allocator = FreeListAllocator(machine.memory, blocks=3)
+    got = set()
+    for _ in range(3):
+        regs = call(emulator, machine, "t", allocator.alloc_program)
+        got.add(regs.read(0))
+    assert got == set(allocator.block_addrs)
+    regs = call(emulator, machine, "t", allocator.alloc_program)
+    assert regs.read(0) == NULL
+
+
+def test_free_returns_block_to_head(machine, emulator):
+    allocator = FreeListAllocator(machine.memory, blocks=2)
+    regs = call(emulator, machine, "t", allocator.alloc_program)
+    block = regs.read(0)
+    call(emulator, machine, "t", allocator.free_program, block)
+    assert allocator.head(machine.memory) == block
+
+
+def test_alloc_free_cycle_is_stable(machine, emulator):
+    allocator = FreeListAllocator(machine.memory, blocks=4)
+    for _ in range(20):
+        regs = call(emulator, machine, "t", allocator.alloc_program)
+        block = regs.read(0)
+        assert block != NULL
+        call(emulator, machine, "t", allocator.free_program, block)
+
+
+# ----------------------------------------------------------------------
+# LinkedQueue (sys/queue.h style, §3.3.2)
+# ----------------------------------------------------------------------
+def test_linked_queue_fifo(machine, emulator):
+    q = LinkedQueue(machine.memory)
+    e1 = machine.memory.alloc(2)
+    e2 = machine.memory.alloc(2)
+    call(emulator, machine, "p", q.enqueue_program, e1)
+    call(emulator, machine, "p", q.enqueue_program, e2)
+    assert call(emulator, machine, "c", q.dequeue_program).read(0) == e1
+    assert call(emulator, machine, "c", q.dequeue_program).read(0) == e2
+
+
+def test_linked_queue_empty_dequeue_returns_null(machine, emulator):
+    q = LinkedQueue(machine.memory)
+    assert call(emulator, machine, "c", q.dequeue_program).read(0) == NULL
+
+
+def test_linked_queue_drain_resets_head_and_tail(machine, emulator):
+    q = LinkedQueue(machine.memory)
+    e1 = machine.memory.alloc(2)
+    call(emulator, machine, "p", q.enqueue_program, e1)
+    call(emulator, machine, "c", q.dequeue_program)
+    assert machine.memory.load(q.head_addr) == NULL
+    assert machine.memory.load(q.tail_addr) == NULL
+    # And the queue is reusable afterwards.
+    e2 = machine.memory.alloc(2)
+    call(emulator, machine, "p", q.enqueue_program, e2)
+    assert call(emulator, machine, "c", q.dequeue_program).read(0) == e2
+
+
+def test_dequeue_clears_next_pointer_sanity(machine, emulator):
+    q = LinkedQueue(machine.memory)
+    e1 = machine.memory.alloc(2)
+    e2 = machine.memory.alloc(2)
+    call(emulator, machine, "p", q.enqueue_program, e1)
+    call(emulator, machine, "p", q.enqueue_program, e2)
+    call(emulator, machine, "c", q.dequeue_program)
+    assert machine.memory.load(e1) == NULL  # elem->next wiped
+
+
+# ----------------------------------------------------------------------
+# SlotShuffleQueue (element relocation, §3.2)
+# ----------------------------------------------------------------------
+def test_slot_store_shuffle_load(machine, emulator):
+    q = SlotShuffleQueue(machine.memory)
+    call(emulator, machine, "p", q.store_program, 777, 2)
+    call(emulator, machine, "x", q.shuffle_program, 2, 5)
+    regs = machine.registers("c")
+    regs.load_arguments(0, 5)
+    emulator.run(q.load_program, machine, "c")
+    assert regs.read(0) == 777
+    # Old slot cleared:
+    assert machine.memory.load(q.slots_addr + 2) == NULL

@@ -1,0 +1,183 @@
+"""Tests for PUSH/POP/CALL/RET and context flow through the stack."""
+
+import pytest
+
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW, FlowDetector
+from repro.vm import (
+    SP,
+    Add,
+    Assembler,
+    Call,
+    Emulator,
+    Imm,
+    Jmp,
+    Label,
+    Machine,
+    Mem,
+    Mov,
+    Pop,
+    Push,
+    Reg,
+    Ret,
+    VMError,
+)
+
+R0, R1, R2 = Reg(0), Reg(1), Reg(2)
+STACK_TOP = 0x800
+
+
+def run(instructions, machine=None, thread="t"):
+    machine = machine or Machine()
+    machine.registers(thread).write(SP.index, STACK_TOP)
+    program = Assembler("test").emit(*instructions).build()
+    Emulator().run(program, machine, thread)
+    return machine
+
+
+def test_push_pop_round_trip():
+    machine = run(
+        [
+            Mov(R0, Imm(42)),
+            Push(R0),
+            Mov(R0, Imm(0)),
+            Pop(R1),
+        ]
+    )
+    regs = machine.registers("t")
+    assert regs.read(1) == 42
+    assert regs.read(SP.index) == STACK_TOP  # balanced
+
+
+def test_push_pop_lifo_order():
+    machine = run(
+        [
+            Push(Imm(1)),
+            Push(Imm(2)),
+            Pop(R0),
+            Pop(R1),
+        ]
+    )
+    regs = machine.registers("t")
+    assert regs.read(0) == 2
+    assert regs.read(1) == 1
+
+
+def test_call_and_ret():
+    machine = run(
+        [
+            Mov(R0, Imm(5)),
+            Call("double"),
+            Call("double"),
+            Jmp("end"),
+            Label("double"),
+            Add(R0, R0),
+            Ret(),
+            Label("end"),
+        ]
+    )
+    assert machine.registers("t").read(0) == 20
+
+
+def test_nested_calls():
+    machine = run(
+        [
+            Call("outer"),
+            Jmp("end"),
+            Label("outer"),
+            Call("inner"),
+            Add(R0, Imm(1)),
+            Ret(),
+            Label("inner"),
+            Mov(R0, Imm(10)),
+            Ret(),
+            Label("end"),
+        ]
+    )
+    assert machine.registers("t").read(0) == 11
+
+
+def test_stack_overflow_detected():
+    machine = Machine()
+    machine.registers("t").write(SP.index, 1)
+    program = Assembler("p").emit(Push(Imm(1)), Push(Imm(2))).build()
+    with pytest.raises(VMError):
+        Emulator().run(program, machine, "t")
+
+
+def test_ret_to_garbage_detected():
+    machine = Machine()
+    machine.registers("t").write(SP.index, 100)
+    machine.memory.store(100, 9999)
+    program = Assembler("p").emit(Ret()).build()
+    with pytest.raises(VMError):
+        Emulator().run(program, machine, "t")
+
+
+# ----------------------------------------------------------------------
+# Context flow through the stack (the §3.3.1 stack-local pattern)
+# ----------------------------------------------------------------------
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def test_consume_through_stack_local():
+    """Producer stores into shared memory; consumer copies the value to
+
+    a stack local (PUSH/POP) and uses it after the critical section —
+    the exact Fig 1 pattern with ``*sd``/``*p`` out-parameters.
+    """
+    machine = Machine()
+    emulator = Emulator()
+    detector = FlowDetector()
+    shared = machine.memory.alloc(1)
+    machine.registers("cons").write(SP.index, STACK_TOP)
+    machine.registers("prod").write(SP.index, STACK_TOP - 64)
+
+    produce = Assembler("produce").emit(Mov(Mem(shared), R0)).build()
+    consume = (
+        Assembler("consume")
+        .emit(
+            Mov(R1, Mem(shared)),  # read shared value
+            Push(R1),              # spill to a stack local
+            Pop(R2),               # ... restore into the return register
+        )
+        .build()
+    )
+    use = Assembler("use").emit(Mov(R1, Mem(0, base=R2))).build()
+
+    machine.registers("prod").load_arguments(777)
+    cs = detector.enter_cs("lock", "prod", ctxt("producer"))
+    emulator.run(produce, machine, "prod", hooks=cs)
+    detector.exit_cs(cs)
+
+    cs = detector.enter_cs("lock", "cons", ctxt())
+    emulator.run(consume, machine, "cons", hooks=cs)
+    window = detector.exit_cs(cs)
+    emulator.run(use, machine, "cons", hooks=window)
+
+    assert window.consumed
+    assert window.consumed[0].context == ctxt("producer")
+    assert detector.roles.for_lock("lock").classification == FLOW
+    assert machine.registers("cons").read(2) == 777
+
+
+def test_call_return_address_is_invalid_context():
+    """The pushed return address is a computed value: consuming it must
+
+    never be inferred as transaction flow."""
+    machine = Machine()
+    emulator = Emulator()
+    detector = FlowDetector()
+    machine.registers("t").write(SP.index, STACK_TOP)
+    program = (
+        Assembler("p")
+        .emit(Call("f"), Jmp("end"), Label("f"), Ret(), Label("end"))
+        .build()
+    )
+    cs = detector.enter_cs("lock", "t", ctxt("x"))
+    emulator.run(program, machine, "t", hooks=cs)
+    detector.exit_cs(cs)
+    assert detector.consume_events == []
+    roles = detector.roles.for_lock("lock")
+    assert roles.producers == set()

@@ -1,0 +1,136 @@
+"""Functional + flow tests for the doubly-linked TAILQ (§3.3.2)."""
+
+import pytest
+
+from repro.core.context import TransactionContext
+from repro.core.flow import FLOW, FlowDetector
+from repro.vm import Emulator, Machine
+from repro.vm.programs import NULL, TailQueue
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+@pytest.fixture
+def setup():
+    machine = Machine()
+    return machine, Emulator(), TailQueue(machine.memory)
+
+
+def call(emulator, machine, thread, program, *args):
+    machine.registers(thread).load_arguments(*args)
+    emulator.run(program, machine, thread)
+    return machine.registers(thread)
+
+
+# ----------------------------------------------------------------------
+# Functional
+# ----------------------------------------------------------------------
+def test_insert_remove_fifo(setup):
+    machine, emulator, q = setup
+    elems = [machine.memory.alloc(3) for _ in range(3)]
+    for elem in elems:
+        call(emulator, machine, "p", q.insert_program, elem)
+    for expected in elems:
+        regs = call(emulator, machine, "c", q.remove_program)
+        assert regs.read(0) == expected
+    assert q.head(machine.memory) == NULL
+    assert q.tail(machine.memory) == NULL
+
+
+def test_remove_from_empty_returns_null(setup):
+    machine, emulator, q = setup
+    assert call(emulator, machine, "c", q.remove_program).read(0) == NULL
+
+
+def test_prev_pointers_maintained(setup):
+    machine, emulator, q = setup
+    e1 = machine.memory.alloc(3)
+    e2 = machine.memory.alloc(3)
+    call(emulator, machine, "p", q.insert_program, e1)
+    call(emulator, machine, "p", q.insert_program, e2)
+    assert machine.memory.load(e2 + TailQueue.PREV) == e1
+    assert machine.memory.load(e1 + TailQueue.NEXT) == e2
+    call(emulator, machine, "c", q.remove_program)
+    # e2 is now head with no prev; e1's links were sanity-cleared.
+    assert machine.memory.load(e2 + TailQueue.PREV) == NULL
+    assert machine.memory.load(e1 + TailQueue.NEXT) == NULL
+
+
+def test_queue_reusable_after_drain(setup):
+    machine, emulator, q = setup
+    e = machine.memory.alloc(3)
+    for _ in range(5):
+        call(emulator, machine, "p", q.insert_program, e)
+        assert call(emulator, machine, "c", q.remove_program).read(0) == e
+
+
+# ----------------------------------------------------------------------
+# Flow detection (the §3.3.2 validation)
+# ----------------------------------------------------------------------
+class Harness:
+    def __init__(self):
+        self.machine = Machine()
+        self.emulator = Emulator()
+        self.detector = FlowDetector()
+        self.queue = TailQueue(self.machine.memory)
+        self.lock = "tailq"
+
+    def insert(self, thread, context, elem):
+        self.machine.registers(thread).load_arguments(elem)
+        cs = self.detector.enter_cs(self.lock, thread, context)
+        self.emulator.run(self.queue.insert_program, self.machine, thread, hooks=cs)
+        self.detector.exit_cs(cs)
+
+    def remove(self, thread):
+        cs = self.detector.enter_cs(self.lock, thread, ctxt())
+        self.emulator.run(self.queue.remove_program, self.machine, thread, hooks=cs)
+        window = self.detector.exit_cs(cs)
+        self.emulator.run(self.queue.use_program, self.machine, thread, hooks=window)
+        return window.consumed
+
+
+def test_flow_detected_through_tailq():
+    h = Harness()
+    e1 = h.machine.memory.alloc(3)
+    h.insert("prod", ctxt("tx1"), e1)
+    consumed = h.remove("cons")
+    assert consumed
+    assert consumed[0].context == ctxt("tx1")
+    assert h.detector.roles.for_lock(h.lock).classification == FLOW
+
+
+def test_flow_preserves_order_across_multiple_elements():
+    h = Harness()
+    elems = [h.machine.memory.alloc(3) for _ in range(3)]
+    for i, elem in enumerate(elems):
+        h.insert("prod", ctxt("tx", str(i)), elem)
+    for i in range(3):
+        consumed = h.remove("cons")
+        assert consumed[0].context == ctxt("tx", str(i))
+
+
+def test_empty_removal_consumes_nothing():
+    h = Harness()
+    e1 = h.machine.memory.alloc(3)
+    h.insert("prod", ctxt("tx"), e1)
+    assert h.remove("cons1")
+    # Second consumer sees the NULL head (invalid context): no flow.
+    assert h.remove("cons2") == []
+    roles = h.detector.roles.for_lock(h.lock)
+    assert "cons2" not in roles.consumers
+
+
+def test_producer_reading_cleared_links_is_not_consumer():
+    h = Harness()
+    e1 = h.machine.memory.alloc(3)
+    h.insert("prod", ctxt("a"), e1)
+    h.remove("cons")
+    # The producer re-inserts the same element whose links the consumer
+    # NULLed — reading those invalid-context words must not make the
+    # producer a consumer (the §3.3.2 sanity-check argument).
+    h.insert("prod", ctxt("b"), e1)
+    roles = h.detector.roles.for_lock(h.lock)
+    assert "prod" not in roles.consumers
+    assert roles.classification == FLOW

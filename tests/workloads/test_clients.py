@@ -1,0 +1,112 @@
+"""Tests for the client emulator and TxLog."""
+
+import pytest
+
+from repro.channels import Accept, Listener, Message, Recv, Send
+from repro.sim import CurrentThread, Kernel, Rng
+from repro.workloads import HttpClientPool, TxLog, WebTrace
+from repro.workloads.clients import CLOSE
+
+
+# ----------------------------------------------------------------------
+# TxLog
+# ----------------------------------------------------------------------
+def test_txlog_counts_and_means():
+    log = TxLog()
+    log.add("A", 0.0, 1.0)
+    log.add("A", 1.0, 4.0)
+    log.add("B", 0.0, 0.5)
+    assert log.count() == 3
+    assert log.count("A") == 2
+    assert log.mean_response("A") == pytest.approx(2.0)
+    assert log.mean_response() == pytest.approx(4.5 / 3)
+    assert log.mean_response("missing") == 0.0
+
+
+def test_txlog_rejects_negative_latency():
+    with pytest.raises(ValueError):
+        TxLog().add("A", 2.0, 1.0)
+
+
+def test_txlog_throughput_window():
+    log = TxLog()
+    for i in range(10):
+        log.add("A", i, i + 0.5)
+    # Completions at 0.5..9.5; window [2, 7] catches 2.5..6.5 = 5.
+    assert log.throughput(2.0, 7.0) == pytest.approx(1.0)
+    assert log.completions_in(2.0, 7.0) == 5
+    assert log.throughput(5.0, 5.0) == 0.0
+
+
+def test_txlog_percentiles():
+    log = TxLog()
+    for i in range(1, 11):
+        log.add("A", 0.0, float(i))
+    assert log.percentile_response(0.5) == pytest.approx(6.0)
+    assert log.percentile_response(0.0) == pytest.approx(1.0)
+    assert log.percentile_response(0.99) == pytest.approx(10.0)
+    assert TxLog().percentile_response(0.5) == 0.0
+
+
+def test_txlog_types():
+    log = TxLog()
+    log.add("B", 0, 1)
+    log.add("A", 0, 1)
+    assert log.types() == ["A", "B"]
+
+
+# ----------------------------------------------------------------------
+# HttpClientPool against a trivial echo server
+# ----------------------------------------------------------------------
+def run_echo_server(kernel, listener, trace, serve_log):
+    def acceptor():
+        yield CurrentThread()
+        while True:
+            connection = yield Accept(listener)
+            handler = kernel.spawn(serve(connection))
+            handler.daemon = True
+
+    def serve(connection):
+        yield CurrentThread()
+        while True:
+            msg = yield Recv(connection.to_server)
+            verb, object_id = msg.payload
+            if verb == CLOSE:
+                return
+            serve_log.append(object_id)
+            yield Send(
+                connection.to_client,
+                Message(object_id, trace.size_of(object_id)),
+            )
+
+    thread = kernel.spawn(acceptor())
+    thread.daemon = True
+
+
+def test_clients_drive_requests_and_log():
+    kernel = Kernel()
+    listener = Listener(kernel)
+    trace = WebTrace(Rng(2), objects=30, requests_per_connection_mean=3.0)
+    served = []
+    run_echo_server(kernel, listener, trace, served)
+    pool = HttpClientPool(kernel, listener, trace, clients=3)
+    pool.start()
+    kernel.run(until=0.5)
+    assert pool.log.count() == len(served)
+    assert pool.log.count() > 20
+    assert pool.bytes_received == sum(trace.size_of(oid) for oid in served)
+
+
+def test_think_time_throttles_clients():
+    kernel = Kernel()
+    listener = Listener(kernel)
+    trace = WebTrace(Rng(2), objects=30, requests_per_connection_mean=2.0)
+    served = []
+    run_echo_server(kernel, listener, trace, served)
+    pool = HttpClientPool(kernel, listener, trace, clients=2, think_mean=1.0)
+    pool.start()
+    kernel.run(until=5.0)
+    # ~2 requests per connection, ~1s think per connection cycle, 2
+    # clients, 5s: order of 20 requests, nowhere near the unthrottled
+    # thousands.
+    assert 4 < pool.log.count() < 60

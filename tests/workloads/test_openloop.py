@@ -1,0 +1,41 @@
+"""Tests for the open-loop Poisson client generator."""
+
+import pytest
+
+from repro.apps.httpd import HttpdServer
+from repro.sim import Kernel, Rng
+from repro.workloads import OpenLoopClientPool, WebTrace
+
+
+def run_openloop(rate, seconds=3.0):
+    kernel = Kernel()
+    trace = WebTrace(Rng(3), objects=100, requests_per_connection_mean=2.0)
+    server = HttpdServer(kernel, trace)
+    server.start()
+    pool = OpenLoopClientPool(kernel, server.listener_socket, trace, arrival_rate=rate)
+    pool.start()
+    kernel.run(until=seconds)
+    return server, pool
+
+
+def test_arrival_rate_roughly_respected():
+    server, pool = run_openloop(rate=50.0, seconds=4.0)
+    # ~200 sessions expected; allow a wide band for Poisson noise.
+    assert 120 < pool.sessions_started < 300
+    assert pool.sessions_finished > 100
+    assert pool.log.count() > 150
+
+
+def test_invalid_rate_rejected():
+    kernel = Kernel()
+    trace = WebTrace(Rng(1), objects=10)
+    with pytest.raises(ValueError):
+        OpenLoopClientPool(kernel, None, trace, arrival_rate=0)
+
+
+def test_latency_grows_with_offered_load():
+    # ~60us CPU per request puts server capacity near 16k requests/s;
+    # 8000 sessions/s * 2 requests drives ~97% utilization, 100/s ~1%.
+    _, light = run_openloop(rate=100.0, seconds=2.0)
+    _, heavy = run_openloop(rate=8000.0, seconds=2.0)
+    assert heavy.log.mean_response() > 3 * light.log.mean_response()

@@ -1,0 +1,70 @@
+"""Tests for the synthetic web trace."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import Rng
+from repro.workloads import WebTrace
+
+
+def test_trace_is_reproducible():
+    a = WebTrace(Rng(5), objects=100)
+    b = WebTrace(Rng(5), objects=100)
+    assert [o.size for o in a.objects] == [o.size for o in b.objects]
+    assert [a.next_object().object_id for _ in range(50)] == [
+        b.next_object().object_id for _ in range(50)
+    ]
+
+
+def test_different_seeds_differ():
+    a = WebTrace(Rng(5), objects=100)
+    b = WebTrace(Rng(6), objects=100)
+    assert [a.next_object().object_id for _ in range(50)] != [
+        b.next_object().object_id for _ in range(50)
+    ]
+
+
+def test_sizes_within_bounds():
+    trace = WebTrace(Rng(1), objects=500, min_size=1000, max_size=10_000)
+    assert all(1000 <= o.size <= 10_000 for o in trace.objects)
+
+
+def test_popularity_is_skewed():
+    trace = WebTrace(Rng(2), objects=1000)
+    picks = [trace.next_object().object_id for _ in range(5000)]
+    top_decile = sum(1 for p in picks if p < 100)
+    assert top_decile > 0.45 * len(picks)  # zipf(1.0) head
+
+
+def test_connection_length_mean():
+    trace = WebTrace(Rng(3), objects=10, requests_per_connection_mean=5.0)
+    lengths = [trace.connection_length() for _ in range(3000)]
+    assert all(l >= 1 for l in lengths)
+    mean = sum(lengths) / len(lengths)
+    assert mean == pytest.approx(5.0, rel=0.15)
+
+
+def test_connection_length_of_one():
+    trace = WebTrace(Rng(3), objects=10, requests_per_connection_mean=1.0)
+    assert all(trace.connection_length() == 1 for _ in range(100))
+
+
+def test_session_yields_objects():
+    trace = WebTrace(Rng(4), objects=50)
+    session = list(trace.session())
+    assert len(session) >= 1
+    assert all(0 <= o.object_id < 50 for o in session)
+
+
+def test_size_of_and_object_accessors():
+    trace = WebTrace(Rng(4), objects=20)
+    assert trace.size_of(3) == trace.object(3).size
+    assert trace.total_corpus_bytes() == sum(o.size for o in trace.objects)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+def test_any_seed_builds_valid_trace(seed):
+    trace = WebTrace(Rng(seed), objects=20)
+    obj = trace.next_object()
+    assert 0 <= obj.object_id < 20
+    assert obj.size >= 512
