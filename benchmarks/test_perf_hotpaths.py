@@ -1,0 +1,178 @@
+"""Hot-path microbenchmarks: kernel event throughput and stitch scaling.
+
+Unlike the paper-reproduction benchmarks, this file tracks the *speed of
+the simulator and presentation phase themselves*, seeding the repo's
+perf trajectory.  Results are written to ``BENCH_hotpaths.json`` at the
+repository root so successive PRs can compare numbers.
+
+Set ``PERF_SMOKE=1`` (as the CI workflow does) to run with reduced
+iteration counts.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+from benchharness import fmt, print_table, run_once
+
+from repro.core.context import SynopsisRef, TransactionContext
+from repro.core.profiler import StageRuntime
+from repro.core.stitch import resolve_context, stitch_profiles
+from repro.sim import Delay, Kernel
+
+SMOKE = os.environ.get("PERF_SMOKE") == "1"
+
+KERNEL_EVENTS = 20_000 if SMOKE else 200_000
+KERNEL_THREADS = 2_000 if SMOKE else 10_000
+STITCH_LABELS = 1_000 if SMOKE else 1_500
+CHAIN_DEPTH = 64
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
+
+
+def _record(key, value):
+    """Merge one result into BENCH_hotpaths.json."""
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data[key] = value
+    data["smoke"] = SMOKE
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def test_kernel_event_throughput(benchmark):
+    def run():
+        kernel = Kernel()
+        counter = [0]
+
+        def tick():
+            counter[0] += 1
+
+        for index in range(KERNEL_EVENTS):
+            kernel.schedule(index * 1e-6, tick)
+        start = time.perf_counter()
+        kernel.run()
+        elapsed = time.perf_counter() - start
+        assert counter[0] == KERNEL_EVENTS
+        return elapsed
+
+    elapsed = run_once(benchmark, run)
+    events_per_sec = KERNEL_EVENTS / elapsed
+    _record(
+        "kernel_event_throughput",
+        {"events": KERNEL_EVENTS, "seconds": elapsed, "events_per_sec": events_per_sec},
+    )
+    print(f"\nkernel: {KERNEL_EVENTS} events in {fmt(elapsed, 3)}s "
+          f"({events_per_sec:,.0f} events/s)")
+    assert events_per_sec > 50_000
+
+
+def test_kernel_thread_churn_stays_bounded(benchmark):
+    """Spawn/retire many short-lived threads; the registry must not grow."""
+
+    def run():
+        kernel = Kernel()
+
+        def short_lived():
+            yield Delay(1e-4)
+
+        for index in range(KERNEL_THREADS):
+            kernel.schedule(index * 1e-5, kernel.spawn, short_lived())
+        start = time.perf_counter()
+        kernel.run()
+        elapsed = time.perf_counter() - start
+        assert len(kernel._threads) == 0
+        return elapsed
+
+    elapsed = run_once(benchmark, run)
+    _record(
+        "kernel_thread_churn",
+        {"threads": KERNEL_THREADS, "seconds": elapsed,
+         "threads_per_sec": KERNEL_THREADS / elapsed},
+    )
+    print(f"\nthread churn: {KERNEL_THREADS} threads in {fmt(elapsed, 3)}s")
+
+
+def _build_stages(labels, chain_depth):
+    """A web stage with a deep synopsis chain and a db stage whose CCT
+
+    dictionary holds ``labels`` distinct labels all referencing it.
+    """
+    web = StageRuntime("web")
+    previous = web.synopses.synopsis(TransactionContext(("accept", "dispatch")))
+    for level in range(chain_depth):
+        previous = web.synopses.synopsis(
+            TransactionContext((SynopsisRef("web", previous), f"hop{level}"))
+        )
+    db = StageRuntime("db")
+    for index in range(labels):
+        label = TransactionContext(
+            (SynopsisRef("web", previous), f"query{index}")
+        )
+        db.cct_for(label).record_sample(("svc", f"q{index}"), 1.0)
+    return web, db
+
+
+def test_stitch_memoization_speedup(benchmark):
+    """Stitching >=1k labels must be >=5x faster than per-label resolution."""
+
+    def run():
+        web, db = _build_stages(STITCH_LABELS, CHAIN_DEPTH)
+        by_name = {"web": web, "db": db}
+
+        # Unmemoized baseline: resolve every label with no shared cache,
+        # re-walking the 64-hop chain once per label (the old behavior).
+        start = time.perf_counter()
+        baseline = [
+            resolve_context(label, by_name, None) for label in db.ccts
+        ]
+        unmemoized = time.perf_counter() - start
+
+        start = time.perf_counter()
+        profile = stitch_profiles([web, db])
+        memoized = time.perf_counter() - start
+
+        resolved = set(baseline)
+        assert set(profile.contexts_of("db")) == resolved
+        return unmemoized, memoized
+
+    unmemoized, memoized = run_once(benchmark, run)
+    speedup = unmemoized / memoized
+    _record(
+        "stitch_memoization",
+        {
+            "labels": STITCH_LABELS,
+            "chain_depth": CHAIN_DEPTH,
+            "unmemoized_seconds": unmemoized,
+            "memoized_seconds": memoized,
+            "speedup": speedup,
+        },
+    )
+    print_table(
+        "stitch hot path — memoized resolution",
+        ["labels", "unmemoized (s)", "memoized (s)", "speedup"],
+        [[STITCH_LABELS, fmt(unmemoized, 4), fmt(memoized, 4), fmt(speedup, 1)]],
+    )
+    assert speedup >= 5.0
+
+
+def test_context_share_scaling(benchmark):
+    """context_share over n contexts is O(n) with the stage-weight cache."""
+
+    def run():
+        web, db = _build_stages(STITCH_LABELS, 1)
+        profile = stitch_profiles([web, db])
+        contexts = profile.contexts_of("db")
+        start = time.perf_counter()
+        shares = [profile.context_share("db", context) for context in contexts]
+        elapsed = time.perf_counter() - start
+        assert abs(sum(shares) - 1.0) < 1e-6
+        return elapsed
+
+    elapsed = run_once(benchmark, run)
+    _record(
+        "context_share",
+        {"contexts": STITCH_LABELS, "seconds": elapsed},
+    )
+    print(f"\ncontext_share over {STITCH_LABELS} contexts: {fmt(elapsed, 4)}s")

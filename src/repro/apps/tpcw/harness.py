@@ -166,6 +166,9 @@ class TpcwSystem:
             "tomcat": self.tomcat.stage,
             "mysql": self.db.stage,
         }
+        # Shared synopsis-resolution cache: classify_context runs on
+        # every crosstalk wait event, and most contexts repeat.
+        self._resolve_cache = {}
         self._started = False
 
     # ------------------------------------------------------------------
@@ -174,7 +177,9 @@ class TpcwSystem:
         if not isinstance(context, TransactionContext):
             return None
         try:
-            resolved = resolve_context(context, self._stages_by_name)
+            resolved = resolve_context(
+                context, self._stages_by_name, self._resolve_cache
+            )
         except (StitchError, KeyError):
             return None
         for element in resolved.elements:

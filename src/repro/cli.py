@@ -153,10 +153,11 @@ def cmd_stitch(args: argparse.Namespace) -> int:
     from repro.core.stitch import flow_graph, stitch_profiles
 
     stages = [load_stage(path) for path in args.profiles]
-    profile = stitch_profiles(stages)
+    resolve_cache = {}
+    profile = stitch_profiles(stages, cache=resolve_cache)
     print(render_stitched_profile(profile, min_share=args.min_share))
     print()
-    print(render_flow_graph(flow_graph(stages)))
+    print(render_flow_graph(flow_graph(stages, cache=resolve_cache)))
     return 0
 
 

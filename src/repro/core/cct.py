@@ -38,10 +38,17 @@ class CCTNode:
         return node
 
     def subtree_weight(self) -> float:
-        """Inclusive weight: this node plus all descendants."""
-        total = self.self_weight
-        for child in self.children.values():
-            total += child.subtree_weight()
+        """Inclusive weight: this node plus all descendants.
+
+        Iterative so pathologically deep call paths cannot overflow the
+        interpreter stack.
+        """
+        total = 0.0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            total += node.self_weight
+            stack.extend(node.children.values())
         return total
 
     def path(self) -> Tuple[str, ...]:
@@ -54,10 +61,19 @@ class CCTNode:
         return tuple(reversed(frames))
 
     def walk(self) -> Iterator["CCTNode"]:
-        """Pre-order traversal of this subtree (children in name order)."""
-        yield self
-        for name in sorted(self.children):
-            yield from self.children[name].walk()
+        """Pre-order traversal of this subtree (children in name order).
+
+        Uses an explicit stack: deep trees neither recurse nor pay the
+        per-level generator-delegation cost of ``yield from`` chains.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            children = node.children
+            if children:
+                for name in sorted(children, reverse=True):
+                    stack.append(children[name])
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CCTNode {self.name} self={self.self_weight:.3f}>"
@@ -142,15 +158,18 @@ class CallingContextTree:
     # Combination
     # ------------------------------------------------------------------
     def merge(self, other: "CallingContextTree") -> None:
-        """Accumulate another CCT's weights and call counts into this one."""
+        """Accumulate another CCT's weights and call counts into this one.
 
-        def merge_node(dst: CCTNode, src: CCTNode) -> None:
+        Iterative (explicit worklist) so merging trees with very deep
+        call paths cannot raise ``RecursionError``.
+        """
+        stack = [(self.root, other.root)]
+        while stack:
+            dst, src = stack.pop()
             dst.self_weight += src.self_weight
             dst.call_count += src.call_count
             for name, src_child in src.children.items():
-                merge_node(dst.child(name), src_child)
-
-        merge_node(self.root, other.root)
+                stack.append((dst.child(name), src_child))
 
     def copy(self) -> "CallingContextTree":
         clone = CallingContextTree(self.label)

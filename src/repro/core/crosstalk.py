@@ -14,11 +14,17 @@ TPC-W application classifies by servlet name, so crosstalk reads
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.core.context import TransactionContext
 from repro.sim.process import SimThread
 from repro.sim.sync import Mutex
+
+# Raw-event retention limit.  Aggregates (pairs, by_waiter) are exact
+# regardless; only the per-event trail is a ring buffer, so a week-long
+# run cannot exhaust memory on raw wait records.
+DEFAULT_EVENT_CAPACITY = 1 << 20
 
 
 class PairStats:
@@ -37,19 +43,45 @@ class PairStats:
         if wait > self.max:
             self.max = wait
 
+    def add_stats(self, other: "PairStats") -> None:
+        """Fold another accumulator's totals into this one."""
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
 
 class CrosstalkRecorder:
-    """Collects crosstalk events and aggregates them by transaction type."""
+    """Collects crosstalk events and aggregates them by transaction type.
 
-    def __init__(self, type_of: Optional[Callable[[Any], Any]] = None):
+    ``event_capacity`` bounds the raw wait-event trail (a ring buffer
+    keeping the most recent events; ``None`` retains everything).  The
+    per-pair and per-waiter aggregates are accumulated separately and
+    stay exact however long the run.
+    """
+
+    def __init__(
+        self,
+        type_of: Optional[Callable[[Any], Any]] = None,
+        event_capacity: Optional[int] = DEFAULT_EVENT_CAPACITY,
+    ):
         self._type_of = type_of or (lambda ctxt: ctxt)
         self.pairs: Dict[Tuple[Any, Any], PairStats] = {}
         self.by_waiter: Dict[Any, PairStats] = {}
-        self.events: List[Tuple[Any, Any, float]] = []
+        self._events: Deque[Tuple[Any, Any, float]] = deque(maxlen=event_capacity)
+
+    @property
+    def events(self) -> List[Tuple[Any, Any, float]]:
+        """The retained raw ``(waiter, holder, wait)`` events, oldest first."""
+        return list(self._events)
+
+    @property
+    def event_capacity(self) -> Optional[int]:
+        return self._events.maxlen
 
     def set_classifier(self, type_of: Callable[[Any], Any]) -> None:
         """Replace the context-to-type classifier (e.g. once the other
@@ -64,20 +96,25 @@ class CrosstalkRecorder:
             return None
         return self._type_of(context)
 
-    def record(self, waiter_type: Any, holder_type: Any, wait: float) -> None:
-        """Record one wait of ``wait`` seconds of ``waiter`` on ``holder``."""
-        key = (waiter_type, holder_type)
+    def _pair_stats(self, key: Tuple[Any, Any]) -> PairStats:
         stats = self.pairs.get(key)
         if stats is None:
             stats = PairStats()
             self.pairs[key] = stats
-        stats.add(wait)
-        waiter_stats = self.by_waiter.get(waiter_type)
-        if waiter_stats is None:
-            waiter_stats = PairStats()
-            self.by_waiter[waiter_type] = waiter_stats
-        waiter_stats.add(wait)
-        self.events.append((waiter_type, holder_type, wait))
+        return stats
+
+    def _waiter_stats(self, waiter_type: Any) -> PairStats:
+        stats = self.by_waiter.get(waiter_type)
+        if stats is None:
+            stats = PairStats()
+            self.by_waiter[waiter_type] = stats
+        return stats
+
+    def record(self, waiter_type: Any, holder_type: Any, wait: float) -> None:
+        """Record one wait of ``wait`` seconds of ``waiter`` on ``holder``."""
+        self._pair_stats((waiter_type, holder_type)).add(wait)
+        self._waiter_stats(waiter_type).add(wait)
+        self._events.append((waiter_type, holder_type, wait))
 
     # ------------------------------------------------------------------
     # Mutex integration
@@ -131,5 +168,14 @@ class CrosstalkRecorder:
         return rows
 
     def merge(self, other: "CrosstalkRecorder") -> None:
-        for waiter_type, holder_type, wait in other.events:
-            self.record(waiter_type, holder_type, wait)
+        """Fold another recorder's data into this one.
+
+        Aggregates merge from the other recorder's exact accumulators —
+        not by replaying its raw events — so the result stays correct
+        even when the other's ring buffer has dropped old events.
+        """
+        for key, stats in other.pairs.items():
+            self._pair_stats(key).add_stats(stats)
+        for waiter_type, stats in other.by_waiter.items():
+            self._waiter_stats(waiter_type).add_stats(stats)
+        self._events.extend(other._events)

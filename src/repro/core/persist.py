@@ -54,24 +54,34 @@ def decode_context(data: List[Any]) -> TransactionContext:
 
 
 def _encode_cct_node(node: CCTNode) -> Dict[str, Any]:
-    encoded: Dict[str, Any] = {}
-    if node.self_weight:
-        encoded["w"] = node.self_weight
-    if node.call_count:
-        encoded["c"] = node.call_count
-    if node.children:
-        encoded["k"] = {
-            name: _encode_cct_node(child)
-            for name, child in node.children.items()
-        }
-    return encoded
+    # Iterative: deep call paths must not overflow the encoder's stack
+    # (the JSON serialiser bounds nesting separately).
+    root: Dict[str, Any] = {}
+    stack = [(node, root)]
+    while stack:
+        current, encoded = stack.pop()
+        if current.self_weight:
+            encoded["w"] = current.self_weight
+        if current.call_count:
+            encoded["c"] = current.call_count
+        if current.children:
+            children: Dict[str, Any] = {}
+            encoded["k"] = children
+            for name, child in current.children.items():
+                child_encoded: Dict[str, Any] = {}
+                children[name] = child_encoded
+                stack.append((child, child_encoded))
+    return root
 
 
 def _decode_cct_node(node: CCTNode, data: Dict[str, Any]) -> None:
-    node.self_weight = data.get("w", 0.0)
-    node.call_count = data.get("c", 0)
-    for name, child_data in data.get("k", {}).items():
-        _decode_cct_node(node.child(name), child_data)
+    stack = [(node, data)]
+    while stack:
+        current, encoded = stack.pop()
+        current.self_weight = encoded.get("w", 0.0)
+        current.call_count = encoded.get("c", 0)
+        for name, child_data in encoded.get("k", {}).items():
+            stack.append((current.child(name), child_data))
 
 
 def _encode_type(value: Any) -> Any:

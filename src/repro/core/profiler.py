@@ -92,6 +92,7 @@ class StageRuntime:
         type_of: Optional[Callable[[TransactionContext], Any]] = None,
         deterministic: bool = True,
         seed: int = 0,
+        crosstalk_capacity: Optional[int] = None,
     ):
         self.name = name
         self.mode = mode
@@ -107,11 +108,20 @@ class StageRuntime:
         self.overhead = overhead or OverheadModel()
         self.synopses = SynopsisTable(name)
         self.ccts: Dict[TransactionContext, CallingContextTree] = {}
-        self.crosstalk = CrosstalkRecorder(type_of=type_of)
-        # Map synopsis value -> the caller context active when the
-        # request was sent, so a response switches back to the CCT the
+        if crosstalk_capacity is None:
+            self.crosstalk = CrosstalkRecorder(type_of=type_of)
+        else:
+            self.crosstalk = CrosstalkRecorder(
+                type_of=type_of, event_capacity=crosstalk_capacity
+            )
+        # Map synopsis value -> [caller context active at send time,
+        # in-flight count], so a response switches back to the CCT the
         # request originated from (§7.4 step 2 of the receive wrapper).
-        self._sent_requests: Dict[int, Optional[TransactionContext]] = {}
+        # Entries are reference-counted and popped when the matching
+        # response arrives: the map tracks only in-flight requests
+        # instead of growing forever, and a stale prefix from a long-gone
+        # request can no longer be spuriously matched.
+        self._sent_requests: Dict[int, list] = {}
         # Per-thread pending overhead seconds, folded into the next CPU
         # demand by work().
         self._pending: Dict[int, float] = {}
@@ -206,6 +216,14 @@ class StageRuntime:
     def take_pending(self, thread: SimThread) -> float:
         return self._pending.pop(thread.tid, 0.0)
 
+    def on_thread_exit(self, thread: SimThread) -> None:
+        """Teardown hook from :meth:`SimThread.finish` / ``fail``.
+
+        A thread that exits with queued overhead never runs work() again,
+        so its pending entry would otherwise be retained forever.
+        """
+        self._pending.pop(thread.tid, None)
+
     def inflate(self, thread: SimThread, seconds: float) -> float:
         """Total CPU demand for ``seconds`` of useful work on ``thread``."""
         demand = seconds
@@ -237,7 +255,14 @@ class StageRuntime:
             return None
         context = self.context_at_send(thread)
         value = self.synopses.synopsis(context)
-        self._sent_requests[value] = thread.tran_ctxt
+        entry = self._sent_requests.get(value)
+        if entry is None:
+            self._sent_requests[value] = [thread.tran_ctxt, 1]
+        else:
+            # Identical in-flight sends share one entry; count them so
+            # each response can match before the entry is dropped.
+            entry[0] = thread.tran_ctxt
+            entry[1] += 1
         self.add_pending(thread, self.overhead.synopsis_cost)
         self.comm_context_bytes_full += context.wire_size()
         return value
@@ -266,11 +291,22 @@ class StageRuntime:
         """
         if not self.tracking or composite is None:
             return False
-        if composite.prefix not in self._sent_requests:
+        entry = self._sent_requests.get(composite.prefix)
+        if entry is None:
             return False
-        thread.tran_ctxt = self._sent_requests[composite.prefix]
+        context, in_flight = entry
+        if in_flight <= 1:
+            del self._sent_requests[composite.prefix]
+        else:
+            entry[1] = in_flight - 1
+        thread.tran_ctxt = context
         self.add_pending(thread, self.overhead.switch_cost)
         return True
+
+    @property
+    def in_flight_requests(self) -> int:
+        """Requests sent whose responses have not yet been matched."""
+        return len(self._sent_requests)
 
     def account_message(self, data_bytes: int, context_bytes: int) -> None:
         """Track §9.1's data-vs-context communication volumes."""

@@ -10,13 +10,13 @@ expanded end-to-end transaction contexts.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.cct import CallingContextTree
 from repro.core.context import SynopsisRef, TransactionContext
 from repro.core.profiler import StageRuntime
 
-MAX_DEPTH = 32
+ResolutionCache = Dict[TransactionContext, TransactionContext]
 
 
 class StitchError(Exception):
@@ -26,25 +26,56 @@ class StitchError(Exception):
 def resolve_context(
     context: TransactionContext,
     stages: Dict[str, StageRuntime],
-    _depth: int = 0,
+    cache: Optional[ResolutionCache] = None,
+    _active: Optional[Set[Tuple[str, int]]] = None,
+    _chain: Optional[List[SynopsisRef]] = None,
 ) -> TransactionContext:
-    """Expand every SynopsisRef in ``context`` into the context it names."""
-    if _depth > MAX_DEPTH:
-        raise StitchError("synopsis reference chain too deep (cycle?)")
+    """Expand every SynopsisRef in ``context`` into the context it names.
+
+    Cycles among synopsis references are detected with a visited set, so
+    arbitrarily deep legitimate chains resolve while a genuine cycle
+    raises :class:`StitchError` naming the offending chain.
+
+    ``cache`` maps already-resolved contexts to their expansions.  Pass
+    the same dict across calls (as :func:`stitch_profiles` and
+    :func:`flow_graph` do) to resolve each synopsis once instead of once
+    per referencing label; entries are only ever added for fully
+    resolved contexts, so a shared cache stays correct.
+    """
+    if cache is not None:
+        cached = cache.get(context)
+        if cached is not None:
+            return cached
+    if _active is None:
+        _active = set()
+        _chain = []
     elements: List = []
     for element in context:
-        if isinstance(element, SynopsisRef):
-            origin = stages.get(element.origin)
-            if origin is None:
-                raise StitchError(
-                    f"context references unknown stage {element.origin!r}"
-                )
-            remote = origin.synopses.resolve(element.value)
-            expanded = resolve_context(remote, stages, _depth + 1)
-            elements.extend(expanded.elements)
-        else:
+        if not isinstance(element, SynopsisRef):
             elements.append(element)
-    return TransactionContext(elements)
+            continue
+        origin = stages.get(element.origin)
+        if origin is None:
+            raise StitchError(
+                f"context references unknown stage {element.origin!r}"
+            )
+        key = (element.origin, element.value)
+        if key in _active:
+            chain = " -> ".join(repr(ref) for ref in _chain + [element])
+            raise StitchError(f"cyclic synopsis reference chain: {chain}")
+        remote = origin.synopses.resolve(element.value)
+        _active.add(key)
+        _chain.append(element)
+        try:
+            expanded = resolve_context(remote, stages, cache, _active, _chain)
+        finally:
+            _active.discard(key)
+            _chain.pop()
+        elements.extend(expanded.elements)
+    resolved = TransactionContext(elements)
+    if cache is not None:
+        cache[context] = resolved
+    return resolved
 
 
 class StitchedProfile:
@@ -53,8 +84,14 @@ class StitchedProfile:
     def __init__(self):
         # (stage name, fully resolved context) -> CCT
         self.entries: Dict[Tuple[str, TransactionContext], CallingContextTree] = {}
+        # stage name -> memoized total weight; without it, context_share
+        # re-walks every CCT of the stage per queried context (quadratic
+        # over contexts).  Invalidated by add(); call invalidate_weights()
+        # after mutating a returned CCT directly.
+        self._stage_weights: Dict[str, float] = {}
 
     def add(self, stage: str, context: TransactionContext, cct: CallingContextTree) -> None:
+        self._stage_weights.pop(stage, None)
         existing = self.entries.get((stage, context))
         if existing is None:
             clone = cct.copy()
@@ -62,6 +99,13 @@ class StitchedProfile:
             self.entries[(stage, context)] = clone
         else:
             existing.merge(cct)
+
+    def invalidate_weights(self, stage: Optional[str] = None) -> None:
+        """Drop memoized stage weights (for one stage, or all)."""
+        if stage is None:
+            self._stage_weights.clear()
+        else:
+            self._stage_weights.pop(stage, None)
 
     # ------------------------------------------------------------------
     def stages(self) -> List[str]:
@@ -74,14 +118,18 @@ class StitchedProfile:
         return self.entries[(stage, context)]
 
     def stage_weight(self, stage: str) -> float:
-        return sum(
-            cct.total_weight()
-            for (s, _), cct in self.entries.items()
-            if s == stage
-        )
+        cached = self._stage_weights.get(stage)
+        if cached is None:
+            cached = sum(
+                cct.total_weight()
+                for (s, _), cct in self.entries.items()
+                if s == stage
+            )
+            self._stage_weights[stage] = cached
+        return cached
 
     def total_weight(self) -> float:
-        return sum(cct.total_weight() for cct in self.entries.values())
+        return sum(self.stage_weight(stage) for stage in self.stages())
 
     def context_share(self, stage: str, context: TransactionContext) -> float:
         """Fraction of the stage's samples under one transaction context."""
@@ -132,14 +180,22 @@ class FlowEdge:
         )
 
 
-def flow_graph(stages: Iterable[StageRuntime]) -> List[FlowEdge]:
+def flow_graph(
+    stages: Iterable[StageRuntime],
+    cache: Optional[ResolutionCache] = None,
+) -> List[FlowEdge]:
     """The request edges of the end-to-end profile (Fig 7's arrows).
 
     Every CCT label starting with a synopsis reference names the stage
     whose send created it; the edge connects the sender's context (the
     resolved referenced context) to the receiver's resolved context.
+
+    ``cache`` is a resolution cache shared with other presentation-phase
+    passes (e.g. the :func:`stitch_profiles` call over the same stages).
     """
     by_name = {stage.name: stage for stage in stages}
+    if cache is None:
+        cache = {}
     edges: List[FlowEdge] = []
     seen = set()
     for stage in by_name.values():
@@ -151,13 +207,13 @@ def flow_graph(stages: Iterable[StageRuntime]) -> List[FlowEdge]:
                 if origin is None:
                     continue
                 sender_context = resolve_context(
-                    origin.synopses.resolve(element.value), by_name
+                    origin.synopses.resolve(element.value), by_name, cache
                 )
                 edge = FlowEdge(
                     origin.name,
                     sender_context,
                     stage.name,
-                    resolve_context(label, by_name),
+                    resolve_context(label, by_name, cache),
                 )
                 if edge not in seen:
                     seen.add(edge)
@@ -165,17 +221,24 @@ def flow_graph(stages: Iterable[StageRuntime]) -> List[FlowEdge]:
     return edges
 
 
-def stitch_profiles(stages: Iterable[StageRuntime]) -> StitchedProfile:
+def stitch_profiles(
+    stages: Iterable[StageRuntime],
+    cache: Optional[ResolutionCache] = None,
+) -> StitchedProfile:
     """Combine per-stage profiles into one transactional profile.
 
     Every CCT label containing synopsis references is resolved into the
     full cross-stage transaction context; CCTs whose labels resolve to
-    the same context merge.
+    the same context merge.  Resolutions are memoized in ``cache`` (a
+    fresh dict if not given); pass the same dict to :func:`flow_graph`
+    to reuse the work.
     """
     by_name = {stage.name: stage for stage in stages}
+    if cache is None:
+        cache = {}
     profile = StitchedProfile()
     for stage in by_name.values():
         for label, cct in stage.ccts.items():
-            resolved = resolve_context(label, by_name)
+            resolved = resolve_context(label, by_name, cache)
             profile.add(stage.name, resolved, cct)
     return profile

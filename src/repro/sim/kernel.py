@@ -10,15 +10,19 @@ execution, event for event.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.sim.process import SimThread
+
+# Lazy-purge thresholds: rebuild the heap only when it is mostly dead
+# weight and big enough for the rebuild to matter.
+_PURGE_MIN_QUEUE = 64
 
 
 class ScheduledEvent:
     """A cancellable callback scheduled at a point in virtual time."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "kernel")
 
     def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
         self.time = time
@@ -26,10 +30,20 @@ class ScheduledEvent:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference while the event sits in a kernel's queue, so
+        # cancellation can be counted (and the heap purged once
+        # cancelled entries dominate it).  Detached when the event is
+        # popped or purged.
+        self.kernel: Optional["Kernel"] = None
 
     def cancel(self) -> None:
         """Prevent the callback from running when its time arrives."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        kernel = self.kernel
+        if kernel is not None:
+            kernel._note_cancelled()
 
     def __lt__(self, other: "ScheduledEvent") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -69,9 +83,15 @@ class Kernel:
         self._same_time_events = 0
         self._queue: List[ScheduledEvent] = []
         self._seq = 0
-        self._threads: List[SimThread] = []
+        # Only live threads: finished/failed threads are reaped (see
+        # :meth:`reap`), so deadlock checks and live_threads stay O(live)
+        # however many short-lived threads a run spawns.
+        self._threads: Dict[int, SimThread] = {}
         self._next_tid = 0
         self._stopped = False
+        # Cancelled events still sitting in the heap; once they dominate
+        # it the heap is rebuilt without them (lazy purge).
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -81,9 +101,31 @@ class Kernel:
         if delay < 0:
             raise ValueError("cannot schedule into the past (delay=%r)" % delay)
         event = ScheduledEvent(self.now + delay, self._seq, fn, args)
+        event.kernel = self
         self._seq += 1
         heapq.heappush(self._queue, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        """Count a cancellation; purge the heap when mostly cancelled."""
+        self._cancelled += 1
+        if (
+            len(self._queue) > _PURGE_MIN_QUEUE
+            and self._cancelled * 2 > len(self._queue)
+        ):
+            self._purge_cancelled()
+
+    def _purge_cancelled(self) -> None:
+        """Rebuild the heap without cancelled events (O(live))."""
+        live = []
+        for event in self._queue:
+            if event.cancelled:
+                event.kernel = None
+            else:
+                live.append(event)
+        self._queue = live
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def call_soon(self, fn: Callable, *args: Any) -> ScheduledEvent:
         """Run ``fn(*args)`` at the current virtual time, after the
@@ -110,9 +152,18 @@ class Kernel:
         tid = self._next_tid
         self._next_tid += 1
         thread = SimThread(self, generator, tid, name or f"thread-{tid}", stage)
-        self._threads.append(thread)
+        self._threads[tid] = thread
         self.call_soon(thread.step, None)
         return thread
+
+    def reap(self, thread: SimThread) -> None:
+        """Drop a finished thread from the registry.
+
+        Called from :meth:`SimThread.finish` / ``fail``; keeps
+        ``live_threads`` and the deadlock check proportional to the
+        number of *live* threads instead of every thread ever spawned.
+        """
+        self._threads.pop(thread.tid, None)
 
     def resume(self, thread: SimThread, value: Any = None) -> None:
         """Unblock ``thread``, delivering ``value`` as the result of the
@@ -137,10 +188,14 @@ class Kernel:
         while self._queue and not self._stopped:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                event.kernel = None
+                self._cancelled -= 1
                 continue
+            event.kernel = None
             if until is not None and event.time > until:
                 # Put it back for a later run() call and stop the clock
                 # exactly at the horizon.
+                event.kernel = self
                 heapq.heappush(self._queue, event)
                 self.now = until
                 return self.now
@@ -165,7 +220,7 @@ class Kernel:
             # queue with blocked non-daemon threads is a deadlock.
             blocked = [
                 t
-                for t in self._threads
+                for t in self._threads.values()
                 if t.alive and t.blocked_on and not t.daemon
             ]
             if blocked and not self._queue:
@@ -185,8 +240,8 @@ class Kernel:
     @property
     def live_threads(self) -> List[SimThread]:
         """Threads that have not yet finished."""
-        return [t for t in self._threads if t.alive]
+        return [t for t in self._threads.values() if t.alive]
 
     def pending_events(self) -> int:
-        """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of scheduled, non-cancelled events (O(1))."""
+        return len(self._queue) - self._cancelled

@@ -200,6 +200,7 @@ class SimThread:
         for joiner in self.joiners:
             self.kernel.resume(joiner, result)
         self.joiners.clear()
+        self._teardown()
 
     def fail(self, exc: BaseException) -> None:
         self.alive = False
@@ -207,6 +208,24 @@ class SimThread:
         for joiner in self.joiners:
             self.kernel.throw_in(joiner, exc)
         self.joiners.clear()
+        self._teardown()
+
+    def _teardown(self) -> None:
+        """Release per-thread state held elsewhere once the thread dies.
+
+        The stage drops any queued-but-uncharged profiler overhead (the
+        thread will never run work() again) and the kernel reaps the
+        thread from its registry so long runs spawning millions of
+        short-lived request threads stay bounded.
+        """
+        stage = self.stage
+        if stage is not None:
+            on_exit = getattr(stage, "on_thread_exit", None)
+            if on_exit is not None:
+                on_exit(self)
+        reap = getattr(self.kernel, "reap", None)
+        if reap is not None:
+            reap(self)
 
     # ------------------------------------------------------------------
     # Profiler support

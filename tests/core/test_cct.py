@@ -174,3 +174,52 @@ def test_merge_preserves_total(paths_list):
     expected = a.total_weight() + b.total_weight()
     a.merge(b)
     assert a.total_weight() == pytest.approx(expected)
+
+
+# ----------------------------------------------------------------------
+# Deep call paths: the tree operations are iterative and must tolerate
+# paths far beyond the interpreter's recursion limit.
+# ----------------------------------------------------------------------
+DEEP = 10_000
+
+
+def _deep_tree(depth=DEEP, weight=1.0):
+    cct = CallingContextTree()
+    path = tuple(f"f{level}" for level in range(depth))
+    cct.record_sample(path, weight)
+    return cct, path
+
+
+def test_deep_tree_subtree_weight_no_recursion_error():
+    cct, path = _deep_tree()
+    assert cct.total_weight() == 1.0
+    assert cct.inclusive_weight_of(path[:1]) == 1.0
+
+
+def test_deep_tree_walk_and_flatten_no_recursion_error():
+    cct, path = _deep_tree()
+    assert cct.node_count() == DEEP
+    flat = cct.flatten()
+    assert flat == {path: 1.0}
+
+
+def test_deep_tree_merge_and_copy_no_recursion_error():
+    a, path = _deep_tree(weight=1.0)
+    b, _ = _deep_tree(weight=2.0)
+    a.merge(b)
+    assert a.weight_of(path) == 3.0
+    clone = a.copy()
+    assert clone.weight_of(path) == 3.0
+
+
+def test_deep_tree_persist_encoding_is_iterative():
+    from repro.core.cct import CCTNode
+    from repro.core.persist import _decode_cct_node, _encode_cct_node
+
+    cct, path = _deep_tree(depth=5_000)
+    encoded = _encode_cct_node(cct.root)
+    rebuilt_root = CCTNode("<root>")
+    _decode_cct_node(rebuilt_root, encoded)
+    rebuilt = CallingContextTree()
+    rebuilt.root = rebuilt_root
+    assert rebuilt.weight_of(path[:5_000]) == 1.0

@@ -147,3 +147,57 @@ def test_merge_combines_recorders():
     a.merge(b)
     assert a.mean_wait("X", "Y") == 2.0
     assert len(a.events) == 2
+
+
+def test_event_retention_is_bounded_but_aggregates_stay_exact():
+    recorder = CrosstalkRecorder(event_capacity=4)
+    for index in range(10):
+        recorder.record("A", "B", float(index))
+    # Ring buffer keeps only the most recent events...
+    assert recorder.events == [("A", "B", float(i)) for i in (6, 7, 8, 9)]
+    assert recorder.event_capacity == 4
+    # ...while the aggregates saw every wait.
+    assert recorder.total_wait_of("A") == sum(range(10))
+    assert recorder.pairs[("A", "B")].count == 10
+    assert recorder.pairs[("A", "B")].max == 9.0
+
+
+def test_unbounded_retention_opt_in():
+    recorder = CrosstalkRecorder(event_capacity=None)
+    assert recorder.event_capacity is None
+    for index in range(100):
+        recorder.record("A", "B", 1.0)
+    assert len(recorder.events) == 100
+
+
+def test_default_capacity_is_large_but_finite():
+    from repro.core.crosstalk import DEFAULT_EVENT_CAPACITY
+
+    recorder = CrosstalkRecorder()
+    assert recorder.event_capacity == DEFAULT_EVENT_CAPACITY
+    assert DEFAULT_EVENT_CAPACITY >= 1 << 20
+
+
+def test_merge_is_exact_even_after_ring_buffer_drops():
+    a = CrosstalkRecorder()
+    b = CrosstalkRecorder(event_capacity=2)
+    for _ in range(5):
+        b.record("X", "Y", 2.0)
+    a.merge(b)
+    # b retained only 2 raw events but its aggregates saw all 5 waits,
+    # and merge folds the aggregates, not the surviving events.
+    assert a.pairs[("X", "Y")].count == 5
+    assert a.total_wait_of("X") == 10.0
+    assert len(a.events) == 2
+
+
+def test_pair_stats_add_stats():
+    a = PairStats()
+    b = PairStats()
+    a.add(1.0)
+    b.add(5.0)
+    b.add(2.0)
+    a.add_stats(b)
+    assert a.count == 3
+    assert a.total == 8.0
+    assert a.max == 5.0

@@ -347,6 +347,103 @@ def test_tracking_disabled_send_wrappers_are_noops():
     assert out["ctxt"] is None
 
 
+def test_receive_response_pops_matched_request():
+    """Regression: the sent-request entry must not outlive its response.
+
+    Before the fix the map grew unboundedly and a stale prefix from an
+    old request could be spuriously matched by a later response.
+    """
+    stage = make_stage()
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    box = {}
+    out = {}
+
+    def worker():
+        from repro.core.synopsis import CompositeSynopsis
+
+        thread = box["t"]
+        with frame(thread, "main"):
+            syn = stage.send_request(thread)
+        assert stage.in_flight_requests == 1
+        composite = CompositeSynopsis(syn, 1)
+        out["first"] = stage.receive_response(thread, composite)
+        out["in_flight"] = stage.in_flight_requests
+        # A stale response carrying the same prefix no longer matches.
+        out["stale"] = stage.receive_response(thread, composite)
+        yield from work(thread, cpu, 0.0)
+
+    box["t"] = kernel.spawn(worker(), name="w", stage=stage)
+    kernel.run()
+    assert out["first"] is True
+    assert out["in_flight"] == 0
+    assert out["stale"] is False
+
+
+def test_identical_in_flight_requests_each_match_a_response():
+    stage = make_stage()
+    kernel = Kernel()
+    cpu = CPU(kernel)
+    box = {}
+    out = {}
+
+    def worker():
+        from repro.core.synopsis import CompositeSynopsis
+
+        thread = box["t"]
+        with frame(thread, "main"):
+            first = stage.send_request(thread)
+            second = stage.send_request(thread)
+        assert first == second  # same context -> same synopsis
+        assert stage.in_flight_requests == 1  # shared, refcounted entry
+        composite = CompositeSynopsis(first, 1)
+        out["matches"] = [
+            stage.receive_response(thread, composite),
+            stage.receive_response(thread, composite),
+            stage.receive_response(thread, composite),
+        ]
+        yield from work(thread, cpu, 0.0)
+
+    box["t"] = kernel.spawn(worker(), name="w", stage=stage)
+    kernel.run()
+    # Two in-flight sends match exactly two responses; the third is stale.
+    assert out["matches"] == [True, True, False]
+
+
+def test_pending_overhead_reclaimed_when_thread_exits():
+    """Regression: a thread exiting with queued overhead must not leak it."""
+    stage = make_stage()
+    kernel = Kernel()
+    box = {}
+
+    def worker():
+        thread = box["t"]
+        stage.add_pending(thread, 0.05)
+        return
+        yield  # pragma: no cover
+
+    box["t"] = kernel.spawn(worker(), name="w", stage=stage)
+    kernel.run()
+    assert stage._pending == {}
+
+
+def test_pending_overhead_reclaimed_when_thread_fails():
+    stage = make_stage()
+    kernel = Kernel()
+    box = {}
+
+    def worker():
+        thread = box["t"]
+        stage.add_pending(thread, 0.05)
+        raise RuntimeError("boom")
+        yield  # pragma: no cover
+
+    box["t"] = kernel.spawn(worker(), name="w", stage=stage)
+    with pytest.raises(RuntimeError):
+        kernel.run()
+    assert stage._pending == {}
+
+
 def test_message_byte_accounting():
     stage = make_stage()
     stage.account_message(1000, 4)

@@ -52,6 +52,58 @@ def test_resolve_cycle_raises():
         resolve_context(ctxt(SynopsisRef("a", value)), {"a": a})
 
 
+def test_resolve_cycle_error_names_the_chain():
+    a = StageRuntime("a")
+    b = StageRuntime("b")
+    # a's synopsis refers to b's, which refers back to a's.
+    a_value = a.synopses.synopsis(ctxt("placeholder-a"))
+    b_value = b.synopses.synopsis(ctxt("placeholder-b"))
+    a.synopses._by_value[a_value] = ctxt(SynopsisRef("b", b_value))
+    b.synopses._by_value[b_value] = ctxt(SynopsisRef("a", a_value))
+    with pytest.raises(StitchError) as excinfo:
+        resolve_context(ctxt(SynopsisRef("a", a_value)), {"a": a, "b": b})
+    message = str(excinfo.value)
+    assert "cyclic" in message
+    assert "a" in message and "b" in message
+
+
+def test_resolve_deep_legitimate_chain_is_not_a_cycle():
+    """A 200-hop reference chain (former depth cap was 32) resolves fine."""
+    stage = StageRuntime("s")
+    previous = stage.synopses.synopsis(ctxt("origin"))
+    for level in range(200):
+        previous = stage.synopses.synopsis(
+            ctxt(SynopsisRef("s", previous), f"hop{level}")
+        )
+    resolved = resolve_context(ctxt(SynopsisRef("s", previous)), {"s": stage})
+    assert resolved.elements[0] == "origin"
+    assert len(resolved.elements) == 201
+
+
+def test_resolve_cache_is_shared_and_correct():
+    web = StageRuntime("web")
+    syn = web.synopses.synopsis(ctxt("main", "send"))
+    stages = {"web": web}
+    cache = {}
+    label = ctxt(SynopsisRef("web", syn), "svc")
+    first = resolve_context(label, stages, cache)
+    assert first.elements == ("main", "send", "svc")
+    # Both the label and the referenced context are now memoized.
+    assert cache[label] == first
+    # A second resolution comes straight from the cache (identity).
+    assert resolve_context(label, stages, cache) is first
+
+
+def test_resolve_cache_never_caches_partial_cycles():
+    a = StageRuntime("a")
+    value = a.synopses.synopsis(ctxt("placeholder"))
+    a.synopses._by_value[value] = ctxt(SynopsisRef("a", value))
+    cache = {}
+    with pytest.raises(StitchError):
+        resolve_context(ctxt(SynopsisRef("a", value)), {"a": a}, cache)
+    assert cache == {}
+
+
 def test_stitch_merges_cct_labels_into_full_contexts():
     web = StageRuntime("web")
     db = StageRuntime("db")
@@ -107,6 +159,40 @@ def test_stage_weight_and_context_share():
     assert profile.stage_weight("web") == 100.0
     assert profile.context_share("web", ctxt("hit")) == pytest.approx(0.3)
     assert profile.total_weight() == 100.0
+
+
+def test_stage_weight_cache_invalidated_by_add():
+    web = StageRuntime("web")
+    web.cct_for(ctxt("hit")).record_sample(("w",), 30.0)
+    profile = stitch_profiles([web])
+    assert profile.stage_weight("web") == 30.0  # primes the cache
+    extra = StageRuntime("web")
+    extra.cct_for(ctxt("miss")).record_sample(("w",), 70.0)
+    profile.add("web", ctxt("miss"), extra.ccts[ctxt("miss")])
+    assert profile.stage_weight("web") == 100.0
+    assert profile.context_share("web", ctxt("hit")) == pytest.approx(0.3)
+
+
+def test_invalidate_weights_after_direct_cct_mutation():
+    web = StageRuntime("web")
+    web.cct_for(LOCAL).record_sample(("main",), 10.0)
+    profile = stitch_profiles([web])
+    assert profile.stage_weight("web") == 10.0
+    profile.cct("web", LOCAL).record_sample(("main",), 5.0)
+    profile.invalidate_weights("web")
+    assert profile.stage_weight("web") == 15.0
+
+
+def test_context_share_many_contexts_uses_one_stage_scan():
+    """context_share over n contexts must not re-sum the stage each time."""
+    web = StageRuntime("web")
+    for index in range(50):
+        web.cct_for(ctxt(f"c{index}")).record_sample(("w",), 1.0)
+    profile = stitch_profiles([web])
+    shares = [
+        profile.context_share("web", ctxt(f"c{index}")) for index in range(50)
+    ]
+    assert all(share == pytest.approx(1 / 50) for share in shares)
 
 
 def test_context_share_of_empty_stage_is_zero():

@@ -84,6 +84,63 @@ def test_items_lists_all_allocations():
     assert dict(table.items()) == dict(zip(contexts, values))
 
 
+def test_synopsis_space_overflow_raises():
+    """Exhausting the 20-bit per-stage space fails loudly, not silently."""
+    from repro.core.synopsis import _LOCAL_MASK
+
+    table = SynopsisTable("web")
+    # Jump the sequential allocator to the last legal identifier.
+    table._next = _LOCAL_MASK
+    last = table.synopsis(ctxt("last"))
+    assert last & _LOCAL_MASK == _LOCAL_MASK
+    assert table.resolve(last) == ctxt("last")
+    with pytest.raises(OverflowError):
+        table.synopsis(ctxt("one-too-many"))
+    # The failed allocation registered nothing.
+    assert table.lookup(ctxt("one-too-many")) is None
+
+
+def _colliding_stage_names():
+    """Two distinct stage names whose 12-bit stage-hash buckets collide."""
+    from repro.core.synopsis import _stage_base
+
+    seen = {}
+    for index in range(100_000):
+        name = f"stage{index}"
+        base = _stage_base(name)
+        if base in seen:
+            return seen[base], name
+        seen[base] = name
+    raise AssertionError("no collision found")  # pragma: no cover
+
+
+def test_is_own_prefix_across_colliding_stage_hash_buckets():
+    """Documented limitation: two stages in the same 12-bit bucket that
+
+    have allocated the same sequential id produce identical 32-bit
+    synopses, so both claim the prefix as their own.  Distinct ids in
+    the same bucket stay distinguishable.
+    """
+    from repro.core.synopsis import _stage_base
+
+    name_a, name_b = _colliding_stage_names()
+    assert _stage_base(name_a) == _stage_base(name_b)
+    a = SynopsisTable(name_a)
+    b = SynopsisTable(name_b)
+    first_a = a.synopsis(ctxt("a-context"))
+    first_b = b.synopsis(ctxt("b-context"))
+    # Same bucket + same sequential id -> the values collide exactly.
+    assert first_a == first_b
+    collision = CompositeSynopsis(first_a, 1)
+    assert a.is_own_prefix(collision)
+    assert b.is_own_prefix(collision)
+    # A value only one stage has allocated is still correctly attributed.
+    second_a = a.synopsis(ctxt("a-only"))
+    only_a = CompositeSynopsis(second_a, 1)
+    assert a.is_own_prefix(only_a)
+    assert not b.is_own_prefix(only_a)
+
+
 @given(st.lists(st.lists(st.sampled_from("abcdef"), max_size=5), max_size=40))
 def test_synopses_injective(paths):
     """Distinct contexts never share a synopsis (uniqueness guarantee)."""

@@ -302,3 +302,89 @@ def test_pending_events_counts_uncancelled():
     event = kernel.schedule(2.0, lambda: None)
     event.cancel()
     assert kernel.pending_events() == 1
+
+
+def test_finished_threads_are_reaped():
+    """10k short-lived threads must not accumulate in the registry."""
+    kernel = Kernel()
+    done = []
+
+    def short_lived(index):
+        yield Delay(0.001)
+        done.append(index)
+
+    for index in range(10_000):
+        kernel.schedule(index * 0.01, kernel.spawn, short_lived(index))
+    kernel.run()
+    assert len(done) == 10_000
+    assert len(kernel._threads) == 0
+    assert kernel.live_threads == []
+
+
+def test_reaped_registry_still_detects_deadlock():
+    """Reaping finished threads must not blind the deadlock check."""
+    kernel = Kernel()
+    holder = {}
+
+    def finishes():
+        yield Delay(0.1)
+
+    def a():
+        yield Join(holder["b"])
+
+    def b():
+        yield Delay(0.2)
+        yield Join(holder["a"])
+
+    kernel.spawn(finishes())
+    holder["a"] = kernel.spawn(a())
+    holder["b"] = kernel.spawn(b())
+    with pytest.raises(Deadlock):
+        kernel.run()
+
+
+def test_join_works_after_target_reaped():
+    kernel = Kernel()
+    results = []
+
+    def child():
+        yield Delay(1.0)
+        return "done"
+
+    def parent(target):
+        value = yield Join(target)
+        results.append(value)
+
+    target = kernel.spawn(child())
+    kernel.run()
+    assert len(kernel._threads) == 0  # child reaped
+    kernel.spawn(parent(target))
+    kernel.run()
+    assert results == ["done"]
+
+
+def test_cancelled_events_are_purged_lazily():
+    kernel = Kernel()
+    events = [kernel.schedule(1.0 + i, lambda: None) for i in range(1000)]
+    keep = events[:50]
+    for event in events[50:]:
+        event.cancel()
+    # The heap was rebuilt without the dead weight once cancelled
+    # entries dominated it.
+    assert len(kernel._queue) < 200
+    assert kernel.pending_events() == 50
+    assert all(not e.cancelled for e in keep)
+    kernel.run()
+    assert kernel.pending_events() == 0
+
+
+def test_cancel_after_run_is_harmless():
+    kernel = Kernel()
+    seen = []
+    event = kernel.schedule(1.0, seen.append, "x")
+    kernel.run()
+    event.cancel()  # already executed; must not corrupt the counter
+    assert seen == ["x"]
+    assert kernel.pending_events() == 0
+    kernel.schedule(1.0, seen.append, "y")
+    assert kernel.pending_events() == 1
