@@ -5,9 +5,17 @@ Builds the paper's §5 example — a caller with two transaction paths
 profiles it with Whodunit and prints the stitched end-to-end profile:
 the callee's call-path tree appears once per caller context (Fig 7).
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [trace.json]
+
+With a file argument it also records a live telemetry trace of the run
+and writes it in Chrome trace-event format — open it in Perfetto
+(https://ui.perfetto.dev) to see the RPC hops on a timeline.
 """
 
+import sys
+from typing import Optional
+
+from repro import telemetry
 from repro.analysis import render_stitched_profile
 from repro.channels import Connection
 from repro.channels.rpc import call, recv_request, send_response
@@ -16,7 +24,9 @@ from repro.sim import CPU, CurrentThread, Kernel
 from repro.sim.process import frame
 
 
-def main() -> None:
+def main(trace_out: Optional[str] = None) -> None:
+    if trace_out:
+        telemetry.install("spans")
     kernel = Kernel()
     connection = Connection(kernel, latency=100e-6)
 
@@ -69,6 +79,15 @@ def main() -> None:
     print("caller context — a flat profiler would merge them and hide")
     print("that 'bar' is the expensive path despite being called once.")
 
+    if trace_out:
+        from repro.telemetry.export import write_chrome_trace
+
+        tele = telemetry.active()
+        write_chrome_trace(trace_out, tele.spans)
+        print(f"\nwrote Perfetto-loadable trace "
+              f"({tele.spans.completed} spans) to {trace_out}")
+        telemetry.uninstall()
+
 
 if __name__ == "__main__":
-    main()
+    main(sys.argv[1] if len(sys.argv) > 1 else None)

@@ -10,9 +10,16 @@ Whodunit-inspired optimisations and shows their effect:
 - caching BestSellers/SearchResult results lifts peak throughput.
 
 Run:  python examples/tpcw_bookstore.py    (takes ~30s)
+
+``telemetry_run`` additionally shows the live-telemetry layer: a short
+run with spans + metrics enabled, exported as a Chrome trace-event file
+you can open in Perfetto (https://ui.perfetto.dev).
 """
 
-from repro.analysis import render_crosstalk
+from typing import Optional
+
+from repro import telemetry
+from repro.analysis import render_crosstalk, render_telemetry
 from repro.apps.db.locks import INNODB
 from repro.apps.tpcw import TpcwSystem
 
@@ -59,6 +66,33 @@ def optimised_runs() -> None:
     print(f"throughput: {base_results.throughput_tpm():.0f} tpm (original) -> "
           f"{cached_results.throughput_tpm():.0f} tpm "
           f"(BestSellers/SearchResult caching)")
+
+
+def telemetry_run(
+    trace_out: str,
+    clients: int = 10,
+    duration: float = 5.0,
+    warmup: float = 1.0,
+    metrics_out: Optional[str] = None,
+) -> "telemetry.Telemetry":
+    """Short TPC-W run with live telemetry; writes a Perfetto trace."""
+    from repro.telemetry.export import write_chrome_trace, write_prometheus
+
+    tele = telemetry.install("full")
+    try:
+        system = TpcwSystem(clients=clients, seed=17)
+        system.run(duration=duration, warmup=warmup)
+        write_chrome_trace(trace_out, tele.spans)
+        print(f"wrote Perfetto-loadable trace "
+              f"({tele.spans.completed} spans) to {trace_out}")
+        if metrics_out:
+            write_prometheus(metrics_out, tele.metrics)
+            print(f"wrote Prometheus metrics to {metrics_out}")
+        print()
+        print(render_telemetry(tele))
+        return tele
+    finally:
+        telemetry.uninstall()
 
 
 def main() -> None:

@@ -19,8 +19,10 @@ from repro.analysis.export import (
     export_stage_profile,
     write_rows,
 )
+from repro.analysis.telemetry import render_telemetry
 
 __all__ = [
+    "render_telemetry",
     "context_shares",
     "diff_profiles",
     "frame_shares",

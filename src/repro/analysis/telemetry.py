@@ -1,0 +1,80 @@
+"""Text summary of a live-telemetry session.
+
+``render_telemetry`` complements the post-mortem profile renderers: a
+compact table of span volume by category/stage, trace statistics, and
+the headline metrics — what an operator would glance at after (or
+during) a run, before loading the full trace into Perfetto.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.telemetry import Telemetry
+from repro.telemetry.metrics import Counter, Gauge, Histogram
+
+
+def _span_table(tele: Telemetry) -> List[str]:
+    counts: Dict[Tuple[str, str], int] = {}
+    durations: Dict[Tuple[str, str], float] = {}
+    for span in tele.spans.spans:
+        key = (span.category, span.stage or "<none>")
+        counts[key] = counts.get(key, 0) + 1
+        durations[key] = durations.get(key, 0.0) + span.duration
+    if not counts:
+        return ["(no spans recorded)"]
+    header = f"{'category':<20} {'stage':<16} {'spans':>8} {'total s':>10}"
+    lines = [header, "-" * len(header)]
+    for (category, stage), count in sorted(
+        counts.items(), key=lambda item: (-item[1], item[0])
+    ):
+        lines.append(
+            f"{category:<20} {stage:<16} {count:>8} "
+            f"{durations[(category, stage)]:>10.4f}"
+        )
+    return lines
+
+
+def _metric_lines(tele: Telemetry, limit: int) -> List[str]:
+    if not tele.wants_metrics or not len(tele.metrics):
+        return ["(metrics disabled — telemetry mode 'spans')"]
+    lines = []
+    shown = 0
+    for metric in tele.metrics.collect():
+        if shown >= limit:
+            lines.append(f"... ({len(tele.metrics) - shown} more instruments)")
+            break
+        labels = (
+            "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+            if metric.labels
+            else ""
+        )
+        if isinstance(metric, Histogram):
+            lines.append(
+                f"{metric.name}{labels}  count={metric.count} "
+                f"mean={metric.mean:.6g} sum={metric.sum:.6g}"
+            )
+        elif isinstance(metric, (Counter, Gauge)):
+            lines.append(f"{metric.name}{labels}  {metric.value:.6g}")
+        shown += 1
+    return lines
+
+
+def render_telemetry(tele: Telemetry, metric_limit: int = 40) -> str:
+    """One-page text summary of the session's spans and metrics."""
+    recorder = tele.spans
+    traces = recorder.traces()
+    multi_span = sum(1 for spans in traces.values() if len(spans) > 1)
+    blocks = [
+        "=== live telemetry summary ===",
+        f"spans: {recorder.completed} completed"
+        + (f" ({recorder.dropped} dropped by ring buffer)" if recorder.dropped else "")
+        + f", {recorder.open_spans()} still open",
+        f"traces: {len(traces)} ({multi_span} spanning more than one span)",
+        "",
+    ]
+    blocks.extend(_span_table(tele))
+    blocks.append("")
+    blocks.append("-- metrics --")
+    blocks.extend(_metric_lines(tele, metric_limit))
+    return "\n".join(blocks)

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.apps.db.locks import Table, acquire_all, release_all
+from repro import telemetry
 from repro.channels.rpc import recv_request, send_response
 from repro.channels.shared_queue import SharedMemoryRegion
 from repro.channels.socket import Accept, Listener
@@ -172,6 +173,11 @@ class DatabaseServer:
             while True:
                 connection = yield Accept(self.listener)
                 self.connections_served += 1
+                telemetry.admit(
+                    self.database.stage.name,
+                    self.kernel,
+                    {"connection": self.connections_served},
+                )
                 handler = self.kernel.spawn(
                     self._connection_loop(connection),
                     name=f"mysql-conn-{self.connections_served}",

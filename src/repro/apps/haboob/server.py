@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Iterator, Optional
 
+from repro import telemetry
 from repro.apps.proxy.cache import LruCache
 from repro.channels.message import Message
 from repro.channels.socket import Accept, Connection, Listener, Recv, Send
@@ -144,6 +145,7 @@ class HaboobServer:
         with frame(thread, "accept_loop"):
             while True:
                 connection = yield Accept(self.listener)
+                telemetry.admit(self.stage_runtime.name, self.kernel)
                 self.listen_stage.inject(connection)
 
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterator, List, Optional
 
+from repro import telemetry
 from repro.channels.message import Message
 from repro.channels.shared_queue import SharedMemoryRegion, SharedQueue
 from repro.channels.socket import Accept, Connection, Listener, Recv, Send
@@ -122,6 +123,7 @@ class HttpdServer:
                     pool = self._next_pool
                     self._next_pool += 1
                     self.connections_accepted += 1
+                    telemetry.admit(self.stage.name, self.kernel, {"sd": sd})
                     with frame(thread, "ap_queue_push"):
                         yield from self.queue.push(thread, sd, pool)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Optional
 
+from repro import telemetry
 from repro.apps.proxy.cache import LruCache
 from repro.channels.message import Message
 from repro.channels.rpc import send_request
@@ -133,6 +134,7 @@ class SquidProxy:
         connection = self.listener.try_accept()
         yield from work(self.thread, self.cpu, self.config.accept_cost)
         if connection is not None:
+            telemetry.admit(self.stage.name, self.kernel)
             state = _ClientState(connection)
             loop.event_add(
                 Event(

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.channels.rpc import call as rpc_call
+from repro import telemetry
 from repro.channels.rpc import recv_request, send_response
 from repro.channels.socket import Accept, Connection, Listener
 from repro.core.profiler import OverheadModel, ProfilerMode, StageRuntime, work
@@ -131,6 +132,7 @@ class TomcatServer:
         while True:
             connection = yield Accept(self.listener)
             count += 1
+            telemetry.admit(self.stage.name, self.kernel, {"connection": count})
             handler = self.kernel.spawn(
                 self._connection_loop(connection),
                 name=f"tomcat-conn-{count}",

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro import telemetry as _telemetry
 from repro.channels.message import Message
 from repro.channels.socket import Endpoint, Recv, Send
 from repro.sim.process import SimThread
@@ -41,6 +42,23 @@ def send_request(
     message = Message(payload, size, origin=origin, synopsis=synopsis)
     if stage is not None:
         stage.account_message(size, message.context_bytes())
+    tele = _telemetry.ACTIVE
+    if tele is not None:
+        span = tele.spans.instant(
+            "send_request",
+            "channel.send",
+            origin,
+            thread.kernel.now,
+            thread=thread.tid,
+            attrs={"size": size},
+        )
+        if synopsis is not None:
+            # The 4-byte synopsis *is* the trace handle: the receiving
+            # hop will join this span's trace through it.
+            span.attrs["synopsis"] = synopsis
+            tele.spans.register_synopsis(origin, synopsis, span)
+        if tele.rpc_requests is not None:
+            tele.rpc_requests.inc()
     yield Send(endpoint, message)
     return message
 
@@ -70,6 +88,18 @@ def send_response(
     message = Message(payload, size, origin=origin, synopsis=composite)
     if stage is not None:
         stage.account_message(size, message.context_bytes())
+    tele = _telemetry.ACTIVE
+    if tele is not None:
+        tele.spans.instant(
+            "send_response",
+            "channel.send",
+            origin,
+            thread.kernel.now,
+            thread=thread.tid,
+            attrs={"size": size},
+        )
+        if tele.rpc_responses is not None:
+            tele.rpc_responses.inc()
     yield Send(endpoint, message)
     return message
 
@@ -94,8 +124,12 @@ def call(
     size: int,
 ) -> Iterator:
     """Convenience RPC: send a request and wait for its response."""
+    tele = _telemetry.ACTIVE
+    started = thread.kernel.now if tele is not None else 0.0
     yield from send_request(thread, to_server, payload, size)
     response = yield from recv_response(thread, from_server)
+    if tele is not None and tele.rpc_roundtrip is not None:
+        tele.rpc_roundtrip.observe(thread.kernel.now - started)
     return response
 
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional, TYPE_CHECKING
 
+from repro import telemetry as _telemetry
 from repro.channels.message import Message
 from repro.sim.process import SimThread, Syscall
 
@@ -47,6 +48,15 @@ class Endpoint:
         self.observers: List[Callable[["Endpoint"], None]] = []
         self.delivered_messages = 0
         self.delivered_bytes = 0
+        # Shared (unlabeled) channel counters, captured at construction
+        # so delivery costs one None-check when telemetry is off.
+        tele = _telemetry.ACTIVE
+        if tele is not None and tele.wants_metrics:
+            self._tele_messages = tele.channel_messages
+            self._tele_bytes = tele.channel_bytes
+        else:
+            self._tele_messages = None
+            self._tele_bytes = None
 
     # ------------------------------------------------------------------
     def send(self, message: Message) -> None:
@@ -68,6 +78,9 @@ class Endpoint:
     def _deliver(self, message: Message) -> None:
         self.delivered_messages += 1
         self.delivered_bytes += message.size
+        if self._tele_messages is not None:
+            self._tele_messages.inc()
+            self._tele_bytes.inc(message.size)
         if self._receivers:
             receiver = self._receivers.popleft()
             self.kernel.resume(receiver, message)

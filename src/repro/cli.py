@@ -20,9 +20,56 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.analysis import render_crosstalk, render_stage_profile
+from repro import telemetry
+from repro.analysis import render_crosstalk, render_stage_profile, render_telemetry
 from repro.sim import Kernel, Rng
 from repro.workloads import HttpClientPool, WebTrace
+
+
+def _telemetry_setup(args: argparse.Namespace):
+    """Install telemetry (before any system is built) per the flags."""
+    mode = getattr(args, "telemetry", "off")
+    if mode == "off":
+        for flag in ("trace_out", "metrics_out"):
+            if getattr(args, flag, None):
+                print(
+                    f"warning: --{flag.replace('_', '-')} ignored (telemetry off)",
+                    file=sys.stderr,
+                )
+        return None
+    return telemetry.install(mode)
+
+
+def _telemetry_finish(args: argparse.Namespace, tele) -> None:
+    """Write requested exports and print the live-telemetry summary."""
+    if tele is None:
+        return
+    from repro.telemetry.export import (
+        write_chrome_trace,
+        write_otlp_trace,
+        write_prometheus,
+    )
+
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        if getattr(args, "trace_format", "chrome") == "otlp":
+            write_otlp_trace(trace_out, tele.spans)
+        else:
+            write_chrome_trace(trace_out, tele.spans)
+        print(f"\nwrote {args.trace_format} trace ({len(tele.spans.spans)} spans) "
+              f"to {trace_out}")
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        if tele.wants_metrics:
+            write_prometheus(metrics_out, tele.metrics)
+            print(f"wrote Prometheus metrics to {metrics_out}")
+        else:
+            print(
+                "warning: --metrics-out needs --telemetry full",
+                file=sys.stderr,
+            )
+    print()
+    print(render_telemetry(tele))
 
 
 def cmd_apache(args: argparse.Namespace) -> int:
@@ -194,12 +241,37 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def telemetry_flags(p):
+        p.add_argument(
+            "--telemetry",
+            choices=list(telemetry.MODES),
+            default="off",
+            help="live telemetry: spans only, or spans + metrics (full)",
+        )
+        p.add_argument(
+            "--trace-out",
+            metavar="FILE",
+            help="write the span trace to FILE (requires --telemetry)",
+        )
+        p.add_argument(
+            "--trace-format",
+            choices=["chrome", "otlp"],
+            default="chrome",
+            help="trace file format (chrome = Perfetto-loadable)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="write Prometheus text metrics (requires --telemetry full)",
+        )
+
     def common(p, clients=6, seconds=3.0):
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--clients", type=int, default=clients)
         p.add_argument("--seconds", type=float, default=seconds)
         p.add_argument("--objects", type=int, default=2000)
         p.add_argument("--dot", metavar="FILE", help="write graphviz profile")
+        telemetry_flags(p)
 
     p = sub.add_parser("apache", help="threaded server, shared-memory flow (§8.1)")
     common(p)
@@ -233,9 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="dump each tier's profile as JSON into DIR",
     )
+    telemetry_flags(p)
     p.set_defaults(fn=cmd_tpcw)
 
     p = sub.add_parser("table3", help="critical-section emulation cost")
+    telemetry_flags(p)
     p.set_defaults(fn=cmd_table3)
 
     p = sub.add_parser(
@@ -243,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("profiles", nargs="+", help="stage profile JSON files")
     p.add_argument("--min-share", type=float, default=0.5)
+    telemetry_flags(p)
     p.set_defaults(fn=cmd_stitch)
 
     return parser
@@ -250,7 +325,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    tele = _telemetry_setup(args)
+    try:
+        status = args.fn(args)
+        _telemetry_finish(args, tele)
+        return status
+    finally:
+        if tele is not None:
+            telemetry.uninstall()
 
 
 if __name__ == "__main__":

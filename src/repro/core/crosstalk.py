@@ -17,6 +17,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
+from repro import telemetry as _telemetry
 from repro.core.context import TransactionContext
 from repro.sim.process import SimThread
 from repro.sim.sync import Mutex
@@ -68,11 +69,25 @@ class CrosstalkRecorder:
         self,
         type_of: Optional[Callable[[Any], Any]] = None,
         event_capacity: Optional[int] = DEFAULT_EVENT_CAPACITY,
+        owner: Optional[str] = None,
     ):
         self._type_of = type_of or (lambda ctxt: ctxt)
+        self.owner = owner
         self.pairs: Dict[Tuple[Any, Any], PairStats] = {}
         self.by_waiter: Dict[Any, PairStats] = {}
         self._events: Deque[Tuple[Any, Any, float]] = deque(maxlen=event_capacity)
+        # Telemetry captured at construction; ``owner`` labels the
+        # contention metrics and the lock-wait spans.
+        tele = _telemetry.ACTIVE
+        self._tele = tele
+        if tele is not None and tele.wants_metrics:
+            self._tele_wait = tele.metrics.histogram(
+                "repro_crosstalk_wait_seconds",
+                "lock-contention wait attributed to transactions",
+                stage=owner or "<anonymous>",
+            )
+        else:
+            self._tele_wait = None
 
     @property
     def events(self) -> List[Tuple[Any, Any, float]]:
@@ -115,6 +130,8 @@ class CrosstalkRecorder:
         self._pair_stats((waiter_type, holder_type)).add(wait)
         self._waiter_stats(waiter_type).add(wait)
         self._events.append((waiter_type, holder_type, wait))
+        if self._tele_wait is not None:
+            self._tele_wait.observe(wait)
 
     # ------------------------------------------------------------------
     # Mutex integration
@@ -133,6 +150,20 @@ class CrosstalkRecorder:
     ) -> None:
         if wait_time <= 0:
             return
+        tele = self._tele
+        if tele is not None:
+            # The wait interval just ended: it started wait_time before
+            # the acquisition instant (now).
+            now = waiter.kernel.now
+            span = tele.spans.begin(
+                f"lock.wait:{mutex.name}",
+                "lock.wait",
+                self.owner,
+                now - wait_time,
+                thread=waiter.tid,
+                attrs={"lock": mutex.name, "mode": mode},
+            )
+            tele.spans.end(span, now)
         waiter_type = self.classify(self._context_of(waiter))
         if not holders:
             # Lock was handed over before we ran; attribute to unknown.

@@ -21,6 +21,7 @@ import random as _random
 import zlib
 from typing import Any, Callable, Dict, Iterator, Optional, TYPE_CHECKING
 
+from repro import telemetry as _telemetry
 from repro.core.cct import CallingContextTree
 from repro.core.context import SynopsisRef, TransactionContext
 from repro.core.crosstalk import CrosstalkRecorder
@@ -109,10 +110,10 @@ class StageRuntime:
         self.synopses = SynopsisTable(name)
         self.ccts: Dict[TransactionContext, CallingContextTree] = {}
         if crosstalk_capacity is None:
-            self.crosstalk = CrosstalkRecorder(type_of=type_of)
+            self.crosstalk = CrosstalkRecorder(type_of=type_of, owner=name)
         else:
             self.crosstalk = CrosstalkRecorder(
-                type_of=type_of, event_capacity=crosstalk_capacity
+                type_of=type_of, event_capacity=crosstalk_capacity, owner=name
             )
         # Map synopsis value -> [caller context active at send time,
         # in-flight count], so a response switches back to the CCT the
@@ -133,6 +134,44 @@ class StageRuntime:
         self.comm_context_bytes_full = 0
         # Call counting (gprof) is global per stage.
         self.total_calls = 0
+        # Context adoptions via a received synopsis — one per stage hop
+        # into this stage.  Always maintained (a plain int) so the live
+        # telemetry's hop spans can be validated against it.
+        self.hops_received = 0
+        # Telemetry, captured once at construction (zero-cost when off).
+        tele = _telemetry.ACTIVE
+        self._tele = tele
+        if tele is not None and tele.wants_metrics:
+            m = tele.metrics
+            self._tele_samples = m.counter(
+                "repro_profiler_samples_total", "sample events attributed", stage=name
+            )
+            self._tele_sample_weight = m.counter(
+                "repro_profiler_sample_weight_total",
+                "expected sample weight attributed",
+                stage=name,
+            )
+            self._tele_overhead = m.counter(
+                "repro_profiler_overhead_seconds_total",
+                "CPU seconds charged by the overhead model",
+                stage=name,
+            )
+            self._tele_hops = m.counter(
+                "repro_profiler_hops_total",
+                "transaction contexts adopted from a received synopsis",
+                stage=name,
+            )
+            self._tele_inflight = m.gauge(
+                "repro_profiler_inflight_requests",
+                "sent requests awaiting a matched response",
+                stage=name,
+            )
+        else:
+            self._tele_samples = None
+            self._tele_sample_weight = None
+            self._tele_overhead = None
+            self._tele_hops = None
+            self._tele_inflight = None
 
     # ------------------------------------------------------------------
     # Profiling state
@@ -182,6 +221,9 @@ class StageRuntime:
             if weight == 0.0:
                 return
         self.cct_for(label).record_sample(thread.call_path(), weight)
+        if self._tele_samples is not None:
+            self._tele_samples.inc()
+            self._tele_sample_weight.inc(weight)
 
     def _poisson(self, mean: float) -> int:
         """Poisson sample via inversion (mean values here are small)."""
@@ -212,6 +254,8 @@ class StageRuntime:
     def add_pending(self, thread: SimThread, seconds: float) -> None:
         """Queue overhead CPU to be charged with the thread's next work."""
         self._pending[thread.tid] = self._pending.get(thread.tid, 0.0) + seconds
+        if self._tele_overhead is not None:
+            self._tele_overhead.inc(seconds)
 
     def take_pending(self, thread: SimThread) -> float:
         return self._pending.pop(thread.tid, 0.0)
@@ -265,6 +309,8 @@ class StageRuntime:
             entry[1] += 1
         self.add_pending(thread, self.overhead.synopsis_cost)
         self.comm_context_bytes_full += context.wire_size()
+        if self._tele_inflight is not None:
+            self._tele_inflight.set(len(self._sent_requests))
         return value
 
     def receive_request(self, thread: SimThread, origin: str, synopsis: Optional[int]) -> None:
@@ -273,6 +319,22 @@ class StageRuntime:
             return
         thread.tran_ctxt = TransactionContext((SynopsisRef(origin, synopsis),))
         self.add_pending(thread, self.overhead.synopsis_cost + self.overhead.switch_cost)
+        self.hops_received += 1
+        tele = self._tele
+        if tele is not None:
+            # One instant span per stage hop; joined to the sender's
+            # trace through the synopsis it piggy-backed.
+            tele.spans.instant(
+                f"{origin}->{self.name}",
+                "transaction.hop",
+                self.name,
+                thread.kernel.now,
+                thread=thread.tid,
+                attrs={"origin": origin, "synopsis": synopsis},
+                adopt=(origin, synopsis),
+            )
+            if self._tele_hops is not None:
+                self._tele_hops.inc()
 
     def send_response(self, thread: SimThread, request_synopsis: Optional[int]) -> Optional[CompositeSynopsis]:
         """Send-wrapper for a response: ``synopsis(α)#synopsis(β)``."""
@@ -301,6 +363,8 @@ class StageRuntime:
             entry[1] = in_flight - 1
         thread.tran_ctxt = context
         self.add_pending(thread, self.overhead.switch_cost)
+        if self._tele_inflight is not None:
+            self._tele_inflight.set(len(self._sent_requests))
         return True
 
     @property

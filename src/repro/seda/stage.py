@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Deque, Iterator, List, Optional, TYPE_CHECKING
 
+from repro import telemetry as _telemetry
 from repro.core.context import TransactionContext
 from repro.sim.process import CurrentThread, SimThread, Syscall, frame
 
@@ -23,13 +24,19 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class StageEvent:
-    """A queue element with its transaction-context field (Fig 5)."""
+    """A queue element with its transaction-context field (Fig 5).
 
-    __slots__ = ("payload", "tran_ctxt")
+    ``enqueued_at`` is stamped by telemetry-enabled queues so the
+    dequeuing worker can report queue wait time; it stays ``None`` when
+    telemetry is off.
+    """
+
+    __slots__ = ("payload", "tran_ctxt", "enqueued_at")
 
     def __init__(self, payload: Any, tran_ctxt: Optional[TransactionContext] = None):
         self.payload = payload
         self.tran_ctxt = tran_ctxt or TransactionContext.empty()
+        self.enqueued_at: Optional[float] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<StageEvent {self.payload!r} ctxt={self.tran_ctxt!r}>"
@@ -60,6 +67,27 @@ class StageQueue:
         self._waiters: Deque[SimThread] = deque()
         self.enqueued = 0
         self.rejected = 0
+        # Captured once: a queue built while telemetry is off costs
+        # nothing per element.
+        tele = _telemetry.ACTIVE
+        self._tele = tele
+        if tele is not None and tele.wants_metrics:
+            m = tele.metrics
+            self._tele_depth = m.gauge(
+                "repro_seda_queue_depth", "buffered elements", queue=name
+            )
+            self._tele_enqueued = m.counter(
+                "repro_seda_enqueued_total", "elements admitted", queue=name
+            )
+            self._tele_rejected = m.counter(
+                "repro_seda_rejected_total",
+                "elements rejected by admission control",
+                queue=name,
+            )
+        else:
+            self._tele_depth = None
+            self._tele_enqueued = None
+            self._tele_rejected = None
 
     def enqueue(self, element: StageEvent) -> bool:
         """Fig 5's ``enqueue``: deliver to a blocked worker or buffer.
@@ -67,16 +95,25 @@ class StageQueue:
         Returns False (and drops the element) when a bounded queue is
         full — SEDA admission control.
         """
+        if self._tele is not None:
+            element.enqueued_at = self.kernel.now
         if self._waiters:
             self.enqueued += 1
+            if self._tele_enqueued is not None:
+                self._tele_enqueued.inc()
             waiter = self._waiters.popleft()
             self.kernel.resume(waiter, element)
             return True
         if self.capacity is not None and len(self._elements) >= self.capacity:
             self.rejected += 1
+            if self._tele_rejected is not None:
+                self._tele_rejected.inc()
             return False
         self.enqueued += 1
         self._elements.append(element)
+        if self._tele_enqueued is not None:
+            self._tele_enqueued.inc()
+            self._tele_depth.set(len(self._elements))
         return True
 
     def __len__(self) -> int:
@@ -96,7 +133,10 @@ class Dequeue(Syscall):
 
     def execute(self, kernel: "Kernel", thread: SimThread) -> None:
         if self.queue._elements:
-            kernel.resume(thread, self.queue._elements.popleft())
+            element = self.queue._elements.popleft()
+            if self.queue._tele_depth is not None:
+                self.queue._tele_depth.set(len(self.queue._elements))
+            kernel.resume(thread, element)
         else:
             thread.blocked_on = self
             self.queue._waiters.append(thread)
@@ -133,6 +173,23 @@ class SedaStage:
         self.input_queue = StageQueue(kernel, f"{name}.in", capacity=queue_capacity)
         self.threads: List[SimThread] = []
         self.processed = 0
+        tele = _telemetry.ACTIVE
+        self._tele = tele
+        if tele is not None and tele.wants_metrics:
+            m = tele.metrics
+            self._tele_wait = m.histogram(
+                "repro_seda_queue_wait_seconds",
+                "virtual time an element waits in the stage input queue",
+                stage=name,
+            )
+            self._tele_service = m.histogram(
+                "repro_seda_service_seconds",
+                "virtual time a worker spends handling one element",
+                stage=name,
+            )
+        else:
+            self._tele_wait = None
+            self._tele_service = None
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -148,6 +205,7 @@ class SedaStage:
 
     def _worker_loop(self) -> Iterator:
         thread = yield CurrentThread()
+        tele = self._tele
         with frame(thread, "stage_loop"):
             while True:
                 element = yield Dequeue(self.input_queue)
@@ -158,11 +216,33 @@ class SedaStage:
                 )
                 thread.tran_ctxt = context
                 self.processed += 1
+                span = None
+                if tele is not None:
+                    now = self.kernel.now
+                    wait = (
+                        now - element.enqueued_at
+                        if element.enqueued_at is not None
+                        else 0.0
+                    )
+                    if self._tele_wait is not None:
+                        self._tele_wait.observe(wait)
+                    span = tele.spans.begin(
+                        self.name,
+                        "seda.stage",
+                        self.name,
+                        now,
+                        thread=thread.tid,
+                        attrs={"queue_wait": wait},
+                    )
                 try:
                     with frame(thread, self.name):
                         yield from self.handler(self, thread, element.payload)
                 finally:
                     thread.tran_ctxt = None
+                    if span is not None:
+                        tele.spans.end(span, self.kernel.now)
+                        if self._tele_service is not None:
+                            self._tele_service.observe(span.duration)
 
     # ------------------------------------------------------------------
     def enqueue(self, thread: SimThread, queue: StageQueue, payload: Any) -> bool:

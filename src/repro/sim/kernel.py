@@ -10,13 +10,19 @@ execution, event for event.
 from __future__ import annotations
 
 import heapq
+import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
+from repro import telemetry as _telemetry
 from repro.sim.process import SimThread
 
 # Lazy-purge thresholds: rebuild the heap only when it is mostly dead
 # weight and big enough for the rebuild to matter.
 _PURGE_MIN_QUEUE = 64
+
+# With telemetry on, refresh the kernel gauges every this many events
+# rather than on every pop.
+_TELEMETRY_GAUGE_INTERVAL = 64
 
 
 class ScheduledEvent:
@@ -92,6 +98,42 @@ class Kernel:
         # Cancelled events still sitting in the heap; once they dominate
         # it the heap is rebuilt without them (lazy purge).
         self._cancelled = 0
+        # Telemetry is captured once at construction so a disabled run
+        # pays nothing in the event loop (no global lookups per event).
+        tele = _telemetry.ACTIVE
+        if tele is not None and tele.wants_metrics:
+            m = tele.metrics
+            self._tele_events = m.counter(
+                "repro_sim_events_fired_total", "kernel events executed"
+            )
+            self._tele_cancelled = m.counter(
+                "repro_sim_events_cancelled_total", "scheduled events cancelled"
+            )
+            self._tele_heap = m.gauge(
+                "repro_sim_event_heap_size", "entries in the kernel event heap"
+            )
+            self._tele_threads = m.gauge(
+                "repro_sim_live_threads", "live simulated threads (runnable queue)"
+            )
+            self._tele_vtime = m.gauge(
+                "repro_sim_virtual_time_seconds", "current virtual time"
+            )
+            self._tele_drift = m.gauge(
+                "repro_sim_time_drift",
+                "wall-clock seconds consumed per virtual second",
+            )
+        else:
+            self._tele_events = None
+            self._tele_cancelled = None
+            self._tele_heap = None
+            self._tele_threads = None
+            self._tele_vtime = None
+            self._tele_drift = None
+
+    def _refresh_telemetry_gauges(self) -> None:
+        self._tele_heap.set(len(self._queue))
+        self._tele_threads.set(len(self._threads))
+        self._tele_vtime.set(self.now)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -109,6 +151,8 @@ class Kernel:
     def _note_cancelled(self) -> None:
         """Count a cancellation; purge the heap when mostly cancelled."""
         self._cancelled += 1
+        if self._tele_cancelled is not None:
+            self._tele_cancelled.inc()
         if (
             len(self._queue) > _PURGE_MIN_QUEUE
             and self._cancelled * 2 > len(self._queue)
@@ -185,6 +229,11 @@ class Kernel:
         Returns the virtual time at which the run stopped.
         """
         self._stopped = False
+        tele_events = self._tele_events
+        if tele_events is not None:
+            wall_start = time.perf_counter()
+            virtual_start = self.now
+            fired = 0
         while self._queue and not self._stopped:
             event = heapq.heappop(self._queue)
             if event.cancelled:
@@ -212,6 +261,18 @@ class Kernel:
                 self._same_time_events = 0
             self.now = event.time
             event.fn(*event.args)
+            if tele_events is not None:
+                tele_events.inc()
+                fired += 1
+                if fired % _TELEMETRY_GAUGE_INTERVAL == 0:
+                    self._refresh_telemetry_gauges()
+        if tele_events is not None:
+            elapsed_virtual = self.now - virtual_start
+            if elapsed_virtual > 0:
+                self._tele_drift.set(
+                    (time.perf_counter() - wall_start) / elapsed_virtual
+                )
+            self._refresh_telemetry_gauges()
         if until is not None and not self._stopped:
             self.now = max(self.now, until)
         if self.strict and not self._stopped and until is None:

@@ -1,0 +1,190 @@
+"""Runtime metrics: counters, gauges, bounded histograms, registry.
+
+The registry is deliberately tiny and dependency-free: instruments are
+plain Python objects mutated in place, and the Prometheus text
+exposition in :mod:`repro.telemetry.export` renders a point-in-time
+snapshot.  Instruments are identified by ``(name, labels)``; asking the
+registry for the same identity twice returns the same object, so
+instrumentation sites can be written without coordinating ownership.
+
+Histograms are *bounded*: a fixed, configurable bucket layout chosen at
+construction, one count cell per bucket plus an overflow cell, so a
+histogram's footprint never grows with the number of observations —
+the property the ROADMAP's heavy-traffic north star requires of any
+always-on instrument.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+# Default latency-style buckets (seconds): 1us .. 10s, log-spaced.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0,
+)
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, str]) -> LabelSet:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Metric:
+    """Base class: a named instrument with a frozen label set."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None):
+        self.name = name
+        self.help = help
+        self.labels: LabelSet = _label_key(labels or {})
+
+
+class Counter(Metric):
+    """Monotonically increasing value."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None):
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict[str, str]] = None):
+        super().__init__(name, help, labels)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram(Metric):
+    """Bounded histogram with inclusive upper-bound buckets.
+
+    ``buckets`` is the strictly increasing sequence of finite upper
+    bounds; an implicit +Inf overflow bucket is appended.  Following the
+    Prometheus convention, a value lands in the first bucket whose upper
+    bound is >= the value (boundary values are *included*); values above
+    the last finite bound land in the overflow bucket.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict[str, str]] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help, labels)
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.bounds: Tuple[float, ...] = bounds
+        # One cell per finite bound plus the +Inf overflow cell.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` rows, ending with +Inf."""
+        rows: List[Tuple[float, int]] = []
+        running = 0
+        for bound, count in zip(self.bounds, self.counts):
+            running += count
+            rows.append((bound, running))
+        rows.append((float("inf"), running + self.counts[-1]))
+        return rows
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram in; bucket layouts must match exactly."""
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bucket layouts: "
+                f"{self.bounds} vs {other.bounds}"
+            )
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.sum += other.sum
+        self.count += other.count
+
+
+class MetricsRegistry:
+    """Get-or-create instrument store keyed by ``(name, labels)``."""
+
+    def __init__(self):
+        self._metrics: Dict[Tuple[str, LabelSet], Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, labels: Dict[str, str], **kwargs):
+        key = (name, _label_key(labels))
+        existing = self._metrics.get(key)
+        if existing is not None:
+            if not isinstance(existing, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {existing.kind}"
+                )
+            return existing
+        metric = cls(name, help, labels, **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels: str,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def collect(self) -> List[Metric]:
+        """All instruments, grouped by family name (stable order)."""
+        return sorted(
+            self._metrics.values(), key=lambda m: (m.name, m.labels)
+        )
+
+    def families(self) -> List[Tuple[str, List[Metric]]]:
+        """``(name, instruments)`` per family, registry-sorted."""
+        out: Dict[str, List[Metric]] = {}
+        for metric in self.collect():
+            out.setdefault(metric.name, []).append(metric)
+        return sorted(out.items())
+
+    def __len__(self) -> int:
+        return len(self._metrics)

@@ -1,0 +1,85 @@
+"""Streaming telemetry sinks.
+
+A sink observes spans *as virtual time advances*: the recorder calls
+``on_span`` the moment each span completes, during the simulation run,
+rather than handing over a batch at teardown.  This is what makes the
+telemetry layer *live* — a sink can stream to a file, feed a dashboard,
+or trip an alert while the run is still going.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Callable, List, Optional
+
+from repro.telemetry.spans import Span
+
+
+class TelemetrySink:
+    """Base streaming sink; subclass and override :meth:`on_span`."""
+
+    def on_span(self, span: Span) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/teardown; called by the CLI when a run finishes."""
+
+
+class CollectingSink(TelemetrySink):
+    """Buffers every span it sees (tests, ad-hoc inspection)."""
+
+    def __init__(self):
+        self.spans: List[Span] = []
+
+    def on_span(self, span: Span) -> None:
+        self.spans.append(span)
+
+
+class CallbackSink(TelemetrySink):
+    """Invokes ``fn(span)`` per span — the cheapest custom sink."""
+
+    def __init__(self, fn: Callable[[Span], None]):
+        self._fn = fn
+
+    def on_span(self, span: Span) -> None:
+        self._fn(span)
+
+
+class JsonLinesSink(TelemetrySink):
+    """Streams one JSON object per completed span to a file.
+
+    The line format mirrors the OTLP-style span dump (ids rendered as
+    hex strings) so a line-oriented consumer can follow a run live with
+    ``tail -f``.
+    """
+
+    def __init__(self, path_or_file: Any):
+        if hasattr(path_or_file, "write"):
+            self._file = path_or_file
+            self._owns = False
+        else:
+            self._file = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+
+    def on_span(self, span: Span) -> None:
+        record = {
+            "traceId": f"{span.trace_id:032x}",
+            "spanId": f"{span.span_id:016x}",
+            "parentSpanId": f"{span.parent_id:016x}" if span.parent_id else None,
+            "name": span.name,
+            "category": span.category,
+            "stage": span.stage,
+            "start": span.start,
+            "end": span.end,
+            "attrs": span.attrs,
+            "links": [
+                {"traceId": f"{t:032x}", "spanId": f"{s:016x}"}
+                for t, s in span.links
+            ],
+        }
+        self._file.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns:
+            self._file.close()

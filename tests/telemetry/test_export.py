@@ -1,0 +1,182 @@
+"""Exporter round-trips: Chrome trace schema, Prometheus text, OTLP ids."""
+
+import json
+
+from repro.telemetry.export import (
+    chrome_trace_events,
+    prometheus_text,
+    to_chrome_trace,
+    to_otlp_json,
+    write_chrome_trace,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import SpanRecorder
+
+
+def _sample_recorder():
+    rec = SpanRecorder()
+    outer = rec.begin("handle", "seda.stage", "tomcat", 1.0, thread=3)
+    send = rec.instant(
+        "send_request", "channel.send", "tomcat", 1.5, thread=3,
+        attrs={"size": 256},
+    )
+    rec.register_synopsis("tomcat", 42, send)
+    rec.end(outer, 2.0)
+    hop = rec.instant("tomcat->mysql", "transaction.hop", "mysql", 2.5)
+    rec.adopt_synopsis("tomcat", 42, hop)
+    return rec, outer, send, hop
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def test_chrome_trace_schema():
+    rec, outer, send, hop = _sample_recorder()
+    doc = to_chrome_trace(rec)
+    events = doc["traceEvents"]
+    assert doc["displayTimeUnit"] == "ms"
+    # Every event carries the required keys.
+    for event in events:
+        assert {"ph", "name", "pid", "tid", "ts"} <= set(event)
+    phases = [e["ph"] for e in events]
+    # One process_name metadata event per distinct stage.
+    assert phases.count("M") == 2
+    assert phases.count("X") == 1  # the complete span
+    assert phases.count("i") == 2  # the two instants
+    complete = next(e for e in events if e["ph"] == "X")
+    assert complete["name"] == "handle"
+    assert complete["ts"] == 1.0 * 1e6  # virtual seconds -> microseconds
+    assert complete["dur"] == 1.0 * 1e6
+    assert complete["tid"] == 3
+    instants = [e for e in events if e["ph"] == "i"]
+    assert all(e["s"] == "t" for e in instants)
+    # The hop's span link survives export.
+    hop_event = next(e for e in events if e["name"] == "tomcat->mysql")
+    assert hop_event["args"]["links"] == [
+        {"trace": f"{send.trace_id:032x}", "span": f"{send.span_id:016x}"}
+    ]
+
+
+def test_chrome_trace_groups_stages_into_processes():
+    rec, *_ = _sample_recorder()
+    events = chrome_trace_events(rec)
+    names = {
+        e["args"]["name"]: e["pid"] for e in events if e["ph"] == "M"
+    }
+    assert set(names) == {"tomcat", "mysql"}
+    for event in events:
+        if event["ph"] == "M":
+            continue
+        stage = "mysql" if event["name"] == "tomcat->mysql" else "tomcat"
+        assert event["pid"] == names[stage]
+
+
+def test_chrome_trace_file_round_trips(tmp_path):
+    rec, *_ = _sample_recorder()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(str(path), rec)
+    loaded = json.loads(path.read_text())
+    assert loaded == json.loads(json.dumps(to_chrome_trace(rec)))
+
+
+# ----------------------------------------------------------------------
+# OTLP-style JSON
+# ----------------------------------------------------------------------
+def test_otlp_parent_and_link_ids_resolve():
+    rec, outer, send, hop = _sample_recorder()
+    doc = to_otlp_json(rec)
+    spans = {}
+    for resource in doc["resourceSpans"]:
+        service = next(
+            a["value"]["stringValue"]
+            for a in resource["resource"]["attributes"]
+            if a["key"] == "service.name"
+        )
+        for scope in resource["scopeSpans"]:
+            for span in scope["spans"]:
+                spans[span["spanId"]] = (service, span)
+    assert len(spans) == 3
+    # Ids are the canonical widths.
+    assert all(len(sid) == 16 for sid in spans)
+    assert all(len(s["traceId"]) == 32 for _, s in spans.values())
+    send_id = f"{send.span_id:016x}"
+    # The instant send span nests under the open stage span.
+    assert spans[send_id][1]["parentSpanId"] == f"{outer.span_id:016x}"
+    # The hop links back to the send span, and parent/link ids all point
+    # at spans present in the same export.
+    hop_record = spans[f"{hop.span_id:016x}"][1]
+    assert hop_record["links"] == [
+        {"traceId": f"{send.trace_id:032x}", "spanId": send_id}
+    ]
+    for _, record in spans.values():
+        if "parentSpanId" in record:
+            assert record["parentSpanId"] in spans
+        for link in record.get("links", []):
+            assert link["spanId"] in spans
+    # Timestamps are nanosecond strings.
+    assert hop_record["startTimeUnixNano"] == str(int(2.5 * 1e9))
+    # Stages map to OTLP resources.
+    assert spans[send_id][0] == "tomcat"
+    assert spans[f"{hop.span_id:016x}"][0] == "mysql"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _parse_prometheus(text):
+    """Parse exposition text into {name{labels}: float} + per-name types."""
+    values, types = {}, {}
+    for line in text.splitlines():
+        if line.startswith("# TYPE"):
+            _, _, name, kind = line.split()
+            types[name] = kind
+        elif line and not line.startswith("#"):
+            key, raw = line.rsplit(" ", 1)
+            values[key] = float(raw.replace("+Inf", "inf"))
+    return values, types
+
+
+def test_prometheus_text_parses_line_by_line():
+    reg = MetricsRegistry()
+    reg.counter("repro_hits_total", "hits", stage="squid").inc(3)
+    reg.gauge("repro_depth", "queue depth", queue="q").set(7)
+    h = reg.histogram("repro_lat_seconds", "latency", buckets=(0.1, 1.0))
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(5.0)
+    text = prometheus_text(reg)
+    assert text.endswith("\n")
+    values, types = _parse_prometheus(text)
+    assert types == {
+        "repro_hits_total": "counter",
+        "repro_depth": "gauge",
+        "repro_lat_seconds": "histogram",
+    }
+    assert values['repro_hits_total{stage="squid"}'] == 3
+    assert values['repro_depth{queue="q"}'] == 7
+    assert values['repro_lat_seconds_bucket{le="0.1"}'] == 1
+    assert values['repro_lat_seconds_bucket{le="1"}'] == 2
+    assert values['repro_lat_seconds_bucket{le="+Inf"}'] == 3
+    assert values["repro_lat_seconds_count"] == 3
+    assert values["repro_lat_seconds_sum"] == 5.55
+    # HELP lines precede TYPE lines for each family.
+    lines = text.splitlines()
+    for name in types:
+        help_at = lines.index(next(l for l in lines if l.startswith(f"# HELP {name} ")))
+        type_at = lines.index(f"# TYPE {name} {types[name]}")
+        assert help_at == type_at - 1
+
+
+def test_prometheus_histogram_bucket_counts_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("repro_x_seconds", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 3.0, 9.0):
+        h.observe(v)
+    values, _ = _parse_prometheus(prometheus_text(reg))
+    buckets = [
+        values['repro_x_seconds_bucket{le="1"}'],
+        values['repro_x_seconds_bucket{le="2"}'],
+        values['repro_x_seconds_bucket{le="4"}'],
+        values['repro_x_seconds_bucket{le="+Inf"}'],
+    ]
+    assert buckets == [1, 2, 3, 4]

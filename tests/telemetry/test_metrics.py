@@ -1,0 +1,128 @@
+"""Metrics registry and histogram bucket semantics."""
+
+import math
+
+import pytest
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+# ----------------------------------------------------------------------
+# Counters and gauges
+# ----------------------------------------------------------------------
+def test_counter_only_goes_up():
+    c = Counter("x_total")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("depth")
+    g.set(10)
+    g.dec(3)
+    g.inc()
+    assert g.value == 8
+
+
+def test_registry_returns_same_instrument_for_same_identity():
+    reg = MetricsRegistry()
+    a = reg.counter("hits_total", stage="squid")
+    b = reg.counter("hits_total", stage="squid")
+    c = reg.counter("hits_total", stage="tomcat")
+    assert a is b
+    assert a is not c
+    assert len(reg) == 2
+
+
+def test_registry_rejects_kind_conflicts():
+    reg = MetricsRegistry()
+    reg.counter("thing")
+    with pytest.raises(ValueError):
+        reg.gauge("thing")
+
+
+def test_registry_label_order_is_irrelevant():
+    reg = MetricsRegistry()
+    a = reg.counter("x_total", a="1", b="2")
+    b = reg.counter("x_total", b="2", a="1")
+    assert a is b
+
+
+# ----------------------------------------------------------------------
+# Histogram edge cases (the satellite checklist)
+# ----------------------------------------------------------------------
+def test_histogram_value_below_first_bucket():
+    h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+    h.observe(0.001)
+    assert h.counts == [1, 0, 0, 0]
+
+
+def test_histogram_value_above_last_bucket_goes_to_overflow():
+    h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+    h.observe(100.0)
+    assert h.counts == [0, 0, 0, 1]
+    # ... and the +Inf cumulative row still accounts for it.
+    assert h.cumulative()[-1] == (math.inf, 1)
+
+
+def test_histogram_boundary_value_is_inclusive():
+    # Prometheus convention: le="2.0" includes observations == 2.0.
+    h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+    h.observe(2.0)
+    assert h.counts == [0, 1, 0, 0]
+    rows = dict(h.cumulative())
+    assert rows[2.0] == 1
+    assert rows[1.0] == 0
+
+
+def test_histogram_cumulative_rows_are_monotonic():
+    h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.0, 1.5, 3.0, 9.0):
+        h.observe(v)
+    rows = h.cumulative()
+    assert rows[-1][0] == math.inf
+    counts = [c for _, c in rows]
+    assert counts == sorted(counts)
+    assert counts[-1] == h.count == 5
+    assert h.mean == pytest.approx(sum((0.5, 1.0, 1.5, 3.0, 9.0)) / 5)
+
+
+def test_histogram_merge_identical_layouts():
+    a = Histogram("lat", buckets=(1.0, 2.0))
+    b = Histogram("lat", buckets=(1.0, 2.0))
+    a.observe(0.5)
+    b.observe(1.5)
+    b.observe(50.0)
+    a.merge(b)
+    assert a.counts == [1, 1, 1]
+    assert a.count == 3
+    assert a.sum == pytest.approx(52.0)
+
+
+def test_histogram_merge_rejects_different_layouts():
+    a = Histogram("lat", buckets=(1.0, 2.0))
+    b = Histogram("lat", buckets=(1.0, 4.0))
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_histogram_rejects_bad_bucket_layouts():
+    with pytest.raises(ValueError):
+        Histogram("lat", buckets=())
+    with pytest.raises(ValueError):
+        Histogram("lat", buckets=(1.0, 1.0))
+    with pytest.raises(ValueError):
+        Histogram("lat", buckets=(2.0, 1.0))
+
+
+def test_default_buckets_are_strictly_increasing():
+    assert all(a < b for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:]))

@@ -1,6 +1,7 @@
 """The example scripts must stay runnable — they are documentation."""
 
 import importlib.util
+import json
 import pathlib
 
 import pytest
@@ -53,9 +54,48 @@ def test_replay_example_runs(capsys):
     assert "transactional profile of stage squid" in out
 
 
+def test_quickstart_writes_perfetto_trace(capsys, tmp_path):
+    trace = tmp_path / "quickstart_trace.json"
+    load_example("quickstart").main(str(trace))
+    out = capsys.readouterr().out
+    assert "Perfetto-loadable trace" in out
+    data = json.loads(trace.read_text())
+    events = data["traceEvents"]
+    assert events, "trace must contain events"
+    # Perfetto requirements: every event has a phase/name/ts.
+    assert all("ph" in e and "name" in e and "ts" in e for e in events)
+    assert any(e.get("cat") == "channel.send" for e in events)
+    # Telemetry must be torn down afterwards (no leak into later tests).
+    from repro import telemetry
+
+    assert telemetry.active() is None
+
+
 def test_tpcw_example_importable():
     # The full TPC-W example takes ~30s; just verify it loads and its
     # pieces exist (the integration suite covers the system itself).
     module = load_example("tpcw_bookstore")
     assert callable(module.profile_run)
     assert callable(module.optimised_runs)
+    assert callable(module.telemetry_run)
+
+
+def test_tpcw_example_telemetry_run(capsys, tmp_path):
+    trace = tmp_path / "tpcw_trace.json"
+    metrics = tmp_path / "tpcw_metrics.prom"
+    load_example("tpcw_bookstore").telemetry_run(
+        str(trace), clients=6, duration=2.0, warmup=0.5,
+        metrics_out=str(metrics),
+    )
+    out = capsys.readouterr().out
+    assert "Perfetto-loadable trace" in out
+    assert "live telemetry summary" in out
+    data = json.loads(trace.read_text())
+    assert any(
+        e.get("cat") == "transaction.hop" for e in data["traceEvents"]
+    )
+    text = metrics.read_text()
+    assert "# TYPE repro_sim_events_fired_total counter" in text
+    from repro import telemetry
+
+    assert telemetry.active() is None
