@@ -9,6 +9,7 @@ from repro.analysis.aggregate import (
 from repro.analysis.render import (
     render_cct,
     render_crosstalk,
+    render_fault_report,
     render_flow_graph,
     render_stage_profile,
     render_stitched_profile,
@@ -31,6 +32,7 @@ __all__ = [
     "render_stage_profile",
     "render_stitched_profile",
     "render_crosstalk",
+    "render_fault_report",
     "render_flow_graph",
     "export_stage_profile",
     "export_crosstalk",

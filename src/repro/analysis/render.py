@@ -90,8 +90,20 @@ def render_stage_profile(stage: StageRuntime, min_share: float = 0.5) -> str:
 
 
 def render_stitched_profile(profile: StitchedProfile, min_share: float = 0.5) -> str:
-    """End-to-end profile: per stage, per fully resolved context."""
+    """End-to-end profile: per stage, per fully resolved context.
+
+    A partial stitch (non-strict resolution left ``<unresolved:...>``
+    placeholders after crash amnesia or missing dumps) is announced with
+    its completeness ratio; a fully resolved profile renders exactly as
+    before.
+    """
     blocks: List[str] = ["=== end-to-end transactional profile ==="]
+    if profile.unresolved_refs:
+        blocks.append(
+            f"(partial stitch: {profile.unresolved_refs} of "
+            f"{profile.synopsis_refs} synopsis references unresolved; "
+            f"completeness {100.0 * profile.completeness:.1f}%)"
+        )
     for stage_name in profile.stages():
         stage_total = profile.stage_weight(stage_name)
         blocks.append("")
@@ -128,6 +140,40 @@ def render_flow_graph(edges) -> str:
             f"    ==request==> {edge.to_stage} "
             f"[{_format_context(edge.to_context)}]"
         )
+    return "\n".join(lines)
+
+
+def render_fault_report(report: dict) -> str:
+    """Fault-injection totals plus per-tier recovery counters."""
+    lines = ["=== fault injection report ==="]
+    injected = report.get("injected", {})
+    if injected:
+        lines.append(
+            "injected: "
+            + ", ".join(f"{key}={injected[key]}" for key in sorted(injected))
+        )
+    else:
+        lines.append("injected: (none)")
+    lines.append(
+        f"client recovery: resends={report.get('client_resends', 0)} "
+        f"reconnects={report.get('client_reconnects', 0)} "
+        f"stale_responses={report.get('client_stale_responses', 0)}"
+    )
+    lines.append(f"db call timeouts: {report.get('db_timeouts', 0)}")
+    for key in sorted(report):
+        if key.endswith("_retransmits"):
+            stage = key[: -len("_retransmits")]
+            violations = report.get(f"{stage}_violations", {})
+            violations_text = (
+                ", ".join(f"{k}={v}" for k, v in sorted(violations.items()))
+                or "none"
+            )
+            lines.append(
+                f"stage {stage}: retransmits={report[key]} "
+                f"abandoned={report.get(f'{stage}_abandoned', 0)} "
+                f"crashes={report.get(f'{stage}_crashes', 0)} "
+                f"violations: {violations_text}"
+            )
     return "\n".join(lines)
 
 

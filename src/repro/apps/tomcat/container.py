@@ -19,7 +19,7 @@ from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.channels.rpc import call as rpc_call
 from repro import telemetry
-from repro.channels.rpc import recv_request, send_response
+from repro.channels.rpc import RetryPolicy, RpcTimeout, recv_request, send_response
 from repro.channels.socket import Accept, Connection, Listener
 from repro.core.profiler import OverheadModel, ProfilerMode, StageRuntime, work
 from repro.sim import CPU, Kernel
@@ -98,10 +98,13 @@ class TomcatServer:
         static_cost: float = 60e-6,
         listen_latency: float = 100e-6,
         name: str = "tomcat",
+        db_retry: Optional[RetryPolicy] = None,
     ):
         self.kernel = kernel
         self.servlets = dict(servlets)
         self.caching = caching
+        self.db_retry = db_retry
+        self.db_timeouts = 0
         self.stage = StageRuntime(name, mode=mode, overhead=overhead)
         self.cpu = CPU(kernel, name=f"{name}-cpu")
         self.listener = Listener(kernel, latency=listen_latency, name=f"{name}-listen")
@@ -194,19 +197,35 @@ class TomcatServer:
     # Services for servlets
     # ------------------------------------------------------------------
     def query(self, thread: SimThread, plan) -> Iterator:
-        """Issue one database query through the connection pool."""
+        """Issue one database query through the connection pool.
+
+        With a ``db_retry`` policy, a lost request or response is
+        retransmitted by the RPC layer; exhausting the retry budget
+        yields an error response instead of raising, so one lossy query
+        degrades the page it belongs to rather than killing the
+        connection-handler thread.  A pooled connection whose stale
+        response is still in flight is safe to reuse: the RPC layer
+        validates each response against the request synopsis of the call
+        in flight and discards mismatches.
+        """
         if self.db_pool is None:
             raise RuntimeError("container started without a database")
         connection = yield Get(self.db_pool)
         try:
             with frame(thread, "executeQuery"):
-                response = yield from rpc_call(
-                    thread,
-                    connection.to_server,
-                    connection.to_client,
-                    plan,
-                    DB_REQUEST_BYTES,
-                )
+                try:
+                    response = yield from rpc_call(
+                        thread,
+                        connection.to_server,
+                        connection.to_client,
+                        plan,
+                        DB_REQUEST_BYTES,
+                        retry=self.db_retry,
+                    )
+                except RpcTimeout:
+                    self.db_timeouts += 1
+                    self.db_calls += 1
+                    return ("error", "db-timeout", plan.name)
         finally:
             self.db_pool.put(connection)
         self.db_calls += 1

@@ -30,9 +30,11 @@ from repro.apps.tpcw.model import (
 )
 from repro.apps.tpcw.servlets import build_servlets
 from repro.apps.tpcw.workload import TpcwClientPool
+from repro.channels.rpc import RetryPolicy
 from repro.core.context import TransactionContext
 from repro.core.profiler import OverheadModel, ProfilerMode
-from repro.core.stitch import StitchError, resolve_context
+from repro.core.stitch import StitchError, resolve_context, stitch_profiles
+from repro.faults import FaultPlan, install_faults
 from repro.sim import Kernel, Rng
 
 
@@ -94,6 +96,44 @@ class TpcwResults:
             "context_bytes": sum(s.comm_context_bytes for s in stages),
         }
 
+    def stitch(self, strict: Optional[bool] = None):
+        """The run's stitched profile.
+
+        ``strict`` defaults to True for a lossless run (any unresolvable
+        synopsis is a bug and should abort loudly) and False when faults
+        were injected (crash amnesia legitimately leaves unresolvable
+        references; they degrade to ``<unresolved:...>`` placeholders and
+        the profile reports its completeness ratio).
+        """
+        if strict is None:
+            strict = self.system.faults is None
+        return stitch_profiles(
+            self.system._stages_by_name.values(), strict=strict
+        )
+
+    def stitch_completeness(self) -> float:
+        """Fraction of synopsis references stitching could resolve."""
+        return self.stitch(strict=False).completeness
+
+    def fault_report(self) -> Dict[str, Any]:
+        """Injection totals plus per-tier recovery counters."""
+        system = self.system
+        report: Dict[str, Any] = {
+            "injected": (
+                system.faults.report() if system.faults is not None else {}
+            ),
+            "client_resends": system.clients.resends,
+            "client_reconnects": system.clients.reconnects,
+            "client_stale_responses": system.clients.stale_responses,
+            "db_timeouts": system.tomcat.db_timeouts,
+        }
+        for name, stage in system._stages_by_name.items():
+            report[f"{name}_retransmits"] = stage.retransmits
+            report[f"{name}_abandoned"] = stage.abandoned_requests
+            report[f"{name}_violations"] = dict(stage.protocol_violations)
+            report[f"{name}_crashes"] = stage.crashes
+        return report
+
 
 class TpcwSystem:
     """A complete, runnable TPC-W deployment."""
@@ -109,8 +149,19 @@ class TpcwSystem:
         seed: int = 42,
         overhead: Optional[OverheadModel] = None,
         mix: str = "browsing",
+        fault_plan: Any = None,
+        fault_seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.kernel = Kernel()
+        # Faults must be installed before any endpoint exists: endpoints
+        # capture their fault state at construction, like telemetry.
+        self.faults = None
+        if fault_plan is not None:
+            plan = FaultPlan.parse(fault_plan)
+            if not plan.is_noop:
+                self.faults = install_faults(self.kernel, plan, fault_seed)
+        self.retry = retry
         self.rng = Rng(seed)
         self.model = TpcwModel(self.rng.stream("model"))
 
@@ -140,6 +191,7 @@ class TpcwSystem:
             mode=profiler_mode,
             overhead=overhead,
             static_size_of=lambda key: IMAGE_BYTES,
+            db_retry=retry,
         )
 
         # --- front tier ------------------------------------------------
@@ -160,12 +212,15 @@ class TpcwSystem:
             think_mean=think_mean,
             rng=self.rng.stream("clients"),
             mix=mix,
+            retry=retry,
         )
         self._stages_by_name = {
             "squid": self.squid.stage,
             "tomcat": self.tomcat.stage,
             "mysql": self.db.stage,
         }
+        if self.faults is not None:
+            self.faults.schedule_crashes(self.kernel, self._stages_by_name)
         # Shared synopsis-resolution cache: classify_context runs on
         # every crosstalk wait event, and most contexts repeat.
         self._resolve_cache = {}

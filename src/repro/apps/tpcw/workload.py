@@ -10,7 +10,7 @@ throughput metric of Fig 12.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Optional, Tuple
 
 from repro.apps.tpcw.model import (
     IMAGES_PER_PAGE,
@@ -19,7 +19,8 @@ from repro.apps.tpcw.model import (
     TpcwModel,
 )
 from repro.channels.message import Message
-from repro.channels.socket import Listener, Recv, Send
+from repro.channels.rpc import RetryPolicy
+from repro.channels.socket import Connection, Listener, Recv, Send, TIMED_OUT
 from repro.sim import Delay, Kernel
 from repro.sim.process import CurrentThread
 from repro.sim.rng import Rng
@@ -43,6 +44,7 @@ class TpcwClientPool:
         rng: Optional[Rng] = None,
         images_per_page: int = IMAGES_PER_PAGE,
         mix: str = "browsing",
+        retry: Optional[RetryPolicy] = None,
     ):
         if mix not in MIXES:
             raise ValueError(f"unknown mix {mix!r}; one of {sorted(MIXES)}")
@@ -54,8 +56,13 @@ class TpcwClientPool:
         self.rng = rng or Rng(99)
         self.images_per_page = images_per_page
         self.mix_name = mix
+        self.retry = retry
         self.log = TxLog()
         self.bytes_received = 0
+        # Recovery accounting (all zero on a lossless run).
+        self.resends = 0
+        self.reconnects = 0
+        self.stale_responses = 0
         self._mix: List[Tuple[str, float]] = sorted(MIXES[mix].items())
 
     # ------------------------------------------------------------------
@@ -78,20 +85,52 @@ class TpcwClientPool:
             interaction = pick_rng.weighted_pick(self._mix)
             param = self.model.param_for(interaction)
             start = self.kernel.now
-            yield Send(
-                connection.to_server,
-                Message(("TPCW", interaction, param), PAGE_REQUEST_BYTES),
+            connection, response = yield from self._fetch(
+                connection, ("TPCW", interaction, param), PAGE_REQUEST_BYTES
             )
-            response = yield Recv(connection.to_client)
             self.bytes_received += response.size
             for _ in range(self.images_per_page):
                 image_id = image_rng.randint(0, NUM_ITEMS - 1)
-                yield Send(
-                    connection.to_server,
-                    Message(("IMG", image_id), IMAGE_REQUEST_BYTES),
+                connection, image = yield from self._fetch(
+                    connection, ("IMG", image_id), IMAGE_REQUEST_BYTES
                 )
-                image = yield Recv(connection.to_client)
                 self.bytes_received += image.size
             self.log.add(interaction, start, self.kernel.now)
             if self.think_mean > 0:
                 yield Delay(think_rng.expovariate(1.0 / self.think_mean))
+
+    def _fetch(self, connection: Connection, payload: Any, size: int) -> Iterator:
+        """One request/response exchange; returns ``(connection, response)``.
+
+        Without a retry policy this is the plain blocking exchange (the
+        lossless-transport behaviour, unchanged).  With one, a browser
+        recovers from message loss the way a real one does: bounded
+        waits, re-sent requests, and — once the proxy's per-connection
+        event state machine may be wedged (a forwarded request lost
+        between tiers) — abandoning the connection and reconnecting,
+        which gives the proxy a fresh state machine.  The loop is
+        bounded by the simulation horizon, not an attempt cap: every
+        attempt consumes at least one timeout of virtual time.
+        """
+        retry = self.retry
+        if retry is None:
+            yield Send(connection.to_server, Message(payload, size))
+            response = yield Recv(connection.to_client)
+            return connection, response
+        while True:
+            # Drain responses of abandoned earlier exchanges (duplicate
+            # deliveries, responses that arrived after their timeout) so
+            # the next receive pairs with *this* request.
+            while connection.to_client.try_recv() is not None:
+                self.stale_responses += 1
+            for attempt in range(retry.retries + 1):
+                if attempt:
+                    self.resends += 1
+                yield Send(connection.to_server, Message(payload, size))
+                response = yield Recv(
+                    connection.to_client, timeout=retry.timeout_for(attempt)
+                )
+                if response is not TIMED_OUT:
+                    return connection, response
+            self.reconnects += 1
+            connection = self.listener.connect()

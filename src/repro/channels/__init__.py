@@ -17,10 +17,15 @@ from repro.channels.socket import (
     Listener,
     Recv,
     Send,
+    TIMED_OUT,
 )
 from repro.channels.rpc import (
+    RetryPolicy,
+    RpcTimeout,
+    call,
     recv_request,
     recv_response,
+    resend_request,
     send_request,
     send_response,
 )
@@ -34,10 +39,15 @@ __all__ = [
     "Send",
     "Recv",
     "Accept",
+    "TIMED_OUT",
+    "RetryPolicy",
+    "RpcTimeout",
+    "call",
     "send_request",
     "recv_request",
     "send_response",
     "recv_response",
+    "resend_request",
     "SharedMemoryRegion",
     "SharedQueue",
 ]

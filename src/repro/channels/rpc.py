@@ -17,12 +17,73 @@ tracking) piggy-backs nothing, exactly like an uninstrumented binary.
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterator, Optional
 
 from repro import telemetry as _telemetry
 from repro.channels.message import Message
-from repro.channels.socket import Endpoint, Recv, Send
+from repro.channels.socket import Endpoint, Recv, Send, TIMED_OUT
+from repro.core.synopsis import CompositeSynopsis
 from repro.sim.process import SimThread
+
+
+class RpcTimeout(Exception):
+    """A call exhausted its retry budget without a matching response."""
+
+    def __init__(self, endpoint_name: str, attempts: int, waited: float):
+        super().__init__(
+            f"no response on {endpoint_name} after {attempts} attempt(s) "
+            f"({waited:.6g}s of virtual time)"
+        )
+        self.endpoint_name = endpoint_name
+        self.attempts = attempts
+        self.waited = waited
+
+
+class RetryPolicy:
+    """Timeout/retry knobs for :func:`call` (virtual-time, kernel timers).
+
+    Attempt ``n`` (0-based) waits ``min(timeout * backoff**n,
+    max_timeout)`` for its response — capped exponential backoff — and a
+    timed-out attempt retransmits the *same* request message (same
+    payload, same piggy-backed synopsis), so a retry is idempotent at
+    the synopsis-protocol level: however many copies the network
+    delivers, they all carry one request synopsis and the caller matches
+    exactly one response to it.
+    """
+
+    __slots__ = ("timeout", "retries", "backoff", "max_timeout")
+
+    def __init__(
+        self,
+        timeout: float = 0.25,
+        retries: int = 3,
+        backoff: float = 2.0,
+        max_timeout: Optional[float] = None,
+    ):
+        if timeout <= 0:
+            raise ValueError("retry timeout must be positive")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if backoff < 1.0:
+            raise ValueError("backoff factor must be >= 1")
+        if max_timeout is not None and max_timeout < timeout:
+            raise ValueError("max_timeout must be >= timeout")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_timeout = max_timeout
+
+    def timeout_for(self, attempt: int) -> float:
+        value = self.timeout * (self.backoff ** attempt)
+        if self.max_timeout is not None:
+            value = min(value, self.max_timeout)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RetryPolicy(timeout={self.timeout}, retries={self.retries}, "
+            f"backoff={self.backoff}, max_timeout={self.max_timeout})"
+        )
 
 
 def _stage(thread: SimThread):
@@ -104,15 +165,89 @@ def send_response(
     return message
 
 
-def recv_response(thread: SimThread, endpoint: Endpoint) -> Iterator:
+def recv_response(
+    thread: SimThread,
+    endpoint: Endpoint,
+    expected: Optional[int] = None,
+    timeout: Optional[float] = None,
+) -> Iterator:
     """Receive a response; the caller switches back to the CCT its
 
     request originated from (identified by the composite's prefix).
+
+    The composite is validated *before* it is adopted:
+
+    - a response whose prefix was not allocated by this stage (a foreign
+      or corrupted composite) is a protocol violation — counted, never
+      adopted;
+    - with ``expected`` (the request synopsis of the call in flight), a
+      mismatched own-prefix composite (a stale or duplicate response to
+      an earlier, retried request) is likewise counted and *discarded*,
+      and the receive continues within the remaining ``timeout`` budget.
+
+    With ``timeout`` (virtual seconds) the whole wait — across any
+    discarded stale responses — is bounded; :data:`TIMED_OUT` is
+    returned on expiry.
     """
-    message = yield Recv(endpoint)
+    stage = _stage(thread)
+    kernel = thread.kernel
+    deadline = None if timeout is None else kernel.now + timeout
+    while True:
+        remaining = None
+        if deadline is not None:
+            remaining = deadline - kernel.now
+            if remaining <= 0:
+                return TIMED_OUT
+        message = yield Recv(endpoint, timeout=remaining)
+        if message is TIMED_OUT:
+            return TIMED_OUT
+        composite = message.synopsis
+        if stage is None or not stage.tracking or composite is None:
+            return message
+        if not isinstance(composite, CompositeSynopsis):
+            # A bare request synopsis (or garbage) where a composite
+            # belongs: a misrouted message, never a response of ours.
+            stage.note_violation("malformed-response")
+            return message
+        if not stage.synopses.is_own_prefix(composite):
+            stage.note_violation("foreign-response")
+            if expected is not None:
+                continue
+            return message
+        if expected is not None and composite.prefix != expected:
+            stage.note_violation("stale-response")
+            continue
+        stage.receive_response(thread, composite)
+        return message
+
+
+def resend_request(
+    thread: SimThread,
+    endpoint: Endpoint,
+    message: Message,
+) -> Iterator:
+    """Retransmit an already-built request message verbatim.
+
+    The same :class:`Message` object — same payload, same piggy-backed
+    synopsis — goes back on the wire, so the callee's response carries
+    the original request synopsis and stitching sees one transaction no
+    matter how many copies were sent.
+    """
     stage = _stage(thread)
     if stage is not None:
-        stage.receive_response(thread, message.synopsis)
+        stage.account_message(message.size, message.context_bytes())
+        stage.note_retransmit(thread)
+    tele = _telemetry.ACTIVE
+    if tele is not None:
+        tele.spans.instant(
+            "resend_request",
+            "channel.send",
+            message.origin,
+            thread.kernel.now,
+            thread=thread.tid,
+            attrs={"size": message.size},
+        )
+    yield Send(endpoint, message)
     return message
 
 
@@ -122,15 +257,44 @@ def call(
     from_server: Endpoint,
     payload: Any,
     size: int,
+    retry: Optional[RetryPolicy] = None,
 ) -> Iterator:
-    """Convenience RPC: send a request and wait for its response."""
+    """Convenience RPC: send a request and wait for its response.
+
+    Without ``retry`` the wait is unbounded (the original, lossless-
+    transport behaviour).  With a :class:`RetryPolicy`, each attempt
+    waits ``retry.timeout_for(attempt)`` of virtual time, a timed-out
+    attempt retransmits the same request message, and exhausting the
+    budget abandons the request (releasing its profiler bookkeeping)
+    and raises :class:`RpcTimeout`.
+    """
     tele = _telemetry.ACTIVE
-    started = thread.kernel.now if tele is not None else 0.0
-    yield from send_request(thread, to_server, payload, size)
-    response = yield from recv_response(thread, from_server)
-    if tele is not None and tele.rpc_roundtrip is not None:
-        tele.rpc_roundtrip.observe(thread.kernel.now - started)
-    return response
+    kernel = thread.kernel
+    started = kernel.now
+    message = yield from send_request(thread, to_server, payload, size)
+    expected = message.synopsis if isinstance(message.synopsis, int) else None
+    if retry is None:
+        response = yield from recv_response(thread, from_server, expected=expected)
+        if tele is not None and tele.rpc_roundtrip is not None:
+            tele.rpc_roundtrip.observe(kernel.now - started)
+        return response
+    for attempt in range(retry.retries + 1):
+        if attempt:
+            yield from resend_request(thread, to_server, message)
+        response = yield from recv_response(
+            thread,
+            from_server,
+            expected=expected,
+            timeout=retry.timeout_for(attempt),
+        )
+        if response is not TIMED_OUT:
+            if tele is not None and tele.rpc_roundtrip is not None:
+                tele.rpc_roundtrip.observe(kernel.now - started)
+            return response
+    stage = _stage(thread)
+    if stage is not None and expected is not None:
+        stage.abandon_request(expected)
+    raise RpcTimeout(to_server.name, retry.retries + 1, kernel.now - started)
 
 
 def serve_one(

@@ -21,6 +21,20 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Kernel
 
 
+class _TimedOut:
+    """Sentinel a :class:`Recv` with a timeout resolves to on expiry."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "TIMED_OUT"
+
+
+#: Returned by ``yield Recv(endpoint, timeout=...)`` when the timeout
+#: fires before a message arrives.
+TIMED_OUT = _TimedOut()
+
+
 class Endpoint:
     """One direction of a simulated stream channel.
 
@@ -57,6 +71,10 @@ class Endpoint:
         else:
             self._tele_messages = None
             self._tele_bytes = None
+        # Fault injection, captured once like telemetry: a fault-free
+        # run pays a single None-check per send.
+        faults = getattr(kernel, "faults", None)
+        self._faults = faults.attach(self) if faults is not None else None
 
     # ------------------------------------------------------------------
     def send(self, message: Message) -> None:
@@ -70,6 +88,10 @@ class Endpoint:
             transmit = message.size / self.bandwidth
             self._link_free_at = start + transmit
             delay = (self._link_free_at - self.kernel.now) + self.latency
+        if self._faults is not None:
+            for extra in self._faults.deliveries(message):
+                self.kernel.schedule(delay + extra, self._deliver, message)
+            return
         if delay > 0:
             self.kernel.schedule(delay, self._deliver, message)
         else:
@@ -81,13 +103,21 @@ class Endpoint:
         if self._tele_messages is not None:
             self._tele_messages.inc()
             self._tele_bytes.inc(message.size)
-        if self._receivers:
+        while self._receivers:
             receiver = self._receivers.popleft()
+            if not receiver.alive:
+                # A crashed thread consumes nothing: fall through to the
+                # next live receiver, or buffer the message.
+                continue
+            blocked = receiver.blocked_on
+            timer = getattr(blocked, "timer", None)
+            if timer is not None:
+                timer.cancel()
             self.kernel.resume(receiver, message)
-        else:
-            self._buffer.append(message)
-            for observer in self.observers:
-                observer(self)
+            return
+        self._buffer.append(message)
+        for observer in self.observers:
+            observer(self)
 
     # ------------------------------------------------------------------
     @property
@@ -122,22 +152,47 @@ class Send(Syscall):
 
 
 class Recv(Syscall):
-    """Block until a message is available on the endpoint."""
+    """Block until a message is available on the endpoint.
 
-    __slots__ = ("endpoint",)
+    With ``timeout`` (virtual seconds), the wait is bounded by a kernel
+    timer: if nothing arrives in time the thread is resumed with the
+    :data:`TIMED_OUT` sentinel instead of a message.  The timer is
+    cancelled on delivery, so a served receive leaves no heap garbage.
+    """
 
-    def __init__(self, endpoint: Endpoint):
+    __slots__ = ("endpoint", "timeout", "timer")
+
+    def __init__(self, endpoint: Endpoint, timeout: Optional[float] = None):
+        if timeout is not None and timeout < 0:
+            raise ValueError("negative receive timeout")
         self.endpoint = endpoint
+        self.timeout = timeout
+        self.timer = None
 
     def execute(self, kernel: "Kernel", thread: SimThread) -> None:
         message = self.endpoint.try_recv()
         if message is not None:
             kernel.resume(thread, message)
-        else:
-            thread.blocked_on = self
-            self.endpoint._receivers.append(thread)
+            return
+        thread.blocked_on = self
+        self.endpoint._receivers.append(thread)
+        if self.timeout is not None:
+            self.timer = kernel.schedule(self.timeout, self._expire, kernel, thread)
+
+    def _expire(self, kernel: "Kernel", thread: SimThread) -> None:
+        # Identity check: the thread may since have been resumed and be
+        # blocked on a different (even same-endpoint) syscall.
+        if thread.blocked_on is not self:
+            return
+        try:
+            self.endpoint._receivers.remove(thread)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        kernel.resume(thread, TIMED_OUT)
 
     def __repr__(self) -> str:
+        if self.timeout is not None:
+            return f"Recv({self.endpoint.name}, timeout={self.timeout})"
         return f"Recv({self.endpoint.name})"
 
 

@@ -95,6 +95,16 @@ def cmd_apache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _install_faults(kernel: Kernel, args: argparse.Namespace):
+    """Install the --faults plan on a fresh kernel (before any endpoint)."""
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return None
+    from repro.faults import install_faults
+
+    return install_faults(kernel, spec, getattr(args, "fault_seed", 0))
+
+
 def _maybe_dot(args: argparse.Namespace, stage) -> None:
     """Write a graphviz rendering if --dot was given."""
     path = getattr(args, "dot", None)
@@ -137,13 +147,21 @@ def cmd_haboob(args: argparse.Namespace) -> int:
     from repro.apps.haboob import HaboobConfig, HaboobServer
 
     kernel = Kernel()
+    injector = _install_faults(kernel, args)
     trace = WebTrace(Rng(args.seed), objects=args.objects)
     server = HaboobServer(
         kernel, trace, config=HaboobConfig(cache_bytes=args.cache_kb * 1024)
     )
     server.start()
+    if injector is not None:
+        injector.schedule_crashes(
+            kernel, {stage.name: stage for stage in server.stages}
+        )
     HttpClientPool(kernel, server.listener, trace, clients=args.clients).start()
     kernel.run(until=args.seconds)
+    if injector is not None:
+        report = injector.report()
+        print("faults: " + ", ".join(f"{k}={report[k]}" for k in sorted(report)))
     print(
         f"served {server.responses_sent} responses, "
         f"{server.throughput_mbps():.1f} Mb/s, "
@@ -158,13 +176,20 @@ def cmd_haboob(args: argparse.Namespace) -> int:
 def cmd_tpcw(args: argparse.Namespace) -> int:
     from repro.apps.db.locks import INNODB, MYISAM
     from repro.apps.tpcw import TpcwSystem
+    from repro.channels.rpc import RetryPolicy
 
+    retry = None
+    if args.faults and args.retries > 0:
+        retry = RetryPolicy(timeout=args.retry_timeout, retries=args.retries)
     system = TpcwSystem(
         clients=args.clients,
         caching=args.caching,
         item_engine=INNODB if args.innodb else MYISAM,
         seed=args.seed,
         mix=args.mix,
+        fault_plan=args.faults or None,
+        fault_seed=args.fault_seed,
+        retry=retry,
     )
     results = system.run(duration=args.duration, warmup=args.warmup)
     print(
@@ -183,6 +208,13 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
         )
     print()
     print(render_crosstalk(system.db.crosstalk, limit=10))
+    if system.faults is not None:
+        from repro.analysis import render_fault_report
+
+        print()
+        print(render_fault_report(results.fault_report()))
+        completeness = results.stitch_completeness()
+        print(f"stitch completeness: {100.0 * completeness:.2f}%")
     if args.save_profiles:
         from repro.core.persist import save_stage
 
@@ -190,6 +222,14 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
             path = f"{args.save_profiles}/{stage.name}.profile.json"
             save_stage(stage, path)
             print(f"wrote {path}")
+    if args.check_stitch:
+        completeness = results.stitch_completeness()
+        print(f"stitch completeness: {100.0 * completeness:.2f}%")
+        if system.faults is None and completeness < 1.0:
+            print(
+                "error: lossless run stitched below 100%", file=sys.stderr
+            )
+            return 1
     return 0
 
 
@@ -201,10 +241,14 @@ def cmd_stitch(args: argparse.Namespace) -> int:
 
     stages = [load_stage(path) for path in args.profiles]
     resolve_cache = {}
-    profile = stitch_profiles(stages, cache=resolve_cache)
+    # Non-strict by default: a dump set missing a tier (it crashed, or
+    # its dump was never collected) still yields a partial profile with
+    # an explicit completeness ratio instead of an abort.
+    strict = bool(getattr(args, "strict", False))
+    profile = stitch_profiles(stages, cache=resolve_cache, strict=strict)
     print(render_stitched_profile(profile, min_share=args.min_share))
     print()
-    print(render_flow_graph(flow_graph(stages, cache=resolve_cache)))
+    print(render_flow_graph(flow_graph(stages, cache=resolve_cache, strict=strict)))
     return 0
 
 
@@ -265,6 +309,20 @@ def build_parser() -> argparse.ArgumentParser:
             help="write Prometheus text metrics (requires --telemetry full)",
         )
 
+    def fault_flags(p):
+        p.add_argument(
+            "--faults",
+            metavar="SPEC",
+            help="fault-injection spec string or JSON file "
+            "(see docs/fault-injection.md), e.g. 'drop=0.01,dup=0.01'",
+        )
+        p.add_argument(
+            "--fault-seed",
+            type=int,
+            default=0,
+            help="seed for the fault RNG streams (deterministic per seed)",
+        )
+
     def common(p, clients=6, seconds=3.0):
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--clients", type=int, default=clients)
@@ -285,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("haboob", help="SEDA stage contexts (§8.3)")
     common(p)
     p.add_argument("--cache-kb", type=int, default=512)
+    fault_flags(p)
     p.set_defaults(fn=cmd_haboob)
 
     p = sub.add_parser("tpcw", help="three-tier bookstore (§8.4)")
@@ -305,6 +364,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="dump each tier's profile as JSON into DIR",
     )
+    fault_flags(p)
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="RPC/client retry attempts under --faults (0 disables recovery)",
+    )
+    p.add_argument(
+        "--retry-timeout",
+        type=float,
+        default=0.25,
+        help="first-attempt response timeout in virtual seconds "
+        "(doubles per retry)",
+    )
+    p.add_argument(
+        "--check-stitch",
+        action="store_true",
+        help="print the stitch completeness ratio; on a lossless run, "
+        "exit non-zero below 100%%",
+    )
     telemetry_flags(p)
     p.set_defaults(fn=cmd_tpcw)
 
@@ -317,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("profiles", nargs="+", help="stage profile JSON files")
     p.add_argument("--min-share", type=float, default=0.5)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on unresolvable synopses instead of emitting a "
+        "partial profile",
+    )
     telemetry_flags(p)
     p.set_defaults(fn=cmd_stitch)
 

@@ -57,6 +57,37 @@ class SynopsisRef:
         return f"syn({self.origin}:{self.value:#010x})"
 
 
+class UnresolvedRef:
+    """A synopsis reference the presentation phase could not expand.
+
+    Produced by non-strict stitching (:func:`repro.core.stitch.
+    resolve_context` with ``strict=False``) when the originating stage's
+    synopsis dictionary no longer holds ``value`` — e.g. the stage
+    crashed and lost its table, or its dump was never collected.  The
+    element keeps the profile weight attached to its context instead of
+    aborting the whole analysis; it renders as ``<unresolved:origin:0x…>``.
+    """
+
+    __slots__ = ("origin", "value")
+
+    def __init__(self, origin: str, value: int):
+        self.origin = origin
+        self.value = value
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, UnresolvedRef)
+            and other.origin == self.origin
+            and other.value == self.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((UnresolvedRef, self.origin, self.value))
+
+    def __repr__(self) -> str:
+        return f"<unresolved:{self.origin}:{self.value:#010x}>"
+
+
 class TransactionContext:
     """Immutable transaction context.
 

@@ -138,6 +138,16 @@ class StageRuntime:
         # into this stage.  Always maintained (a plain int) so the live
         # telemetry's hop spans can be validated against it.
         self.hops_received = 0
+        # Synopsis-protocol violations observed at the receive wrappers
+        # (foreign, stale or malformed composites) — counted, never
+        # adopted.  Keyed by violation kind.
+        self.protocol_violations: Dict[str, int] = {}
+        # Recovery accounting: idempotent request retransmissions issued
+        # by the RPC layer, and requests abandoned after retry exhaustion.
+        self.retransmits = 0
+        self.abandoned_requests = 0
+        # Crash-and-restart events injected into this stage.
+        self.crashes = 0
         # Telemetry, captured once at construction (zero-cost when off).
         tele = _telemetry.ACTIVE
         self._tele = tele
@@ -366,6 +376,60 @@ class StageRuntime:
         if self._tele_inflight is not None:
             self._tele_inflight.set(len(self._sent_requests))
         return True
+
+    def note_violation(self, kind: str) -> None:
+        """Count a synopsis-protocol violation (never adopt the context)."""
+        self.protocol_violations[kind] = self.protocol_violations.get(kind, 0) + 1
+        tele = self._tele
+        if tele is not None and tele.wants_metrics:
+            tele.metrics.counter(
+                "repro_rpc_protocol_violations_total",
+                "foreign/stale/malformed response synopses rejected",
+                stage=self.name,
+                kind=kind,
+            ).inc()
+
+    def note_retransmit(self, thread: SimThread) -> None:
+        """Account an idempotent re-send of an in-flight request."""
+        self.retransmits += 1
+        self.add_pending(thread, self.overhead.synopsis_cost)
+
+    def abandon_request(self, synopsis: Optional[int]) -> None:
+        """Drop the in-flight entry for a request whose retries are
+        exhausted, so a lossy run cannot grow the map without bound."""
+        if synopsis is None:
+            return
+        self.abandoned_requests += 1
+        entry = self._sent_requests.get(synopsis)
+        if entry is None:
+            return
+        if entry[1] <= 1:
+            del self._sent_requests[synopsis]
+        else:
+            entry[1] -= 1
+        if self._tele_inflight is not None:
+            self._tele_inflight.set(len(self._sent_requests))
+
+    def crash(self, restart_after: Optional[float] = None) -> int:
+        """Crash-and-restart amnesia: lose the synopsis dictionary.
+
+        Models a stage process dying and coming straight back (the
+        thread-per-connection tiers restart transparently): the in-memory
+        synopsis table and in-flight request map are volatile and lost,
+        while sampled profile data — which Whodunit spills to disk — is
+        kept.  Pre-crash synopses held by remote stages become
+        unresolvable and surface through partial stitching.
+        ``restart_after`` is accepted for interface parity with
+        :meth:`~repro.seda.stage.SedaStage.crash` and ignored: a bare
+        runtime has no threads to restart.  Returns the number of
+        synopsis mappings lost.
+        """
+        self.crashes += 1
+        self._sent_requests.clear()
+        self._pending.clear()
+        if self._tele_inflight is not None:
+            self._tele_inflight.set(0)
+        return self.synopses.clear_mappings()
 
     @property
     def in_flight_requests(self) -> int:

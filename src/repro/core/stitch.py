@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.cct import CallingContextTree
-from repro.core.context import SynopsisRef, TransactionContext
+from repro.core.context import SynopsisRef, TransactionContext, UnresolvedRef
 from repro.core.profiler import StageRuntime
 
 ResolutionCache = Dict[TransactionContext, TransactionContext]
@@ -23,10 +23,36 @@ class StitchError(Exception):
     """Raised on unresolvable or cyclic synopsis references."""
 
 
+class StitchStats:
+    """Resolution bookkeeping for one presentation-phase pass.
+
+    ``attempted`` counts every synopsis reference the resolver tried to
+    expand (cache hits expand nothing and count nothing — each distinct
+    context is counted once per pass); ``unresolved`` counts those that
+    could not be expanded and were kept as
+    :class:`~repro.core.context.UnresolvedRef` placeholders.
+    """
+
+    __slots__ = ("attempted", "unresolved")
+
+    def __init__(self):
+        self.attempted = 0
+        self.unresolved = 0
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of attempted synopsis resolutions that succeeded."""
+        if self.attempted == 0:
+            return 1.0
+        return (self.attempted - self.unresolved) / self.attempted
+
+
 def resolve_context(
     context: TransactionContext,
     stages: Dict[str, StageRuntime],
     cache: Optional[ResolutionCache] = None,
+    strict: bool = True,
+    stats: Optional[StitchStats] = None,
     _active: Optional[Set[Tuple[str, int]]] = None,
     _chain: Optional[List[SynopsisRef]] = None,
 ) -> TransactionContext:
@@ -36,11 +62,20 @@ def resolve_context(
     arbitrarily deep legitimate chains resolve while a genuine cycle
     raises :class:`StitchError` naming the offending chain.
 
+    With ``strict=False`` an unresolvable reference — unknown stage,
+    synopsis missing from the origin's table (crash amnesia, uncollected
+    dump), or a cyclic chain — does not abort the analysis: it becomes
+    an :class:`~repro.core.context.UnresolvedRef` element that keeps the
+    profile weight attached to its (partially expanded) context, and is
+    tallied in ``stats``.
+
     ``cache`` maps already-resolved contexts to their expansions.  Pass
     the same dict across calls (as :func:`stitch_profiles` and
     :func:`flow_graph` do) to resolve each synopsis once instead of once
     per referencing label; entries are only ever added for fully
-    resolved contexts, so a shared cache stays correct.
+    resolved contexts, so a shared cache stays correct.  Do not share a
+    cache between ``strict`` and non-strict passes: a non-strict pass
+    caches partial expansions.
     """
     if cache is not None:
         cached = cache.get(context)
@@ -54,20 +89,42 @@ def resolve_context(
         if not isinstance(element, SynopsisRef):
             elements.append(element)
             continue
+        if stats is not None:
+            stats.attempted += 1
         origin = stages.get(element.origin)
         if origin is None:
-            raise StitchError(
-                f"context references unknown stage {element.origin!r}"
-            )
+            if strict:
+                raise StitchError(
+                    f"context references unknown stage {element.origin!r}"
+                )
+            if stats is not None:
+                stats.unresolved += 1
+            elements.append(UnresolvedRef(element.origin, element.value))
+            continue
         key = (element.origin, element.value)
         if key in _active:
-            chain = " -> ".join(repr(ref) for ref in _chain + [element])
-            raise StitchError(f"cyclic synopsis reference chain: {chain}")
-        remote = origin.synopses.resolve(element.value)
+            if strict:
+                chain = " -> ".join(repr(ref) for ref in _chain + [element])
+                raise StitchError(f"cyclic synopsis reference chain: {chain}")
+            if stats is not None:
+                stats.unresolved += 1
+            elements.append(UnresolvedRef(element.origin, element.value))
+            continue
+        try:
+            remote = origin.synopses.resolve(element.value)
+        except KeyError:
+            if strict:
+                raise
+            if stats is not None:
+                stats.unresolved += 1
+            elements.append(UnresolvedRef(element.origin, element.value))
+            continue
         _active.add(key)
         _chain.append(element)
         try:
-            expanded = resolve_context(remote, stages, cache, _active, _chain)
+            expanded = resolve_context(
+                remote, stages, cache, strict, stats, _active, _chain
+            )
         finally:
             _active.discard(key)
             _chain.pop()
@@ -89,6 +146,18 @@ class StitchedProfile:
         # over contexts).  Invalidated by add(); call invalidate_weights()
         # after mutating a returned CCT directly.
         self._stage_weights: Dict[str, float] = {}
+        # Resolution tallies from the stitch pass that built the profile
+        # (see StitchStats): how many synopsis references were attempted
+        # and how many remain as UnresolvedRef placeholders.
+        self.synopsis_refs = 0
+        self.unresolved_refs = 0
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of synopsis references the stitch pass resolved."""
+        if self.synopsis_refs == 0:
+            return 1.0
+        return (self.synopsis_refs - self.unresolved_refs) / self.synopsis_refs
 
     def add(self, stage: str, context: TransactionContext, cct: CallingContextTree) -> None:
         self._stage_weights.pop(stage, None)
@@ -183,6 +252,7 @@ class FlowEdge:
 def flow_graph(
     stages: Iterable[StageRuntime],
     cache: Optional[ResolutionCache] = None,
+    strict: bool = True,
 ) -> List[FlowEdge]:
     """The request edges of the end-to-end profile (Fig 7's arrows).
 
@@ -190,8 +260,13 @@ def flow_graph(
     whose send created it; the edge connects the sender's context (the
     resolved referenced context) to the receiver's resolved context.
 
+    With ``strict=False`` an edge whose sender synopsis is unresolvable
+    (crash amnesia) is dropped; the receiver's contexts still appear,
+    partially resolved, in the stitched profile.
+
     ``cache`` is a resolution cache shared with other presentation-phase
-    passes (e.g. the :func:`stitch_profiles` call over the same stages).
+    passes (e.g. the :func:`stitch_profiles` call over the same stages,
+    with the same ``strict``).
     """
     by_name = {stage.name: stage for stage in stages}
     if cache is None:
@@ -206,14 +281,20 @@ def flow_graph(
                 origin = by_name.get(element.origin)
                 if origin is None:
                     continue
+                try:
+                    remote = origin.synopses.resolve(element.value)
+                except KeyError:
+                    if strict:
+                        raise
+                    continue
                 sender_context = resolve_context(
-                    origin.synopses.resolve(element.value), by_name, cache
+                    remote, by_name, cache, strict
                 )
                 edge = FlowEdge(
                     origin.name,
                     sender_context,
                     stage.name,
-                    resolve_context(label, by_name, cache),
+                    resolve_context(label, by_name, cache, strict),
                 )
                 if edge not in seen:
                     seen.add(edge)
@@ -224,21 +305,29 @@ def flow_graph(
 def stitch_profiles(
     stages: Iterable[StageRuntime],
     cache: Optional[ResolutionCache] = None,
+    strict: bool = True,
 ) -> StitchedProfile:
     """Combine per-stage profiles into one transactional profile.
 
     Every CCT label containing synopsis references is resolved into the
     full cross-stage transaction context; CCTs whose labels resolve to
-    the same context merge.  Resolutions are memoized in ``cache`` (a
-    fresh dict if not given); pass the same dict to :func:`flow_graph`
-    to reuse the work.
+    the same context merge.  With ``strict=False`` unresolvable
+    references degrade to ``UnresolvedRef`` placeholders instead of
+    raising, and the returned profile's ``synopsis_refs`` /
+    ``unresolved_refs`` / ``completeness`` report how much of the run
+    could be stitched.  Resolutions are memoized in ``cache`` (a fresh
+    dict if not given); pass the same dict to :func:`flow_graph` to
+    reuse the work.
     """
     by_name = {stage.name: stage for stage in stages}
     if cache is None:
         cache = {}
+    stats = StitchStats()
     profile = StitchedProfile()
     for stage in by_name.values():
         for label, cct in stage.ccts.items():
-            resolved = resolve_context(label, by_name, cache)
+            resolved = resolve_context(label, by_name, cache, strict, stats)
             profile.add(stage.name, resolved, cct)
+    profile.synopsis_refs = stats.attempted
+    profile.unresolved_refs = stats.unresolved
     return profile

@@ -38,6 +38,37 @@ def _stage_base(stage_name: str) -> int:
     return (zlib.crc32(stage_name.encode()) & ((1 << _STAGE_BITS) - 1)) << _LOCAL_BITS
 
 
+# Process-wide registry of which stage name owns which 12-bit base.
+# Two distinct stage names can hash into the same bucket (only 4096
+# buckets), in which case both stages would mint identical 32-bit
+# synopses and ``is_own_prefix`` would misfire — a caller could adopt a
+# stranger's response.  At table construction the colliding name is
+# deterministically salted and rehashed until it lands in a free bucket;
+# re-creating a table for an already-registered name reuses its bucket,
+# so repeated runs in one process stay stable.
+_BASE_OWNERS: Dict[int, str] = {}
+
+
+def _claim_stage_base(stage_name: str) -> int:
+    """The collision-free base for ``stage_name``, registering it."""
+    salt = 0
+    candidate = stage_name
+    while True:
+        base = _stage_base(candidate)
+        owner = _BASE_OWNERS.get(base)
+        if owner is None:
+            _BASE_OWNERS[base] = stage_name
+            return base
+        if owner == stage_name:
+            return base
+        salt += 1
+        if salt > (1 << _STAGE_BITS):
+            raise OverflowError(
+                f"no free 12-bit synopsis bucket for stage {stage_name!r}"
+            )
+        candidate = f"{stage_name}\x00{salt}"
+
+
 class CompositeSynopsis:
     """A response synopsis ``prefix # suffix`` (each a 4-byte synopsis)."""
 
@@ -77,11 +108,26 @@ class SynopsisTable:
         self.stage_name = stage_name
         self._by_context: Dict[TransactionContext, int] = {}
         self._by_value: Dict[int, TransactionContext] = {}
-        self._base = _stage_base(stage_name)
+        self._base = _claim_stage_base(stage_name)
         self._next = 1  # 0 is reserved for "no context"
 
     def __len__(self) -> int:
         return len(self._by_context)
+
+    def clear_mappings(self) -> int:
+        """Forget every context<->synopsis mapping (crash amnesia).
+
+        The sequential allocator is deliberately *not* rewound: values
+        minted after the loss never alias values minted before it, so a
+        pre-crash synopsis held by a remote stage becomes *unresolvable*
+        (surfaced by partial stitching) instead of silently resolving to
+        whatever context happened to re-use its slot.  Returns the
+        number of mappings lost.
+        """
+        lost = len(self._by_context)
+        self._by_context.clear()
+        self._by_value.clear()
+        return lost
 
     def synopsis(self, context: TransactionContext) -> int:
         """The synopsis for ``context``, allocating one on first use."""

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for the simulated transport and stages.
+
+See :mod:`repro.faults.plan` for the fault-spec grammar and
+:mod:`repro.faults.inject` for the injection machinery; the full story
+(retry/timeout semantics, partial stitching) is in
+``docs/fault-injection.md``.
+"""
+
+from repro.faults.inject import EndpointFaultState, FaultInjector, install_faults
+from repro.faults.plan import (
+    CrashSpec,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+)
+
+__all__ = [
+    "CrashSpec",
+    "EndpointFaultState",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "install_faults",
+]

@@ -1,0 +1,264 @@
+"""Fault plans: a declarative description of what goes wrong, when.
+
+A :class:`FaultPlan` is a list of message-fault rules plus a list of
+stage-crash specs.  Rules apply per :class:`~repro.channels.socket.Endpoint`
+(the first rule whose ``match`` substring occurs in the endpoint name
+wins; ``match=None`` matches every endpoint) and give the probabilities
+with which a sent message is dropped, duplicated, reordered (delayed by
+a random amount within ``reorder_window`` so later messages overtake
+it), or delayed by a fixed amount.
+
+Plans are written either as a compact spec string::
+
+    drop=0.01,dup=0.01,reorder=0.05:0.02,match=mysql;crash=tomcat@30+1.0
+
+(rules separated by ``;``, items by ``,``; ``crash=<stage>@<t>[+<restart>]``)
+or as a JSON file::
+
+    {"rules": [{"match": "mysql", "drop": 0.01, "dup": 0.01}],
+     "crashes": [{"stage": "tomcat", "at": 30.0, "restart": 1.0}]}
+
+:func:`FaultPlan.parse` accepts either form — if the spec names an
+existing file it is loaded as JSON.  Parsing is strict: unknown keys and
+out-of-range probabilities raise :class:`FaultSpecError` so a typo in a
+fault spec cannot silently produce a fault-free run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+DEFAULT_REORDER_WINDOW = 10e-3
+DEFAULT_DELAY = 1e-3
+
+
+class FaultSpecError(ValueError):
+    """Raised for malformed fault specs."""
+
+
+class FaultRule:
+    """Message-fault probabilities for endpoints matching ``match``."""
+
+    __slots__ = ("match", "drop", "duplicate", "reorder", "reorder_window",
+                 "delay", "delay_amount")
+
+    def __init__(
+        self,
+        match: Optional[str] = None,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        reorder_window: float = DEFAULT_REORDER_WINDOW,
+        delay: float = 0.0,
+        delay_amount: float = DEFAULT_DELAY,
+    ):
+        for name, p in (("drop", drop), ("dup", duplicate), ("reorder", reorder),
+                        ("delay", delay)):
+            if not 0.0 <= p <= 1.0:
+                raise FaultSpecError(f"{name} probability {p!r} not in [0, 1]")
+        if reorder_window < 0 or delay_amount < 0:
+            raise FaultSpecError("reorder window / delay amount must be >= 0")
+        self.match = match
+        self.drop = drop
+        self.duplicate = duplicate
+        self.reorder = reorder
+        self.reorder_window = reorder_window
+        self.delay = delay
+        self.delay_amount = delay_amount
+
+    @property
+    def is_noop(self) -> bool:
+        return not (self.drop or self.duplicate or self.reorder or self.delay)
+
+    def matches(self, endpoint_name: str) -> bool:
+        return self.match is None or self.match in endpoint_name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FaultRule match={self.match!r} drop={self.drop} "
+            f"dup={self.duplicate} reorder={self.reorder} delay={self.delay}>"
+        )
+
+
+class CrashSpec:
+    """Crash stage ``stage`` at virtual time ``at``; restart after
+    ``restart`` seconds (``None`` = the stage's state loss is instant and
+    it keeps serving — the amnesia model used for thread-per-connection
+    tiers)."""
+
+    __slots__ = ("stage", "at", "restart")
+
+    def __init__(self, stage: str, at: float, restart: Optional[float] = None):
+        if at < 0:
+            raise FaultSpecError("crash time must be >= 0")
+        if restart is not None and restart < 0:
+            raise FaultSpecError("restart delay must be >= 0")
+        self.stage = stage
+        self.at = at
+        self.restart = restart
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CrashSpec {self.stage}@{self.at}+{self.restart}>"
+
+
+class FaultPlan:
+    """Parsed fault-injection plan: message-fault rules + stage crashes."""
+
+    def __init__(self, rules: Optional[List[FaultRule]] = None,
+                 crashes: Optional[List[CrashSpec]] = None):
+        self.rules: List[FaultRule] = list(rules or [])
+        self.crashes: List[CrashSpec] = list(crashes or [])
+
+    @property
+    def is_noop(self) -> bool:
+        return not self.crashes and all(rule.is_noop for rule in self.rules)
+
+    def rule_for(self, endpoint_name: str) -> Optional[FaultRule]:
+        """First matching non-noop rule for an endpoint, else None."""
+        for rule in self.rules:
+            if not rule.is_noop and rule.matches(endpoint_name):
+                return rule
+        return None
+
+    # ------------------------------------------------------------------
+    # Parsing
+    # ------------------------------------------------------------------
+    @classmethod
+    def parse(cls, spec: "FaultPlan | str | Dict[str, Any]") -> "FaultPlan":
+        """Parse a spec string, a JSON file path, or a JSON-shaped dict."""
+        if isinstance(spec, cls):
+            return spec
+        if isinstance(spec, dict):
+            return cls._from_dict(spec)
+        if not isinstance(spec, str):
+            raise FaultSpecError(f"cannot parse fault spec {spec!r}")
+        if os.path.isfile(spec):
+            with open(spec, "r", encoding="utf-8") as handle:
+                return cls._from_dict(json.load(handle))
+        return cls._from_string(spec)
+
+    @classmethod
+    def _from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        rules = []
+        for entry in data.get("rules", []):
+            known = {"match", "drop", "dup", "duplicate", "reorder",
+                     "reorder_window", "delay", "delay_amount"}
+            unknown = set(entry) - known
+            if unknown:
+                raise FaultSpecError(f"unknown fault rule keys {sorted(unknown)}")
+            rules.append(FaultRule(
+                match=entry.get("match"),
+                drop=float(entry.get("drop", 0.0)),
+                duplicate=float(entry.get("dup", entry.get("duplicate", 0.0))),
+                reorder=float(entry.get("reorder", 0.0)),
+                reorder_window=float(
+                    entry.get("reorder_window", DEFAULT_REORDER_WINDOW)
+                ),
+                delay=float(entry.get("delay", 0.0)),
+                delay_amount=float(entry.get("delay_amount", DEFAULT_DELAY)),
+            ))
+        crashes = []
+        for entry in data.get("crashes", []):
+            unknown = set(entry) - {"stage", "at", "restart"}
+            if unknown:
+                raise FaultSpecError(f"unknown crash keys {sorted(unknown)}")
+            restart = entry.get("restart")
+            crashes.append(CrashSpec(
+                entry["stage"],
+                float(entry["at"]),
+                None if restart is None else float(restart),
+            ))
+        unknown = set(data) - {"rules", "crashes"}
+        if unknown:
+            raise FaultSpecError(f"unknown fault plan keys {sorted(unknown)}")
+        return cls(rules, crashes)
+
+    @classmethod
+    def _from_string(cls, spec: str) -> "FaultPlan":
+        rules: List[FaultRule] = []
+        crashes: List[CrashSpec] = []
+        for rule_text in spec.split(";"):
+            rule_text = rule_text.strip()
+            if not rule_text:
+                continue
+            kwargs: Dict[str, Any] = {}
+            for item in rule_text.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                if "=" not in item:
+                    raise FaultSpecError(f"bad fault item {item!r} (want key=value)")
+                key, _, value = item.partition("=")
+                key = key.strip()
+                value = value.strip()
+                if key == "match":
+                    kwargs["match"] = value
+                elif key == "drop":
+                    kwargs["drop"] = _probability(key, value)
+                elif key in ("dup", "duplicate"):
+                    kwargs["duplicate"] = _probability(key, value)
+                elif key == "reorder":
+                    p, window = _split_amount(value)
+                    kwargs["reorder"] = _probability(key, p)
+                    if window is not None:
+                        kwargs["reorder_window"] = _seconds(key, window)
+                elif key == "delay":
+                    p, amount = _split_amount(value)
+                    kwargs["delay"] = _probability(key, p)
+                    if amount is not None:
+                        kwargs["delay_amount"] = _seconds(key, amount)
+                elif key == "crash":
+                    crashes.append(_parse_crash(value))
+                else:
+                    raise FaultSpecError(f"unknown fault key {key!r}")
+            if kwargs:
+                rules.append(FaultRule(**kwargs))
+        return cls(rules, crashes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultPlan rules={len(self.rules)} crashes={len(self.crashes)}>"
+
+
+def _probability(key: str, value: str) -> float:
+    try:
+        p = float(value)
+    except ValueError:
+        raise FaultSpecError(f"{key}: bad probability {value!r}") from None
+    if not 0.0 <= p <= 1.0:
+        raise FaultSpecError(f"{key}: probability {p!r} not in [0, 1]")
+    return p
+
+
+def _seconds(key: str, value: str) -> float:
+    try:
+        seconds = float(value)
+    except ValueError:
+        raise FaultSpecError(f"{key}: bad seconds value {value!r}") from None
+    if seconds < 0:
+        raise FaultSpecError(f"{key}: seconds must be >= 0")
+    return seconds
+
+
+def _split_amount(value: str):
+    """Split ``p[:amount]`` items (reorder=0.05:0.02, delay=0.01:0.005)."""
+    if ":" in value:
+        p, _, amount = value.partition(":")
+        return p, amount
+    return value, None
+
+
+def _parse_crash(value: str) -> CrashSpec:
+    """Parse ``<stage>@<time>[+<restart>]``."""
+    if "@" not in value:
+        raise FaultSpecError(f"crash: want <stage>@<time>[+<restart>], got {value!r}")
+    stage, _, when = value.partition("@")
+    restart: Optional[str] = None
+    if "+" in when:
+        when, _, restart = when.partition("+")
+    return CrashSpec(
+        stage.strip(),
+        _seconds("crash", when),
+        None if restart is None else _seconds("crash", restart),
+    )

@@ -97,11 +97,15 @@ class StageQueue:
         """
         if self._tele is not None:
             element.enqueued_at = self.kernel.now
-        if self._waiters:
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.alive:
+                # The worker crashed while blocked here; the element must
+                # go to a surviving worker (or the buffer), not vanish.
+                continue
             self.enqueued += 1
             if self._tele_enqueued is not None:
                 self._tele_enqueued.inc()
-            waiter = self._waiters.popleft()
             self.kernel.resume(waiter, element)
             return True
         if self.capacity is not None and len(self._elements) >= self.capacity:
@@ -173,6 +177,9 @@ class SedaStage:
         self.input_queue = StageQueue(kernel, f"{name}.in", capacity=queue_capacity)
         self.threads: List[SimThread] = []
         self.processed = 0
+        self.crashes = 0
+        self.restarts = 0
+        self.lost_elements = 0
         tele = _telemetry.ACTIVE
         self._tele = tele
         if tele is not None and tele.wants_metrics:
@@ -243,6 +250,45 @@ class SedaStage:
                         tele.spans.end(span, self.kernel.now)
                         if self._tele_service is not None:
                             self._tele_service.observe(span.duration)
+
+    # ------------------------------------------------------------------
+    def crash(self, restart_after: Optional[float] = None) -> None:
+        """Fail-stop the stage: kill every worker thread mid-flight.
+
+        Elements buffered in the input queue (the crashed process's
+        memory) are lost, and the attached profiler runtime loses its
+        volatile bookkeeping — in particular the synopsis-table
+        mappings, which is what makes pre-crash synopses *unresolvable*
+        during stitching rather than aliasable.  With ``restart_after``
+        a fresh worker pool is spawned that much virtual time later;
+        the lost mappings stay lost (restart is not recovery).
+
+        Limitation: a worker killed while holding a simulated mutex
+        never releases it; crash points should sit at stage boundaries,
+        not inside critical sections.
+        """
+        self.crashes += 1
+        for thread in self.threads:
+            if thread.alive:
+                thread.finish(None)
+        self.threads = []
+        queue = self.input_queue
+        self.lost_elements += len(queue._elements)
+        queue._elements.clear()
+        if queue._tele_depth is not None:
+            queue._tele_depth.set(0)
+        runtime = self.stage_runtime
+        if runtime is not None:
+            runtime_crash = getattr(runtime, "crash", None)
+            if runtime_crash is not None:
+                runtime_crash()
+        if restart_after is not None:
+            self.kernel.schedule(restart_after, self.restart)
+
+    def restart(self) -> None:
+        """Spawn a fresh worker pool after a crash."""
+        self.restarts += 1
+        self.start()
 
     # ------------------------------------------------------------------
     def enqueue(self, thread: SimThread, queue: StageQueue, payload: Any) -> bool:

@@ -95,6 +95,9 @@ class Kernel:
         self._threads: Dict[int, SimThread] = {}
         self._next_tid = 0
         self._stopped = False
+        # Fault injector (repro.faults.install_faults); endpoints capture
+        # their per-rule state from it at construction.  None = lossless.
+        self.faults: Any = None
         # Cancelled events still sitting in the heap; once they dominate
         # it the heap is rebuilt without them (lazy purge).
         self._cancelled = 0

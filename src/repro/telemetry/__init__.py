@@ -77,6 +77,10 @@ class Telemetry:
             self.rpc_roundtrip = m.histogram(
                 "repro_rpc_roundtrip_seconds", "RPC round-trip virtual time"
             )
+            self.spans.pending_gauge = m.gauge(
+                "repro_telemetry_pending_synopses",
+                "registered send-span synopses awaiting adoption (LRU-bounded)",
+            )
         else:
             self.channel_messages = None
             self.channel_bytes = None

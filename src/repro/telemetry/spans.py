@@ -17,7 +17,7 @@ retains them (optionally ring-buffered) for batch exporters.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
 
@@ -87,7 +87,11 @@ class SpanRecorder:
     sinks see every span regardless of retention.
     """
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        synopsis_capacity: Optional[int] = 65536,
+    ):
         self._spans: Deque[Span] = deque(maxlen=capacity)
         self._next_span_id = 1
         self._next_trace_id = 1
@@ -95,7 +99,17 @@ class SpanRecorder:
         self._stacks: Dict[int, List[Span]] = {}
         # (origin stage, synopsis value) -> (trace_id, span_id) of the
         # send span, so the receiving hop joins the sender's trace.
-        self._synopsis_index: Dict[Tuple[str, int], Tuple[int, int]] = {}
+        # LRU-bounded: a workload minting contexts forever (and hence
+        # fresh synopsis values forever) must not grow this map without
+        # bound; the least-recently-touched registration is retired once
+        # ``synopsis_capacity`` is exceeded (None = unbounded).
+        self._synopsis_index: "OrderedDict[Tuple[str, int], Tuple[int, int]]" = (
+            OrderedDict()
+        )
+        self._synopsis_capacity = synopsis_capacity
+        self.synopses_evicted = 0
+        # Size gauge, installed by the telemetry hub when metrics are on.
+        self.pending_gauge: Optional[Any] = None
         self._sinks: List[Any] = []
         self.dropped = 0
         self.completed = 0
@@ -222,23 +236,44 @@ class SpanRecorder:
         A later :meth:`adopt_synopsis` at the receiving stage joins the
         receiver's span into this span's trace.
         """
-        self._synopsis_index[(origin, value)] = (span.trace_id, span.span_id)
+        index = self._synopsis_index
+        key = (origin, value)
+        if key in index:
+            index.move_to_end(key)
+        index[key] = (span.trace_id, span.span_id)
+        capacity = self._synopsis_capacity
+        if capacity is not None and len(index) > capacity:
+            index.popitem(last=False)
+            self.synopses_evicted += 1
+        if self.pending_gauge is not None:
+            self.pending_gauge.set(len(index))
 
     def adopt_synopsis(self, origin: str, value: int, span: Span) -> bool:
         """Join ``span`` to the trace that sent ``(origin, value)``.
 
         Returns True when the synopsis was known: the span switches to
         the sender's trace id and records a link to the send span.
-        Unknown synopses (e.g. the sender's recorder was off) leave the
-        span in its own trace.
+        Unknown synopses (e.g. the sender's recorder was off, or the
+        registration was LRU-retired) leave the span in its own trace.
+        The entry stays registered — the same synopsis value is adopted
+        once per request reusing its context — but is marked recently
+        used so hot synopses outlive idle ones.
         """
-        found = self._synopsis_index.get((origin, value))
+        index = self._synopsis_index
+        key = (origin, value)
+        found = index.get(key)
         if found is None:
             return False
+        index.move_to_end(key)
         trace_id, send_span_id = found
         span.trace_id = trace_id
         span.links.append((trace_id, send_span_id))
         return True
+
+    @property
+    def pending_synopses(self) -> int:
+        """Registered send-span synopses awaiting (re-)adoption."""
+        return len(self._synopsis_index)
 
     # ------------------------------------------------------------------
     # Introspection

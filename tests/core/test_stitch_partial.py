@@ -1,0 +1,124 @@
+"""Partial stitching: graceful degradation after crash amnesia."""
+
+import pytest
+
+from repro.core.context import SynopsisRef, TransactionContext, UnresolvedRef
+from repro.core.profiler import ProfilerMode, StageRuntime
+from repro.core.stitch import (
+    StitchError,
+    StitchStats,
+    flow_graph,
+    resolve_context,
+    stitch_profiles,
+)
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+def _two_stages_with_dangling_ref():
+    """web -> db where db's label references a synopsis web has lost."""
+    web = StageRuntime("web", mode=ProfilerMode.WHODUNIT)
+    db = StageRuntime("db", mode=ProfilerMode.WHODUNIT)
+    value = web.synopses.synopsis(ctxt("main", "foo"))
+    label = TransactionContext((SynopsisRef("web", value),))
+    db.cct_for(label).record_sample(("svc_run",), 5.0)
+    web.cct_for(ctxt()).record_sample(("main",), 3.0)
+    # Crash amnesia: the mapping is gone, the reference dangles.
+    web.synopses.clear_mappings()
+    return web, db, value
+
+
+def test_strict_resolution_still_raises():
+    web, db, _ = _two_stages_with_dangling_ref()
+    with pytest.raises(KeyError):
+        stitch_profiles([web, db], strict=True)
+
+
+def test_non_strict_keeps_weight_under_unresolved_placeholder():
+    web, db, value = _two_stages_with_dangling_ref()
+    profile = stitch_profiles([web, db], strict=False)
+    assert profile.synopsis_refs == 1
+    assert profile.unresolved_refs == 1
+    assert profile.completeness == 0.0
+    contexts = profile.contexts_of("db")
+    assert len(contexts) == 1
+    placeholder = contexts[0].elements[0]
+    assert isinstance(placeholder, UnresolvedRef)
+    assert placeholder.origin == "web"
+    assert placeholder.value == value
+    assert repr(placeholder) == f"<unresolved:web:{value:#010x}>"
+    # The weight survived: nothing was silently discarded.
+    assert profile.cct("db", contexts[0]).total_weight() == 5.0
+    assert profile.stage_weight("web") == 3.0
+
+
+def test_unknown_stage_reference_degrades_non_strict():
+    stats = StitchStats()
+    context = TransactionContext((SynopsisRef("ghost", 42), "local"))
+    resolved = resolve_context(context, {}, strict=False, stats=stats)
+    assert isinstance(resolved.elements[0], UnresolvedRef)
+    assert resolved.elements[1] == "local"
+    assert stats.attempted == 1
+    assert stats.unresolved == 1
+    with pytest.raises(StitchError):
+        resolve_context(context, {}, strict=True)
+
+
+def test_completeness_mixes_resolved_and_unresolved():
+    web, db, _ = _two_stages_with_dangling_ref()
+    # A second, resolvable reference from another tier.
+    squid = StageRuntime("squid", mode=ProfilerMode.WHODUNIT)
+    good = squid.synopses.synopsis(ctxt("proxy_main"))
+    label = TransactionContext((SynopsisRef("squid", good),))
+    db.cct_for(label).record_sample(("svc_run",), 2.0)
+    profile = stitch_profiles([web, db, squid], strict=False)
+    assert profile.synopsis_refs == 2
+    assert profile.unresolved_refs == 1
+    assert profile.completeness == 0.5
+
+
+def test_lossless_profile_reports_full_completeness():
+    web = StageRuntime("web", mode=ProfilerMode.WHODUNIT)
+    db = StageRuntime("db", mode=ProfilerMode.WHODUNIT)
+    value = web.synopses.synopsis(ctxt("main"))
+    label = TransactionContext((SynopsisRef("web", value),))
+    db.cct_for(label).record_sample(("svc",), 1.0)
+    profile = stitch_profiles([web, db], strict=False)
+    assert profile.unresolved_refs == 0
+    assert profile.completeness == 1.0
+    # An empty profile is vacuously complete.
+    assert stitch_profiles([], strict=False).completeness == 1.0
+
+
+def test_flow_graph_drops_unresolvable_edges_non_strict():
+    web, db, _ = _two_stages_with_dangling_ref()
+    with pytest.raises(KeyError):
+        flow_graph([web, db], strict=True)
+    assert flow_graph([web, db], strict=False) == []
+
+
+def test_stitch_stats_completeness_property():
+    stats = StitchStats()
+    assert stats.completeness == 1.0
+    stats.attempted = 4
+    stats.unresolved = 1
+    assert stats.completeness == 0.75
+
+
+def test_render_announces_partial_stitch_only_when_lossy():
+    from repro.analysis import render_stitched_profile
+
+    web, db, _ = _two_stages_with_dangling_ref()
+    partial = stitch_profiles([web, db], strict=False)
+    text = render_stitched_profile(partial)
+    assert "partial stitch: 1 of 1" in text
+    assert "completeness 0.0%" in text
+
+    # A clean profile renders without the partial-stitch banner —
+    # byte-identical to the pre-fault-injection output.
+    clean_web = StageRuntime("web2", mode=ProfilerMode.WHODUNIT)
+    clean_web.cct_for(ctxt()).record_sample(("main",), 3.0)
+    clean = stitch_profiles([clean_web])
+    assert "partial stitch" not in render_stitched_profile(clean)

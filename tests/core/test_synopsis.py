@@ -114,31 +114,58 @@ def _colliding_stage_names():
     raise AssertionError("no collision found")  # pragma: no cover
 
 
-def test_is_own_prefix_across_colliding_stage_hash_buckets():
-    """Documented limitation: two stages in the same 12-bit bucket that
+def test_colliding_stage_hash_buckets_are_salted_apart():
+    """Regression for the 12-bit stage-hash collision: two stage names
 
-    have allocated the same sequential id produce identical 32-bit
-    synopses, so both claim the prefix as their own.  Distinct ids in
-    the same bucket stay distinguishable.
+    that hash into the same bucket used to mint identical 32-bit
+    synopses, so both claimed a composite's prefix as their own and a
+    caller could adopt a stranger's response.  The process-wide base
+    registry now salts and rehashes the second name into a free bucket.
     """
     from repro.core.synopsis import _stage_base
 
     name_a, name_b = _colliding_stage_names()
+    # The raw hashes still collide — the registry is what separates them.
     assert _stage_base(name_a) == _stage_base(name_b)
     a = SynopsisTable(name_a)
     b = SynopsisTable(name_b)
+    assert a._base != b._base
     first_a = a.synopsis(ctxt("a-context"))
     first_b = b.synopsis(ctxt("b-context"))
-    # Same bucket + same sequential id -> the values collide exactly.
-    assert first_a == first_b
-    collision = CompositeSynopsis(first_a, 1)
-    assert a.is_own_prefix(collision)
-    assert b.is_own_prefix(collision)
-    # A value only one stage has allocated is still correctly attributed.
-    second_a = a.synopsis(ctxt("a-only"))
-    only_a = CompositeSynopsis(second_a, 1)
-    assert a.is_own_prefix(only_a)
-    assert not b.is_own_prefix(only_a)
+    assert first_a != first_b
+    response = CompositeSynopsis(first_a, 1)
+    assert a.is_own_prefix(response)
+    assert not b.is_own_prefix(response)
+    response_b = CompositeSynopsis(first_b, 1)
+    assert b.is_own_prefix(response_b)
+    assert not a.is_own_prefix(response_b)
+
+
+def test_recreated_table_reuses_its_registered_bucket():
+    """Re-creating a table for a known stage name is stable: it gets the
+
+    same base, so synopses from an earlier table of the same stage keep
+    attributing to that stage within one process.
+    """
+    first = SynopsisTable("web")
+    again = SynopsisTable("web")
+    assert first._base == again._base
+
+
+def test_clear_mappings_keeps_allocator_monotonic():
+    """Crash amnesia must not alias: a value minted before the crash is
+
+    unresolvable afterwards, never silently re-bound to a new context.
+    """
+    table = SynopsisTable("web")
+    before = table.synopsis(ctxt("pre-crash"))
+    assert table.clear_mappings() == 1
+    assert len(table) == 0
+    with pytest.raises(KeyError):
+        table.resolve(before)
+    after = table.synopsis(ctxt("post-crash"))
+    assert after != before
+    assert table.resolve(after) == ctxt("post-crash")
 
 
 @given(st.lists(st.lists(st.sampled_from("abcdef"), max_size=5), max_size=40))

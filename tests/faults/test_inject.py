@@ -1,0 +1,167 @@
+"""Fault injector: determinism, endpoint wiring, crash scheduling."""
+
+import pytest
+
+from repro.channels import Connection, Endpoint, Message, Recv, Send
+from repro.faults import FaultInjector, FaultPlan, FaultRule, install_faults
+from repro.sim import Kernel
+
+
+def _drain(kernel, endpoint, horizon=5.0):
+    """Run the kernel and return the messages delivered to ``endpoint``."""
+    received = []
+
+    def sink():
+        while True:
+            message = yield Recv(endpoint)
+            received.append(message)
+
+    thread = kernel.spawn(sink(), name="sink")
+    thread.daemon = True
+    kernel.run(until=horizon)
+    return received
+
+
+def test_install_faults_sets_kernel_hook():
+    kernel = Kernel()
+    injector = install_faults(kernel, "drop=0.5", seed=7)
+    assert kernel.faults is injector
+    assert injector.seed == 7
+
+
+def test_attach_returns_none_when_no_rule_matches():
+    kernel = Kernel()
+    install_faults(kernel, "drop=0.5,match=mysql")
+    endpoint = Endpoint(kernel, name="squid.to_client")
+    assert endpoint._faults is None
+
+
+def test_drop_everything():
+    kernel = Kernel()
+    injector = install_faults(kernel, "drop=1.0")
+    endpoint = Endpoint(kernel, name="wire")
+    for i in range(10):
+        endpoint.send(Message(i, 1))
+    received = _drain(kernel, endpoint)
+    assert received == []
+    assert injector.messages_seen == 10
+    assert injector.dropped == 10
+
+
+def test_duplicate_everything():
+    kernel = Kernel()
+    injector = install_faults(kernel, "dup=1.0")
+    endpoint = Endpoint(kernel, name="wire")
+    for i in range(5):
+        endpoint.send(Message(i, 1))
+    received = _drain(kernel, endpoint)
+    assert len(received) == 10
+    assert injector.duplicated == 5
+
+
+def test_delay_defers_delivery():
+    kernel = Kernel()
+    install_faults(kernel, "delay=1.0:0.5")
+    endpoint = Endpoint(kernel, name="wire")
+    endpoint.send(Message("late", 1))
+    # Nothing is receivable before the injected delay elapses.
+    kernel.run(until=0.4)
+    assert not endpoint.readable
+    kernel.run(until=0.6)
+    assert endpoint.try_recv().payload == "late"
+
+
+def test_reorder_lets_later_messages_overtake():
+    kernel = Kernel()
+    # Deterministically reorder the first message far enough that the
+    # second (sent fault-free by probability 0 after the rule stops
+    # matching nothing — we instead just send both under the rule and
+    # check arrival order differs from send order for some seed).
+    install_faults(kernel, "reorder=1.0:0.1", seed=3)
+    endpoint = Endpoint(kernel, name="wire")
+    endpoint.send(Message("first", 1))
+    endpoint.send(Message("second", 1))
+    received = _drain(kernel, endpoint)
+    assert {m.payload for m in received} == {"first", "second"}
+    # With both messages uniformly delayed in [0, 0.1), at least one
+    # seed-determined ordering exists; assert the run is deterministic
+    # rather than a specific order (covered by the determinism test).
+    assert len(received) == 2
+
+
+def test_same_seed_reproduces_identical_fault_decisions():
+    def run(seed):
+        kernel = Kernel()
+        injector = install_faults(kernel, "drop=0.3,dup=0.2,reorder=0.2", seed=seed)
+        endpoint = Endpoint(kernel, name="wire")
+        for i in range(200):
+            endpoint.send(Message(i, 1))
+        received = _drain(kernel, endpoint)
+        return injector.report(), [m.payload for m in received]
+
+    report_a, order_a = run(11)
+    report_b, order_b = run(11)
+    assert report_a == report_b
+    assert order_a == order_b
+    report_c, order_c = run(12)
+    assert (report_c, order_c) != (report_a, order_a)
+
+
+def test_rng_streams_keyed_by_attach_order_not_name():
+    """Two endpoints with the same name still get distinct streams."""
+    kernel = Kernel()
+    install_faults(kernel, "drop=0.5", seed=0)
+    a = Endpoint(kernel, name="wire")
+    b = Endpoint(kernel, name="wire")
+    draws_a = [a._faults.rng.random() for _ in range(5)]
+    draws_b = [b._faults.rng.random() for _ in range(5)]
+    assert draws_a != draws_b
+
+
+def test_fault_free_endpoint_behaviour_unchanged():
+    """With no injector, send/recv is the original synchronous path."""
+    kernel = Kernel()
+    conn = Connection(kernel)
+    conn.to_server.send(Message("hello", 5))
+    assert conn.to_server.try_recv().payload == "hello"
+
+
+class _CrashTarget:
+    def __init__(self):
+        self.crashed_with = []
+
+    def crash(self, restart_after=None):
+        self.crashed_with.append(restart_after)
+
+
+def test_schedule_crashes_fires_at_virtual_time():
+    kernel = Kernel()
+    injector = install_faults(kernel, "crash=web@2.0+0.5")
+    target = _CrashTarget()
+    assert injector.schedule_crashes(kernel, {"web": target}) == 1
+    kernel.run(until=1.9)
+    assert target.crashed_with == []
+    kernel.run(until=2.1)
+    assert target.crashed_with == [0.5]
+    assert injector.crashes_fired == 1
+
+
+def test_schedule_crashes_unknown_stage_raises():
+    kernel = Kernel()
+    injector = install_faults(kernel, "crash=nosuch@1")
+    with pytest.raises(KeyError):
+        injector.schedule_crashes(kernel, {"web": _CrashTarget()})
+
+
+def test_report_shape():
+    injector = FaultInjector(FaultPlan([FaultRule(drop=0.1)]), seed=0)
+    report = injector.report()
+    assert set(report) == {
+        "messages_seen",
+        "dropped",
+        "duplicated",
+        "reordered",
+        "delayed",
+        "crashes",
+    }
+    assert all(value == 0 for value in report.values())

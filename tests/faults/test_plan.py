@@ -1,0 +1,122 @@
+"""Fault-plan parsing: spec strings, JSON, dicts, and strictness."""
+
+import json
+
+import pytest
+
+from repro.faults import CrashSpec, FaultPlan, FaultRule, FaultSpecError
+from repro.faults.plan import DEFAULT_DELAY, DEFAULT_REORDER_WINDOW
+
+
+def test_parse_spec_string_full_grammar():
+    plan = FaultPlan.parse(
+        "drop=0.01,dup=0.02,reorder=0.05:0.02,match=mysql;crash=tomcat@30+1.0"
+    )
+    assert len(plan.rules) == 1
+    rule = plan.rules[0]
+    assert rule.match == "mysql"
+    assert rule.drop == 0.01
+    assert rule.duplicate == 0.02
+    assert rule.reorder == 0.05
+    assert rule.reorder_window == 0.02
+    assert len(plan.crashes) == 1
+    crash = plan.crashes[0]
+    assert crash.stage == "tomcat"
+    assert crash.at == 30.0
+    assert crash.restart == 1.0
+
+
+def test_parse_defaults_for_unscoped_amounts():
+    plan = FaultPlan.parse("reorder=0.1,delay=0.2")
+    rule = plan.rules[0]
+    assert rule.match is None
+    assert rule.reorder_window == DEFAULT_REORDER_WINDOW
+    assert rule.delay == 0.2
+    assert rule.delay_amount == DEFAULT_DELAY
+
+
+def test_parse_crash_without_restart():
+    plan = FaultPlan.parse("crash=mysql@12.5")
+    assert plan.crashes[0].restart is None
+    assert not plan.is_noop
+
+
+def test_parse_dict_form():
+    plan = FaultPlan.parse(
+        {
+            "rules": [{"match": "mysql", "drop": 0.01, "dup": 0.01}],
+            "crashes": [{"stage": "tomcat", "at": 30.0, "restart": 1.0}],
+        }
+    )
+    assert plan.rules[0].drop == 0.01
+    assert plan.rules[0].duplicate == 0.01
+    assert plan.crashes[0].stage == "tomcat"
+
+
+def test_parse_json_file(tmp_path):
+    path = tmp_path / "plan.json"
+    path.write_text(json.dumps({"rules": [{"drop": 0.5}]}))
+    plan = FaultPlan.parse(str(path))
+    assert plan.rules[0].drop == 0.5
+
+
+def test_parse_passes_through_existing_plan():
+    plan = FaultPlan([FaultRule(drop=0.1)])
+    assert FaultPlan.parse(plan) is plan
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "drop=1.5",  # probability out of range
+        "drop=abc",  # not a number
+        "frobnicate=0.1",  # unknown key
+        "drop",  # missing value
+        "crash=tomcat",  # missing @time
+        "crash=tomcat@-1",  # negative time
+        "reorder=0.1:-0.5",  # negative window
+    ],
+)
+def test_malformed_specs_raise(spec):
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse(spec)
+
+
+def test_unknown_dict_keys_raise():
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse({"rules": [{"dorp": 0.01}]})
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse({"rulez": []})
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse({"crashes": [{"stage": "x", "at": 1.0, "when": 2}]})
+
+
+def test_is_noop():
+    assert FaultPlan().is_noop
+    assert FaultPlan.parse("drop=0.0").is_noop
+    assert not FaultPlan.parse("drop=0.001").is_noop
+    assert not FaultPlan.parse("crash=x@1").is_noop
+
+
+def test_rule_for_first_matching_non_noop_rule_wins():
+    plan = FaultPlan(
+        [
+            FaultRule(match="mysql", drop=0.0),  # noop: skipped
+            FaultRule(match="mysql", drop=0.2),
+            FaultRule(match=None, drop=0.1),
+        ]
+    )
+    assert plan.rule_for("tpcw#3.to_mysql").drop == 0.2
+    assert plan.rule_for("tomcat.listener").drop == 0.1
+
+
+def test_rule_for_returns_none_without_match():
+    plan = FaultPlan([FaultRule(match="mysql", drop=0.2)])
+    assert plan.rule_for("squid#1.to_client") is None
+
+
+def test_crash_spec_validation():
+    with pytest.raises(FaultSpecError):
+        CrashSpec("x", at=-1.0)
+    with pytest.raises(FaultSpecError):
+        CrashSpec("x", at=1.0, restart=-0.5)

@@ -1,0 +1,161 @@
+"""S4: the TPC-W fault matrix — loss modes × recovery on/off.
+
+Each cell runs a short seeded TPC-W deployment under one fault mode and
+checks the system-level guarantees: the run terminates, is
+deterministic per seed, leaves no caller thread wedged forever, makes
+forward progress when retries are on, and reports the correct stitch
+completeness (1.0 without crash amnesia, < 1.0 with it).
+"""
+
+import pytest
+
+from repro.apps.tpcw import TpcwSystem
+from repro.channels.rpc import RetryPolicy
+
+# Short windows keep the whole matrix affordable in CI; with ~15 clients
+# and multi-message interactions even 10 virtual seconds sends hundreds
+# of messages through the fault rules.
+WARMUP = 2.0
+DURATION = 8.0
+RETRY = RetryPolicy(timeout=0.3, retries=3, backoff=2.0)
+
+DROP = "drop=0.01"
+DUP = "dup=0.01"
+REORDER = "reorder=0.1:0.005"
+MIXED = "drop=0.01,dup=0.01,reorder=0.05:0.005"
+CRASH = "crash=tomcat@6.0"
+
+
+def run_system(fault_plan=None, retry=None, fault_seed=1, seed=7, clients=15):
+    system = TpcwSystem(
+        clients=clients,
+        seed=seed,
+        fault_plan=fault_plan,
+        fault_seed=fault_seed,
+        retry=retry,
+    )
+    results = system.run(duration=DURATION, warmup=WARMUP)
+    return system, results
+
+
+def assert_no_wedged_callers(system):
+    """No live thread may be blocked on an unbounded receive once the
+    horizon is reached — recovery paths always use bounded waits."""
+    for thread in system.kernel.live_threads:
+        blocked = thread.blocked_on
+        if blocked is None:
+            continue
+        timeout = getattr(blocked, "timeout", None)
+        # Blocked threads are allowed (the run stops at the horizon mid
+        # conversation); a *bounded* wait or an accept/dequeue loop is
+        # fine — what must not exist is a client/caller stuck forever on
+        # a response that will never come while holding resources.
+        if type(blocked).__name__ == "Recv" and "to_client" in blocked.endpoint.name:
+            assert timeout is not None, (
+                f"{thread.name} wedged on unbounded recv {blocked!r}"
+            )
+
+
+@pytest.mark.parametrize("plan", [DROP, DUP, REORDER, MIXED], ids=["drop", "dup", "reorder", "mixed"])
+def test_lossy_run_with_retries_terminates_and_recovers(plan):
+    system, results = run_system(fault_plan=plan, retry=RETRY)
+    report = results.fault_report()
+    injected = report["injected"]
+    assert injected["messages_seen"] > 0
+    # The workload made forward progress despite the losses.
+    assert results.log.count() > 0
+    assert_no_wedged_callers(system)
+    # No crash amnesia: every synopsis reference is still resolvable, so
+    # stitching completes fully (retries recover, duplicates/stale
+    # responses are discarded, never adopted).
+    assert results.stitch_completeness() == 1.0
+    profile = results.stitch(strict=False)
+    assert profile.unresolved_refs == 0
+
+
+def test_drop_without_retries_still_terminates():
+    """Loss with no recovery: conversations wedge, but the simulation
+    itself terminates at the horizon and stitches what it saw."""
+    system, results = run_system(fault_plan=DROP, retry=None)
+    assert system.faults.dropped > 0
+    # No retry machinery ran.
+    report = results.fault_report()
+    assert report["client_resends"] == 0
+    assert report["client_reconnects"] == 0
+    # What did complete still stitches cleanly (losses lose liveness,
+    # never attribution).
+    assert results.stitch_completeness() == 1.0
+
+
+def test_seeded_fault_run_is_deterministic():
+    def fingerprint():
+        system, results = run_system(fault_plan=MIXED, retry=RETRY, fault_seed=3)
+        report = results.fault_report()
+        return (
+            report["injected"],
+            report["client_resends"],
+            report["client_reconnects"],
+            report["db_timeouts"],
+            results.log.count(),
+            round(results.throughput_tpm(), 6),
+            results.stitch_completeness(),
+        )
+
+    assert fingerprint() == fingerprint()
+
+
+def test_different_fault_seeds_diverge():
+    _, a = run_system(fault_plan=MIXED, retry=RETRY, fault_seed=1)
+    _, b = run_system(fault_plan=MIXED, retry=RETRY, fault_seed=2)
+    assert (
+        a.fault_report()["injected"] != b.fault_report()["injected"]
+    )
+
+
+def test_stage_crash_yields_partial_profile_with_completeness():
+    system, results = run_system(fault_plan=CRASH, retry=RETRY)
+    assert system.faults.crashes_fired == 1
+    report = results.fault_report()
+    assert report["tomcat_crashes"] == 1
+    # Crash amnesia: pre-crash tomcat synopses referenced by mysql's
+    # CCT labels are unresolvable -> partial stitch, no KeyError.
+    profile = results.stitch(strict=False)
+    assert profile.unresolved_refs > 0
+    completeness = results.stitch_completeness()
+    assert 0.0 < completeness < 1.0
+    # The default (faults installed -> non-strict) matches.
+    default_profile = results.stitch()
+    assert default_profile.unresolved_refs == profile.unresolved_refs
+
+
+def test_crash_plus_loss_with_retries_survives():
+    """The full gauntlet: loss, duplication, reordering and a mid-run
+    database crash, with retries on. The run must terminate with a
+    partial profile and a fault report, not hang or raise."""
+    system, results = run_system(
+        fault_plan=MIXED + ";" + CRASH, retry=RETRY, fault_seed=5
+    )
+    assert system.faults.crashes_fired == 1
+    assert results.log.count() > 0
+    assert_no_wedged_callers(system)
+    completeness = results.stitch_completeness()
+    assert 0.0 < completeness < 1.0
+    report = results.fault_report()
+    assert report["injected"]["dropped"] > 0
+
+
+def test_lossless_run_reports_full_completeness_and_no_recovery_activity():
+    """A fault-free run with retry machinery armed behaves byte-for-byte
+    like the original: nothing times out, nothing is resent, the stitch
+    is complete."""
+    system, results = run_system(fault_plan=None, retry=RETRY)
+    assert system.faults is None
+    report = results.fault_report()
+    assert report["injected"] == {}
+    assert report["client_resends"] == 0
+    assert report["client_reconnects"] == 0
+    assert report["client_stale_responses"] == 0
+    assert report["db_timeouts"] == 0
+    assert results.stitch_completeness() == 1.0
+    # Strict stitching (the lossless default) succeeds.
+    assert results.stitch().unresolved_refs == 0

@@ -1,0 +1,124 @@
+"""Stage crash-and-restart: fail-stop amnesia for SEDA stages."""
+
+import pytest
+
+from repro.core.context import TransactionContext
+from repro.core.profiler import ProfilerMode, StageRuntime
+from repro.seda import Dequeue, SedaStage, StageEvent, StageQueue
+from repro.sim import CurrentThread, Delay, Kernel
+
+
+def _stage(kernel, name="s", workers=2, runtime=None, on_element=None):
+    def handler(stage, thread, payload):
+        if on_element is not None:
+            on_element(payload)
+        yield Delay(0.01)
+
+    stage = SedaStage(kernel, name, handler, workers=workers, stage_runtime=runtime)
+    stage.start()
+    return stage
+
+
+def test_crash_kills_workers_and_loses_queued_elements():
+    kernel = Kernel()
+    processed = []
+    stage = _stage(kernel, workers=1, on_element=processed.append)
+    for i in range(5):
+        stage.inject(i)
+    # Let the single worker get through two elements (0.01s each).
+    kernel.run(until=0.025)
+    stage.crash()
+    kernel.run(until=1.0)
+    assert stage.crashes == 1
+    # Element 2 was in flight (dequeued), 3 and 4 still buffered: lost.
+    assert stage.lost_elements == 2
+    assert len(stage.input_queue) == 0
+    assert stage.threads == []
+    assert processed == [0, 1, 2]
+    # Work injected after the crash sits unserved — no workers exist.
+    stage.inject(99)
+    kernel.run(until=2.0)
+    assert 99 not in processed
+
+
+def test_crash_with_restart_spawns_fresh_worker_pool():
+    kernel = Kernel()
+    processed = []
+    stage = _stage(kernel, workers=2, on_element=processed.append)
+    stage.inject("before")
+    kernel.run(until=0.1)
+    stage.crash(restart_after=0.5)
+    stage.inject("limbo")  # lands in the queue while no workers exist
+    kernel.run(until=0.2)
+    assert "limbo" not in processed
+    kernel.run(until=1.0)
+    assert stage.restarts == 1
+    assert len(stage.threads) == 2
+    assert processed == ["before", "limbo"]
+
+
+def test_crash_wipes_attached_runtime_synopsis_mappings():
+    kernel = Kernel()
+    runtime = StageRuntime("crashy", mode=ProfilerMode.WHODUNIT)
+    value = runtime.synopses.synopsis(TransactionContext(("pre",)))
+    stage = _stage(kernel, runtime=runtime)
+    stage.crash()
+    assert runtime.crashes == 1
+    with pytest.raises(KeyError):
+        runtime.synopses.resolve(value)
+    # The allocator stays monotonic: post-crash values never alias.
+    assert runtime.synopses.synopsis(TransactionContext(("post",))) != value
+
+
+def test_enqueue_skips_dead_waiters():
+    """An element handed to a queue whose blocked worker has since been
+    killed must reach a surviving worker, not vanish."""
+    kernel = Kernel()
+    queue = StageQueue(kernel)
+    got = []
+
+    def worker():
+        element = yield Dequeue(queue)
+        got.append(element.payload)
+
+    doomed = kernel.spawn(worker(), name="doomed")
+    survivor = kernel.spawn(worker(), name="survivor")
+    survivor.daemon = True
+
+    def killer_then_enqueue():
+        yield Delay(0.1)
+        doomed.finish(None)
+        queue.enqueue(StageEvent("work"))
+
+    kernel.spawn(killer_then_enqueue())
+    kernel.run()
+    assert got == ["work"]
+
+
+def test_enqueue_buffers_when_all_waiters_dead():
+    kernel = Kernel()
+    queue = StageQueue(kernel)
+
+    def worker():
+        yield Dequeue(queue)
+
+    doomed = kernel.spawn(worker())
+
+    def killer_then_enqueue():
+        yield Delay(0.1)
+        doomed.finish(None)
+        queue.enqueue(StageEvent("orphan"))
+
+    kernel.spawn(killer_then_enqueue())
+    kernel.run()
+    assert len(queue) == 1
+
+
+def test_double_crash_is_idempotent_on_thread_list():
+    kernel = Kernel()
+    stage = _stage(kernel, workers=3)
+    stage.crash()
+    stage.crash()
+    assert stage.crashes == 2
+    assert stage.threads == []
+    assert not [t for t in kernel.live_threads if t.name.startswith("s-")]

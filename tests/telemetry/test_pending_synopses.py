@@ -1,0 +1,86 @@
+"""The span recorder's synopsis index is LRU-bounded, not unbounded."""
+
+from repro.telemetry.spans import SpanRecorder
+
+
+def _send_span(recorder, origin, value):
+    span = recorder.instant(f"send-{value}", "channel.send", origin, 0.0)
+    recorder.register_synopsis(origin, value, span)
+    return span
+
+
+class _Gauge:
+    def __init__(self):
+        self.value = None
+
+    def set(self, value):
+        self.value = value
+
+
+def test_register_bounded_by_capacity_with_lru_eviction():
+    recorder = SpanRecorder(synopsis_capacity=3)
+    for value in range(3):
+        _send_span(recorder, "web", value)
+    assert recorder.pending_synopses == 3
+    # Touch 0 so it is the most recently used; 1 becomes the LRU victim.
+    hop = recorder.instant("hop", "seda.stage", "db", 1.0)
+    assert recorder.adopt_synopsis("web", 0, hop)
+    _send_span(recorder, "web", 3)
+    assert recorder.pending_synopses == 3
+    assert recorder.synopses_evicted == 1
+    orphan = recorder.instant("hop2", "seda.stage", "db", 2.0)
+    assert not recorder.adopt_synopsis("web", 1, orphan)  # evicted
+    assert recorder.adopt_synopsis("web", 0, orphan)  # survived
+
+
+def test_adopt_keeps_entry_for_reuse():
+    """The same synopsis value is adopted once per request that reuses
+    its context — adoption must not pop the registration."""
+    recorder = SpanRecorder(synopsis_capacity=8)
+    send = _send_span(recorder, "web", 7)
+    for i in range(3):
+        hop = recorder.instant(f"hop{i}", "seda.stage", "db", float(i))
+        assert recorder.adopt_synopsis("web", 7, hop)
+        assert hop.trace_id == send.trace_id
+        assert (send.trace_id, send.span_id) in hop.links
+    assert recorder.pending_synopses == 1
+
+
+def test_reregistration_updates_in_place():
+    recorder = SpanRecorder(synopsis_capacity=4)
+    first = _send_span(recorder, "web", 1)
+    second = _send_span(recorder, "web", 1)
+    assert recorder.pending_synopses == 1
+    hop = recorder.instant("hop", "seda.stage", "db", 1.0)
+    recorder.adopt_synopsis("web", 1, hop)
+    assert hop.trace_id == second.trace_id
+    assert hop.trace_id != first.trace_id
+
+
+def test_unbounded_when_capacity_none():
+    recorder = SpanRecorder(synopsis_capacity=None)
+    for value in range(1000):
+        _send_span(recorder, "web", value)
+    assert recorder.pending_synopses == 1000
+    assert recorder.synopses_evicted == 0
+
+
+def test_pending_gauge_tracks_index_size():
+    recorder = SpanRecorder(synopsis_capacity=2)
+    recorder.pending_gauge = _Gauge()
+    _send_span(recorder, "web", 1)
+    assert recorder.pending_gauge.value == 1
+    _send_span(recorder, "web", 2)
+    assert recorder.pending_gauge.value == 2
+    _send_span(recorder, "web", 3)  # evicts 1
+    assert recorder.pending_gauge.value == 2
+
+
+def test_full_telemetry_mode_installs_pending_gauge():
+    from repro import telemetry
+
+    with telemetry.enabled(mode="full") as tele:
+        assert tele.spans.pending_gauge is not None
+        span = tele.spans.instant("send", "channel.send", "web", 0.0)
+        tele.spans.register_synopsis("web", 5, span)
+        assert tele.spans.pending_gauge.value == 1
