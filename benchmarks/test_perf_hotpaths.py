@@ -32,12 +32,24 @@ RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpaths.json"
 
 
 def _record(key, value):
-    """Merge one result into BENCH_hotpaths.json."""
+    """Merge one result into BENCH_hotpaths.json.
+
+    Every write re-stamps the machine (CPU count) and workload knobs:
+    a BENCH file from a 1-core laptop and one from a 4-core CI runner
+    are only comparable if they say which is which.
+    """
     data = {}
     if RESULTS_PATH.exists():
         data = json.loads(RESULTS_PATH.read_text())
     data[key] = value
     data["smoke"] = SMOKE
+    data["cpu_count"] = os.cpu_count()
+    data["settings"] = {
+        "kernel_events": KERNEL_EVENTS,
+        "kernel_threads": KERNEL_THREADS,
+        "stitch_labels": STITCH_LABELS,
+        "chain_depth": CHAIN_DEPTH,
+    }
     RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 

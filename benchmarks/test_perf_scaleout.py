@@ -1,0 +1,185 @@
+"""Scale-out benchmark: sharded run + parallel stitch vs the serial path.
+
+Measures the three headline numbers of the scale-out layer and writes
+them to ``BENCH_scaleout.json`` at the repository root:
+
+- **run+stitch wall time**: legacy single-system serial path vs a
+  4-shard plan executed with 1 worker and with 4 workers.  The ≥2x
+  speedup assertion only fires when the machine actually has the
+  cores (``os.cpu_count() >= SHARDS``) — on a 1-core box a process
+  pool can't beat serial and pretending otherwise would poison the
+  trajectory.  The recorded ``cpu_count`` keeps BENCH files comparable
+  across machines.
+- **dump bytes**: v1 vs v2 for the same run; gated at ≥5x.
+- **determinism proof**: the canonical SHA-256 of the merged 4-shard
+  profile, asserted byte-identical between the 1-worker and 4-worker
+  executions (the parallel-stitch == serial-stitch CI gate).
+
+Set ``PERF_SMOKE=1`` (as the CI workflow does) for a smaller workload.
+"""
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+from benchharness import fmt, print_table, run_once
+
+from repro.apps.tpcw import TpcwSystem
+from repro.core.persist import dump_size
+from repro.core.stitch import stitch_profiles
+from repro.parallel import canonical_profile_bytes, plan_shards, run_shards
+
+SMOKE = os.environ.get("PERF_SMOKE") == "1"
+
+SHARDS = 4
+JOBS = 4
+SEED = 42
+CLIENTS = 40 if SMOKE else 120
+DURATION = 30.0 if SMOKE else 90.0
+WARMUP = 5.0 if SMOKE else 15.0
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_scaleout.json"
+
+
+def _record(key, value):
+    """Merge one result into BENCH_scaleout.json, stamping the machine
+    and workload settings every run (the benchmark-honesty contract)."""
+    data = {}
+    if RESULTS_PATH.exists():
+        data = json.loads(RESULTS_PATH.read_text())
+    data[key] = value
+    data["smoke"] = SMOKE
+    data["cpu_count"] = os.cpu_count()
+    data["settings"] = {
+        "shards": SHARDS,
+        "jobs": JOBS,
+        "seed": SEED,
+        "clients": CLIENTS,
+        "duration": DURATION,
+        "warmup": WARMUP,
+    }
+    RESULTS_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def _legacy_serial():
+    """The pre-scale-out path: one system, in-process serial stitch."""
+    start = time.perf_counter()
+    system = TpcwSystem(clients=CLIENTS, seed=SEED)
+    results = system.run(duration=DURATION, warmup=WARMUP)
+    stitch_profiles(system.stages_by_name.values())
+    wall = time.perf_counter() - start
+    return system, results, wall
+
+
+def _sharded(tmp_path, jobs):
+    spool = str(tmp_path / f"spool-j{jobs}")
+    start = time.perf_counter()
+    plan = plan_shards(
+        "tpcw",
+        seed=SEED,
+        clients=CLIENTS,
+        shards=SHARDS,
+        duration=DURATION,
+        warmup=WARMUP,
+        spool_dir=spool,
+        profile_format="v2",
+    )
+    run = run_shards(plan, jobs=jobs)
+    profile = run.stitch(jobs=jobs)
+    wall = time.perf_counter() - start
+    return run, profile, wall
+
+
+def test_scaleout_run_and_stitch(benchmark, tmp_path):
+    def experiment():
+        _, _, serial_wall = _legacy_serial()
+        run_1, profile_1, sharded_serial_wall = _sharded(tmp_path, jobs=1)
+        run_n, profile_n, sharded_parallel_wall = _sharded(tmp_path, jobs=JOBS)
+        return (serial_wall, sharded_serial_wall, sharded_parallel_wall,
+                run_1, profile_1, run_n, profile_n)
+
+    (serial_wall, sharded_serial_wall, sharded_parallel_wall,
+     run_1, profile_1, run_n, profile_n) = run_once(benchmark, experiment)
+
+    # -- determinism proof (scheduling independence) -------------------
+    bytes_1 = canonical_profile_bytes(profile_1)
+    bytes_n = canonical_profile_bytes(profile_n)
+    assert bytes_1 == bytes_n, "parallel stitch diverged from serial stitch"
+    assert run_1.throughput() == run_n.throughput()
+    proof = hashlib.sha256(bytes_1).hexdigest()
+
+    cpu_count = os.cpu_count() or 1
+    speedup = serial_wall / sharded_parallel_wall
+    parallel_gain = sharded_serial_wall / sharded_parallel_wall
+
+    print_table(
+        "scale-out: run + stitch wall time",
+        ["path", "wall s", "vs serial"],
+        [
+            ["legacy serial", fmt(serial_wall, 3), "1.00x"],
+            [f"{SHARDS} shards, 1 job", fmt(sharded_serial_wall, 3),
+             f"{serial_wall / sharded_serial_wall:.2f}x"],
+            [f"{SHARDS} shards, {JOBS} jobs", fmt(sharded_parallel_wall, 3),
+             f"{speedup:.2f}x"],
+        ],
+    )
+    print(f"determinism proof (canonical sha256): {proof}")
+    print(f"cpu_count={cpu_count}")
+
+    _record(
+        "run_stitch",
+        {
+            "serial_wall_s": serial_wall,
+            "sharded_serial_wall_s": sharded_serial_wall,
+            "sharded_parallel_wall_s": sharded_parallel_wall,
+            "speedup_vs_serial": speedup,
+            "parallel_gain_over_1job": parallel_gain,
+            "throughput_tpm": run_n.throughput(),
+            "determinism_sha256": proof,
+            "parallel_equals_serial": bytes_1 == bytes_n,
+        },
+    )
+
+    # The ≥2x headline needs ≥SHARDS real cores; assert it only there,
+    # record honestly everywhere.
+    if cpu_count >= SHARDS:
+        assert speedup >= 2.0, (
+            f"expected >=2x run+stitch speedup at {SHARDS} shards/{JOBS} jobs "
+            f"on a {cpu_count}-core machine, got {speedup:.2f}x"
+        )
+
+
+def test_scaleout_dump_size(benchmark):
+    def experiment():
+        system, _, _ = _legacy_serial()
+        stages = list(system.stages_by_name.values())
+        v1 = sum(dump_size(stage, "v1") for stage in stages)
+        v2 = sum(dump_size(stage, "v2") for stage in stages)
+        per_stage = {
+            name: [dump_size(stage, "v1"), dump_size(stage, "v2")]
+            for name, stage in system.stages_by_name.items()
+        }
+        return v1, v2, per_stage
+
+    v1, v2, per_stage = run_once(benchmark, experiment)
+    ratio = v1 / v2
+
+    print_table(
+        "profile dump size (same run)",
+        ["stage", "v1 bytes", "v2 bytes", "ratio"],
+        [[name, a, b, f"{a / b:.2f}x"] for name, (a, b) in per_stage.items()]
+        + [["total", v1, v2, f"{ratio:.2f}x"]],
+    )
+
+    _record(
+        "dump_size",
+        {
+            "v1_bytes": v1,
+            "v2_bytes": v2,
+            "ratio": ratio,
+            "per_stage": per_stage,
+        },
+    )
+    assert ratio >= 5.0, f"v2 must be >=5x smaller than v1, got {ratio:.2f}x"

@@ -1,0 +1,73 @@
+"""Print the deltas between two BENCH_*.json files.
+
+::
+
+    python benchmarks/trend.py old_BENCH_hotpaths.json BENCH_hotpaths.json
+
+Nested objects are flattened to dotted keys; numeric values get an
+absolute and percentage delta, everything else a changed/unchanged
+marker.  Keys present in only one file are listed as added/removed.
+Use it to eyeball a perf trajectory across PRs::
+
+    git show HEAD~1:BENCH_scaleout.json > /tmp/before.json
+    python benchmarks/trend.py /tmp/before.json BENCH_scaleout.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict
+
+
+def flatten(value: Any, prefix: str = "") -> Dict[str, Any]:
+    """``{"a": {"b": 1}} -> {"a.b": 1}``; lists become indexed keys."""
+    out: Dict[str, Any] = {}
+    if isinstance(value, dict):
+        for key, child in value.items():
+            out.update(flatten(child, f"{prefix}{key}."))
+    elif isinstance(value, list):
+        for index, child in enumerate(value):
+            out.update(flatten(child, f"{prefix}{index}."))
+    else:
+        out[prefix[:-1]] = value
+    return out
+
+
+def render_delta(old: Any, new: Any) -> str:
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)) \
+            and not isinstance(old, bool) and not isinstance(new, bool):
+        delta = new - old
+        if old:
+            return f"{old:g} -> {new:g}  ({delta:+g}, {100.0 * delta / old:+.1f}%)"
+        return f"{old:g} -> {new:g}  ({delta:+g})"
+    if old == new:
+        return f"{old!r} (unchanged)"
+    return f"{old!r} -> {new!r}"
+
+
+def trend(old_path: str, new_path: str) -> int:
+    with open(old_path, "r", encoding="utf-8") as handle:
+        old = flatten(json.load(handle))
+    with open(new_path, "r", encoding="utf-8") as handle:
+        new = flatten(json.load(handle))
+
+    width = max((len(key) for key in set(old) | set(new)), default=0)
+    for key in sorted(set(old) & set(new)):
+        print(f"{key:<{width}}  {render_delta(old[key], new[key])}")
+    for key in sorted(set(new) - set(old)):
+        print(f"{key:<{width}}  added: {new[key]!r}")
+    for key in sorted(set(old) - set(new)):
+        print(f"{key:<{width}}  removed (was {old[key]!r})")
+    return 0
+
+
+def main(argv) -> int:
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    return trend(argv[1], argv[2])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

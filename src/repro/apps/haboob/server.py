@@ -131,6 +131,30 @@ class HaboobServer:
         ]
 
     # ------------------------------------------------------------------
+    @property
+    def stages_by_name(self):
+        """Profile runtimes keyed by stage name (scale-out spooling).
+
+        Haboob is one process — one :class:`StageRuntime` shared by all
+        SEDA stages — so the dump set has a single entry.
+        """
+        return {self.stage_runtime.name: self.stage_runtime}
+
+    def save_profiles(self, directory: str, profile_format: str = "v1"):
+        """Dump the server's profile into ``directory`` (see harness)."""
+        import os
+
+        from repro.core.persist import save_stage
+
+        suffix = ".profile.wdp" if profile_format == "v2" else ".profile.json"
+        os.makedirs(directory, exist_ok=True)
+        paths = {}
+        for name, stage in self.stages_by_name.items():
+            path = os.path.join(directory, f"{name}{suffix}")
+            save_stage(stage, path, profile_format=profile_format)
+            paths[name] = path
+        return paths
+
     def start(self) -> None:
         for stage in self.stages:
             stage.start()

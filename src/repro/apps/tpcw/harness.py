@@ -55,16 +55,24 @@ class TpcwResults:
     def mean_response(self, interaction: Optional[str] = None) -> float:
         return self.log.mean_response(interaction)
 
-    def db_cpu_share(self) -> Dict[str, float]:
-        """% of MySQL CPU profile per interaction (Table 1, column 1)."""
+    def db_cpu_weights(self) -> Dict[str, float]:
+        """Raw MySQL CPU profile weight per interaction.
+
+        The unnormalised form of :meth:`db_cpu_share`; shard results
+        return this so a sharded run can sum weights across shards
+        before normalising once.
+        """
         weights: Dict[str, float] = {}
-        total = 0.0
         for label, cct in self.system.db.stage.ccts.items():
-            weight = cct.total_weight()
-            total += weight
             name = self.system.classify_context(label)
             key = name if name is not None else "<other>"
-            weights[key] = weights.get(key, 0.0) + weight
+            weights[key] = weights.get(key, 0.0) + cct.total_weight()
+        return weights
+
+    def db_cpu_share(self) -> Dict[str, float]:
+        """% of MySQL CPU profile per interaction (Table 1, column 1)."""
+        weights = self.db_cpu_weights()
+        total = sum(weights.values())
         if total == 0:
             return {}
         return {name: 100.0 * value / total for name, value in weights.items()}
@@ -225,6 +233,30 @@ class TpcwSystem:
         # every crosstalk wait event, and most contexts repeat.
         self._resolve_cache = {}
         self._started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def stages_by_name(self) -> Dict[str, Any]:
+        """The per-tier stage runtimes, keyed by stage name."""
+        return dict(self._stages_by_name)
+
+    def save_profiles(
+        self, directory: str, profile_format: str = "v1"
+    ) -> Dict[str, str]:
+        """Dump every tier's profile into ``directory``; returns the
+        written paths keyed by stage name."""
+        import os
+
+        from repro.core.persist import save_stage
+
+        suffix = ".profile.wdp" if profile_format == "v2" else ".profile.json"
+        os.makedirs(directory, exist_ok=True)
+        paths: Dict[str, str] = {}
+        for name, stage in self._stages_by_name.items():
+            path = os.path.join(directory, f"{name}{suffix}")
+            save_stage(stage, path, profile_format=profile_format)
+            paths[name] = path
+        return paths
 
     # ------------------------------------------------------------------
     def classify_context(self, context: Any) -> Optional[str]:

@@ -143,9 +143,41 @@ def cmd_squid(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_haboob_sharded(args: argparse.Namespace) -> int:
+    """Sharded Haboob: each shard serves its own client slice."""
+    from repro.parallel import plan_shards, run_shards
+
+    plan = plan_shards(
+        "haboob",
+        seed=args.seed,
+        clients=args.clients,
+        shards=args.shards,
+        duration=args.seconds,
+        params={"objects": args.objects, "cache_kb": args.cache_kb},
+        spool_dir=args.spool or args.save_profiles or "",
+        profile_format=args.profile_format,
+        telemetry_mode=args.telemetry,
+    )
+    run = run_shards(plan, jobs=args.jobs)
+    print(
+        f"{args.shards} shards x {plan.specs[0].clients} clients, "
+        f"{args.jobs} jobs, {run.wall_seconds:.2f}s wall"
+    )
+    print(
+        f"served {run.served()} responses, "
+        f"{run.throughput():.1f} Mb/s aggregate"
+    )
+    if plan.specs[0].spool_dir:
+        print(f"spooled {run.dump_bytes()} profile bytes "
+              f"({args.profile_format}) to {plan.specs[0].spool_dir}")
+    return 0
+
+
 def cmd_haboob(args: argparse.Namespace) -> int:
     from repro.apps.haboob import HaboobConfig, HaboobServer
 
+    if args.shards > 1:
+        return _cmd_haboob_sharded(args)
     kernel = Kernel()
     injector = _install_faults(kernel, args)
     trace = WebTrace(Rng(args.seed), objects=args.objects)
@@ -170,7 +202,118 @@ def cmd_haboob(args: argparse.Namespace) -> int:
     print()
     print(render_stage_profile(server.stage_runtime, min_share=1.0))
     _maybe_dot(args, server.stage_runtime)
+    if args.save_profiles:
+        for path in server.save_profiles(
+            args.save_profiles, profile_format=args.profile_format
+        ).values():
+            print(f"wrote {path}")
     return 0
+
+
+def _merged_metric_lines(registry, limit: int = 40):
+    """Text lines for a post-hoc merged metrics registry."""
+    from repro.telemetry.metrics import Histogram
+
+    lines = []
+    for shown, metric in enumerate(registry.collect()):
+        if shown >= limit:
+            lines.append(f"... ({len(registry) - shown} more instruments)")
+            break
+        labels = (
+            "{" + ",".join(f"{k}={v}" for k, v in metric.labels) + "}"
+            if metric.labels
+            else ""
+        )
+        if isinstance(metric, Histogram):
+            lines.append(
+                f"{metric.name}{labels}  count={metric.count} sum={metric.sum:.6g}"
+            )
+        else:
+            lines.append(f"{metric.name}{labels}  {metric.value:.6g}")
+    return lines
+
+
+def _tpcw_shard_params(args: argparse.Namespace) -> dict:
+    """The picklable workload parameters one TPC-W shard needs."""
+    return {
+        "caching": args.caching,
+        "innodb": args.innodb,
+        "mix": args.mix,
+        "fault_plan": args.faults or None,
+        "fault_seed": args.fault_seed,
+        "retries": args.retries,
+        "retry_timeout": args.retry_timeout,
+    }
+
+
+def _cmd_tpcw_sharded(args: argparse.Namespace) -> int:
+    """The scale-out path: N shards across a process pool, merged view."""
+    import tempfile
+
+    from repro.parallel import plan_shards, run_shards
+
+    spool = args.spool or args.save_profiles
+    scratch = None
+    if not spool:
+        # Stitching needs the spooled dumps even if the user keeps none.
+        scratch = tempfile.TemporaryDirectory(prefix="whodunit-spool-")
+        spool = scratch.name
+    try:
+        plan = plan_shards(
+            "tpcw",
+            seed=args.seed,
+            clients=args.clients,
+            shards=args.shards,
+            duration=args.duration,
+            warmup=args.warmup,
+            params=_tpcw_shard_params(args),
+            spool_dir=spool,
+            profile_format=args.profile_format,
+            telemetry_mode=args.telemetry,
+        )
+        run = run_shards(plan, jobs=args.jobs)
+        print(
+            f"{args.shards} shards x {plan.specs[0].clients} clients, "
+            f"{args.jobs} jobs, {run.wall_seconds:.2f}s wall"
+        )
+        print(
+            f"throughput {run.throughput():.0f} interactions/min; "
+            f"mean response {run.mean_response() * 1000:.0f} ms; "
+            f"{run.served()} served"
+        )
+        print()
+        shares = run.db_cpu_share()
+        waits = run.crosstalk_wait_ms()
+        counts = run.interaction_counts()
+        print(f"{'interaction':<22}{'MySQL CPU %':>12}{'crosstalk ms':>14}{'count':>8}")
+        for name in sorted(shares, key=lambda n: -shares.get(n, 0)):
+            print(
+                f"{name:<22}{shares.get(name, 0):>12.2f}"
+                f"{waits.get(name, 0):>14.2f}{counts.get(name, 0):>8}"
+            )
+        print()
+        print(f"spooled {run.dump_bytes()} profile bytes "
+              f"({args.profile_format}) to {spool}")
+        strict = not args.faults
+        profile = run.stitch(jobs=args.jobs, strict=strict)
+        print(
+            f"stitched {len(profile.entries)} contexts; "
+            f"completeness {100.0 * profile.completeness:.2f}%"
+        )
+        if args.telemetry == "full":
+            print()
+            print("-- merged metrics (all shards) --")
+            for line in _merged_metric_lines(run.merged_metrics()):
+                print(line)
+        if args.telemetry != "off":
+            print(f"spans recorded across shards: {run.span_count()}")
+        if args.check_stitch and strict and profile.completeness < 1.0:
+            print("error: lossless run stitched below 100%", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
 
 
 def cmd_tpcw(args: argparse.Namespace) -> int:
@@ -178,6 +321,8 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
     from repro.apps.tpcw import TpcwSystem
     from repro.channels.rpc import RetryPolicy
 
+    if args.shards > 1:
+        return _cmd_tpcw_sharded(args)
     retry = None
     if args.faults and args.retries > 0:
         retry = RetryPolicy(timeout=args.retry_timeout, retries=args.retries)
@@ -216,11 +361,9 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
         completeness = results.stitch_completeness()
         print(f"stitch completeness: {100.0 * completeness:.2f}%")
     if args.save_profiles:
-        from repro.core.persist import save_stage
-
-        for stage in (system.squid.stage, system.tomcat.stage, system.db.stage):
-            path = f"{args.save_profiles}/{stage.name}.profile.json"
-            save_stage(stage, path)
+        for path in system.save_profiles(
+            args.save_profiles, profile_format=args.profile_format
+        ).values():
             print(f"wrote {path}")
     if args.check_stitch:
         completeness = results.stitch_completeness()
@@ -235,16 +378,25 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
 
 def cmd_stitch(args: argparse.Namespace) -> int:
     """Post-mortem presentation phase: stitch stage dumps end to end."""
-    from repro.analysis import render_flow_graph, render_stitched_profile
-    from repro.core.persist import load_stage
-    from repro.core.stitch import flow_graph, stitch_profiles
+    import os
 
-    stages = [load_stage(path) for path in args.profiles]
-    resolve_cache = {}
+    from repro.analysis import render_flow_graph, render_stitched_profile
+    from repro.core.stitch import flow_graph, stitch_profiles
+    from repro.parallel import parallel_load, stitch_spool
+
     # Non-strict by default: a dump set missing a tier (it crashed, or
     # its dump was never collected) still yields a partial profile with
     # an explicit completeness ratio instead of an abort.
     strict = bool(getattr(args, "strict", False))
+    if len(args.profiles) == 1 and os.path.isdir(args.profiles[0]):
+        # A spool directory written by a sharded run: map-reduce the
+        # per-shard groups from its manifest.
+        profile = stitch_spool(args.profiles[0], jobs=args.jobs, strict=strict)
+        print(render_stitched_profile(profile, min_share=args.min_share))
+        print(f"\ncompleteness {100.0 * profile.completeness:.2f}%")
+        return 0
+    stages = parallel_load(args.profiles, jobs=args.jobs)
+    resolve_cache = {}
     profile = stitch_profiles(stages, cache=resolve_cache, strict=strict)
     print(render_stitched_profile(profile, min_share=args.min_share))
     print()
@@ -309,6 +461,36 @@ def build_parser() -> argparse.ArgumentParser:
             help="write Prometheus text metrics (requires --telemetry full)",
         )
 
+    def scale_flags(p):
+        from repro.core.persist import PROFILE_FORMATS
+
+        p.add_argument(
+            "--shards",
+            type=int,
+            default=1,
+            help="partition the client population into N deterministic "
+            "shards, each a complete simulated deployment",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for sharded runs and stitching "
+            "(output is identical for any value)",
+        )
+        p.add_argument(
+            "--profile-format",
+            choices=list(PROFILE_FORMATS),
+            default="v1",
+            help="profile dump format: v1 = plain JSON, v2 = compact "
+            "interned binary (5-10x smaller)",
+        )
+        p.add_argument(
+            "--spool",
+            metavar="DIR",
+            help="spool per-shard profile dumps (and manifest) into DIR",
+        )
+
     def fault_flags(p):
         p.add_argument(
             "--faults",
@@ -343,7 +525,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("haboob", help="SEDA stage contexts (§8.3)")
     common(p)
     p.add_argument("--cache-kb", type=int, default=512)
+    p.add_argument(
+        "--save-profiles",
+        metavar="DIR",
+        help="dump the server profile into DIR (see --profile-format)",
+    )
     fault_flags(p)
+    scale_flags(p)
     p.set_defaults(fn=cmd_haboob)
 
     p = sub.add_parser("tpcw", help="three-tier bookstore (§8.4)")
@@ -362,9 +550,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--save-profiles",
         metavar="DIR",
-        help="dump each tier's profile as JSON into DIR",
+        help="dump each tier's profile into DIR (see --profile-format)",
     )
     fault_flags(p)
+    scale_flags(p)
     p.add_argument(
         "--retries",
         type=int,
@@ -394,8 +583,19 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "stitch", help="stitch saved stage profiles into one end-to-end profile"
     )
-    p.add_argument("profiles", nargs="+", help="stage profile JSON files")
+    p.add_argument(
+        "profiles",
+        nargs="+",
+        help="stage profile dumps (v1/v2), or one spool directory "
+        "holding a sharded run's manifest",
+    )
     p.add_argument("--min-share", type=float, default=0.5)
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for loading/stitching dumps",
+    )
     p.add_argument(
         "--strict",
         action="store_true",

@@ -75,6 +75,44 @@ class CCTNode:
                 for name in sorted(children, reverse=True):
                     stack.append(children[name])
 
+    def to_rows(self) -> List[Tuple[int, str, float, int]]:
+        """Flatten the subtree into pre-order ``(parent, name, w, c)`` rows.
+
+        Row 0 is this node with parent index -1; children are emitted in
+        sorted name order, so the row list is canonical for a given tree.
+        The flat form nests nothing, which is what lets the compact
+        profile format serialise arbitrarily deep call paths without
+        hitting the JSON encoder's nesting limit.
+        """
+        rows: List[Tuple[int, str, float, int]] = []
+        stack: List[Tuple["CCTNode", int]] = [(self, -1)]
+        while stack:
+            node, parent = stack.pop()
+            index = len(rows)
+            rows.append((parent, node.name, node.self_weight, node.call_count))
+            children = node.children
+            if children:
+                for name in sorted(children, reverse=True):
+                    stack.append((children[name], index))
+        return rows
+
+    @staticmethod
+    def attach_rows(root: "CCTNode", rows: Sequence[Sequence]) -> None:
+        """Rebuild a subtree flattened by :meth:`to_rows` onto ``root``.
+
+        Row 0 (parent -1) maps onto ``root`` itself; its persisted name
+        is ignored in favour of the existing root's.
+        """
+        nodes: List[CCTNode] = []
+        for parent, name, weight, count in rows:
+            if parent < 0:
+                node = root
+            else:
+                node = nodes[parent].child(name)
+            node.self_weight = float(weight)
+            node.call_count = int(count)
+            nodes.append(node)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CCTNode {self.name} self={self.self_weight:.3f}>"
 

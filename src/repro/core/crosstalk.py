@@ -28,6 +28,17 @@ from repro.sim.sync import Mutex
 DEFAULT_EVENT_CAPACITY = 1 << 20
 
 
+def _identity_classifier(ctxt: Any) -> Any:
+    """Default classifier: the context is its own type.
+
+    A module-level function, not a lambda, so a recorder (inside a
+    loaded StageRuntime) can cross process-pool boundaries — the
+    parallel presentation phase pickles decoded stages back to the
+    parent.
+    """
+    return ctxt
+
+
 class PairStats:
     """Wait-time accumulator for one ordered (waiter, holder) pair."""
 
@@ -71,7 +82,7 @@ class CrosstalkRecorder:
         event_capacity: Optional[int] = DEFAULT_EVENT_CAPACITY,
         owner: Optional[str] = None,
     ):
-        self._type_of = type_of or (lambda ctxt: ctxt)
+        self._type_of = type_of or _identity_classifier
         self.owner = owner
         self.pairs: Dict[Tuple[Any, Any], PairStats] = {}
         self.by_waiter: Dict[Any, PairStats] = {}

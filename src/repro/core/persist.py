@@ -4,8 +4,30 @@ This mirrors Whodunit's actual workflow (§7.1): "When the program exits,
 Whodunit finalizes its state and writes the profile data to disk.  In a
 final presentation phase, Whodunit stitches together the profiles from
 the application stages."  Each stage serialises its CCT dictionary, its
-synopsis table and its crosstalk records to JSON; the presentation phase
-loads any number of stage dumps and runs the normal stitching.
+synopsis table and its crosstalk records; the presentation phase loads
+any number of stage dumps and runs the normal stitching.
+
+Two on-disk formats are supported:
+
+- **v1** — human-greppable JSON, one object per stage, compact
+  separators.  The original format; kept for interop and debuggability.
+- **v2** — the compact interned format (see ``docs/performance.md``):
+  every string (frame names, stage names, context elements) is stored
+  once in a label table and referenced by integer ID, transaction
+  contexts are themselves interned, CCTs are flattened into pre-order
+  parent-pointer *columns* (no nesting, so depth is unbounded; columnar
+  so gzip sees homogeneous runs), synopsis values are delta-encoded
+  (they are base-prefixed sequential integers), and the whole document
+  is gzip-compressed behind a tiny length-prefixed binary frame.
+  Dumps are typically 5-10x smaller than v1.
+
+``load_stage`` reads either format transparently (v2 is recognised by
+its magic bytes; anything else is parsed as v1 JSON).
+
+Both formats persist the stage's salted synopsis base and allocation
+cursor: a stitch running in a fresh process must *restore* the base the
+run used, never re-derive it, because collision salting in
+:mod:`repro.core.synopsis` depends on registration order.
 
 Only profile *data* is persisted — locks, threads and other live
 simulation state are not serialisable and not needed post-mortem.
@@ -13,26 +35,44 @@ simulation state are not serialisable and not needed post-mortem.
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
-from typing import Any, Dict, List, TextIO, Union
+import struct
+from typing import Any, Dict, IO, List, Optional, Union
 
 from repro.core.cct import CCTNode
-from repro.core.context import SynopsisRef, TransactionContext
+from repro.core.context import SynopsisRef, TransactionContext, UnresolvedRef
 from repro.core.profiler import ProfilerMode, StageRuntime
 
 FORMAT_VERSION = 1
+FORMAT_VERSION_V2 = 2
 
-PathOrFile = Union[str, TextIO]
+#: Accepted values for the ``profile_format`` argument of ``save_stage``.
+PROFILE_FORMATS = ("v1", "v2")
+
+#: v2 binary frame: magic, big-endian u32 version, u32 payload length,
+#: then the gzip-compressed JSON document.
+V2_MAGIC = b"WDP2"
+_V2_HEADER = struct.Struct(">4sII")
+
+#: Compact separators for every JSON dump (default separators add ~20%
+#: whitespace bloat).
+JSON_SEPARATORS = (",", ":")
+
+PathOrFile = Union[str, IO]
 
 
 # ----------------------------------------------------------------------
-# Encoding
+# v1 encoding (verbose JSON)
 # ----------------------------------------------------------------------
 def _encode_element(element: Any) -> Any:
     if isinstance(element, str):
         return element
     if isinstance(element, SynopsisRef):
         return {"$syn": [element.origin, element.value]}
+    if isinstance(element, UnresolvedRef):
+        return {"$unres": [element.origin, element.value]}
     raise TypeError(f"cannot persist context element {element!r}")
 
 
@@ -42,6 +82,9 @@ def _decode_element(data: Any) -> Any:
     if isinstance(data, dict) and "$syn" in data:
         origin, value = data["$syn"]
         return SynopsisRef(origin, value)
+    if isinstance(data, dict) and "$unres" in data:
+        origin, value = data["$unres"]
+        return UnresolvedRef(origin, value)
     raise ValueError(f"bad context element {data!r}")
 
 
@@ -104,12 +147,16 @@ def _decode_type(data: Any) -> Any:
 
 
 def encode_stage(stage: StageRuntime) -> Dict[str, Any]:
-    """The JSON-serialisable dump of one stage's profile state."""
+    """The JSON-serialisable v1 dump of one stage's profile state."""
     return {
         "version": FORMAT_VERSION,
         "name": stage.name,
         "mode": stage.mode.value,
         "sampling_hz": stage.sampling_hz,
+        # The salted synopsis base and allocation cursor: restored, not
+        # re-derived, by decode_stage (see module docstring).
+        "synopsis_base": stage.synopses.base,
+        "synopsis_next": stage.synopses.next_value,
         "ccts": [
             {"label": encode_context(label), "tree": _encode_cct_node(cct.root)}
             for label, cct in stage.ccts.items()
@@ -134,7 +181,7 @@ def encode_stage(stage: StageRuntime) -> Dict[str, Any]:
 
 
 def decode_stage(data: Dict[str, Any]) -> StageRuntime:
-    """Rebuild a StageRuntime carrying the persisted profile data.
+    """Rebuild a StageRuntime carrying a persisted v1 profile dump.
 
     The result is for post-mortem analysis (stitching, rendering,
     aggregation); it is not attached to any simulation.
@@ -163,34 +210,329 @@ def decode_stage(data: Dict[str, Any]) -> StageRuntime:
         )
     stage.comm_data_bytes = data["comm"]["data_bytes"]
     stage.comm_context_bytes = data["comm"]["context_bytes"]
+    # Dumps written before the snapshot keys existed fall back to the
+    # constructor-derived base (pre-snapshot behaviour).
+    if "synopsis_base" in data:
+        stage.synopses.restore_snapshot(
+            data["synopsis_base"], data.get("synopsis_next", 1)
+        )
     return stage
+
+
+# ----------------------------------------------------------------------
+# v2 encoding (compact interned format)
+# ----------------------------------------------------------------------
+class _Interner:
+    """Assigns dense integer IDs to values, storing each exactly once."""
+
+    __slots__ = ("values", "_index")
+
+    def __init__(self):
+        self.values: List[Any] = []
+        self._index: Dict[Any, int] = {}
+
+    def intern(self, value: Any) -> int:
+        index = self._index.get(value)
+        if index is None:
+            index = len(self.values)
+            self.values.append(value)
+            self._index[value] = index
+        return index
+
+
+def _v2_encode_context(
+    context: TransactionContext, strings: _Interner
+) -> List[Any]:
+    """Elements as compact cells: int = interned string, 2-list =
+    SynopsisRef ``[origin_id, value]``, 3-list = UnresolvedRef."""
+    out: List[Any] = []
+    for element in context.elements:
+        if isinstance(element, str):
+            out.append(strings.intern(element))
+        elif isinstance(element, SynopsisRef):
+            out.append([strings.intern(element.origin), element.value])
+        elif isinstance(element, UnresolvedRef):
+            out.append([strings.intern(element.origin), element.value, 1])
+        else:
+            raise TypeError(f"cannot persist context element {element!r}")
+    return out
+
+
+def _v2_decode_context(cells: List[Any], strings: List[str]) -> TransactionContext:
+    elements: List[Any] = []
+    for cell in cells:
+        if isinstance(cell, int):
+            elements.append(strings[cell])
+        elif len(cell) == 2:
+            elements.append(SynopsisRef(strings[cell[0]], cell[1]))
+        elif len(cell) == 3:
+            elements.append(UnresolvedRef(strings[cell[0]], cell[1]))
+        else:
+            raise ValueError(f"bad v2 context cell {cell!r}")
+    return TransactionContext(elements)
+
+
+def _v2_encode_type(value: Any, strings: _Interner, contexts, ctx_ids) -> Any:
+    """Crosstalk type cells: null, int = string, 1-list = context ID."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        return strings.intern(value)
+    if isinstance(value, TransactionContext):
+        return [_v2_intern_context(value, strings, contexts, ctx_ids)]
+    return strings.intern(repr(value))
+
+
+def _v2_decode_type(cell: Any, strings: List[str], contexts) -> Any:
+    if cell is None:
+        return None
+    if isinstance(cell, int):
+        return strings[cell]
+    if isinstance(cell, list) and len(cell) == 1:
+        return contexts[cell[0]]
+    raise ValueError(f"bad v2 crosstalk type cell {cell!r}")
+
+
+def _v2_intern_context(context, strings, contexts: List[List[Any]], ctx_ids: Dict) -> int:
+    index = ctx_ids.get(context)
+    if index is None:
+        index = len(contexts)
+        contexts.append(_v2_encode_context(context, strings))
+        ctx_ids[context] = index
+    return index
+
+
+def _v2_delta_contexts(contexts: List[List[Any]]) -> List[List[Any]]:
+    """Delta-encode synopsis values in the context table, per origin.
+
+    Synopsis values are a 12-bit stage base over a sequential counter,
+    so consecutive references to the same origin differ by tiny amounts;
+    storing the running difference turns 10-digit integers into one or
+    two digits.  Cells are visited in table order — the decoder replays
+    the identical walk, so the transform is exactly invertible.
+    """
+    last: Dict[int, int] = {}
+    out: List[List[Any]] = []
+    for cells in contexts:
+        row: List[Any] = []
+        for cell in cells:
+            if isinstance(cell, list):
+                origin, value = cell[0], cell[1]
+                row.append([origin, value - last.get(origin, 0)] + cell[2:])
+                last[origin] = value
+            else:
+                row.append(cell)
+        out.append(row)
+    return out
+
+
+def _v2_undelta_contexts(contexts: List[List[Any]]) -> List[List[Any]]:
+    last: Dict[int, int] = {}
+    out: List[List[Any]] = []
+    for cells in contexts:
+        row: List[Any] = []
+        for cell in cells:
+            if isinstance(cell, list):
+                origin = cell[0]
+                value = cell[1] + last.get(origin, 0)
+                last[origin] = value
+                row.append([origin, value] + cell[2:])
+            else:
+                row.append(cell)
+        out.append(row)
+    return out
+
+
+def encode_stage_v2(stage: StageRuntime) -> List[Any]:
+    """The interned document for one stage: a positional 12-slot array
+    ``[version, name, mode, hz, base, next, strings, contexts, ccts,
+    synopses, crosstalk, comm]`` (see module docstring)."""
+    strings = _Interner()
+    contexts: List[List[Any]] = []
+    ctx_ids: Dict[TransactionContext, int] = {}
+
+    base = stage.synopses.base
+    ccts = []
+    for label, cct in stage.ccts.items():
+        label_id = _v2_intern_context(label, strings, contexts, ctx_ids)
+        rows = cct.root.to_rows()
+        # Columnar: homogeneous arrays gzip far better than row tuples.
+        ccts.append([
+            label_id,
+            [row[0] for row in rows],
+            [strings.intern(row[1]) for row in rows],
+            [row[2] for row in rows],
+            [row[3] for row in rows],
+        ])
+    # The stage's own synopsis values all carry its base in the high
+    # bits; store just the sequential remainder.
+    synopses = [
+        [_v2_intern_context(context, strings, contexts, ctx_ids), value - base]
+        for context, value in stage.synopses.items()
+    ]
+    crosstalk = [
+        [
+            _v2_encode_type(waiter, strings, contexts, ctx_ids),
+            _v2_encode_type(holder, strings, contexts, ctx_ids),
+            wait,
+        ]
+        for waiter, holder, wait in stage.crosstalk.events
+    ]
+    return [
+        FORMAT_VERSION_V2,
+        stage.name,
+        stage.mode.value,
+        stage.sampling_hz,
+        base,
+        stage.synopses.next_value,
+        strings.values,
+        _v2_delta_contexts(contexts),
+        ccts,
+        synopses,
+        crosstalk,
+        [stage.comm_data_bytes, stage.comm_context_bytes],
+    ]
+
+
+def decode_stage_v2(data: List[Any]) -> StageRuntime:
+    """Rebuild a StageRuntime from a v2 interned document."""
+    if not isinstance(data, list) or len(data) != 12:
+        raise ValueError("malformed v2 profile document")
+    (version, name, mode, hz, base, next_value,
+     strings, context_cells, ccts, synopses, crosstalk, comm) = data
+    if version != FORMAT_VERSION_V2:
+        raise ValueError(f"unsupported profile format {version!r}")
+    contexts = [
+        _v2_decode_context(cells, strings)
+        for cells in _v2_undelta_contexts(context_cells)
+    ]
+    stage = StageRuntime(name, mode=ProfilerMode(mode), sampling_hz=hz)
+    for label_id, parents, names, weights, counts in ccts:
+        cct = stage.cct_for(contexts[label_id])
+        CCTNode.attach_rows(
+            cct.root,
+            list(zip(
+                parents, (strings[name_id] for name_id in names),
+                weights, counts,
+            )),
+        )
+    for ctx_id, remainder in synopses:
+        context = contexts[ctx_id]
+        value = base + remainder
+        stage.synopses._by_context[context] = value
+        stage.synopses._by_value[value] = context
+    for waiter, holder, wait in crosstalk:
+        stage.crosstalk.record(
+            _v2_decode_type(waiter, strings, contexts),
+            _v2_decode_type(holder, strings, contexts),
+            wait,
+        )
+    stage.comm_data_bytes, stage.comm_context_bytes = comm
+    stage.synopses.restore_snapshot(base, next_value)
+    return stage
+
+
+def dumps_stage_v2(stage: StageRuntime) -> bytes:
+    """The complete framed v2 dump as bytes.
+
+    ``mtime=0`` keeps gzip output byte-deterministic for identical
+    profiles, which the shard-determinism proof relies on.
+    """
+    document = json.dumps(
+        encode_stage_v2(stage), separators=JSON_SEPARATORS
+    ).encode("utf-8")
+    payload = gzip.compress(document, compresslevel=9, mtime=0)
+    return _V2_HEADER.pack(V2_MAGIC, FORMAT_VERSION_V2, len(payload)) + payload
+
+
+def loads_stage_v2(blob: bytes) -> StageRuntime:
+    """Decode a framed v2 dump produced by :func:`dumps_stage_v2`."""
+    if len(blob) < _V2_HEADER.size:
+        raise ValueError("truncated v2 profile dump")
+    magic, version, length = _V2_HEADER.unpack_from(blob)
+    if magic != V2_MAGIC:
+        raise ValueError("not a v2 profile dump (bad magic)")
+    if version != FORMAT_VERSION_V2:
+        raise ValueError(f"unsupported profile format {version!r}")
+    payload = blob[_V2_HEADER.size:_V2_HEADER.size + length]
+    if len(payload) != length:
+        raise ValueError("truncated v2 profile dump payload")
+    return decode_stage_v2(json.loads(gzip.decompress(payload)))
 
 
 # ----------------------------------------------------------------------
 # File I/O
 # ----------------------------------------------------------------------
-def save_stage(stage: StageRuntime, destination: PathOrFile) -> None:
-    """Write one stage's profile dump as JSON."""
+def save_stage(
+    stage: StageRuntime,
+    destination: PathOrFile,
+    profile_format: str = "v1",
+) -> None:
+    """Write one stage's profile dump in the requested format.
+
+    ``destination`` is a path or an open file: text-mode for v1,
+    binary-mode for v2 (a path is opened with the right mode either
+    way).
+    """
+    if profile_format not in PROFILE_FORMATS:
+        raise ValueError(
+            f"unknown profile format {profile_format!r}; one of {PROFILE_FORMATS}"
+        )
+    if profile_format == "v2":
+        blob = dumps_stage_v2(stage)
+        if isinstance(destination, str):
+            with open(destination, "wb") as handle:
+                handle.write(blob)
+        else:
+            destination.write(blob)
+        return
     data = encode_stage(stage)
     if isinstance(destination, str):
         with open(destination, "w", encoding="utf-8") as handle:
-            json.dump(data, handle)
+            json.dump(data, handle, separators=JSON_SEPARATORS)
     else:
-        json.dump(data, destination)
+        json.dump(data, destination, separators=JSON_SEPARATORS)
+
+
+def _load_blob(blob: bytes) -> StageRuntime:
+    if blob[: len(V2_MAGIC)] == V2_MAGIC:
+        return loads_stage_v2(blob)
+    return decode_stage(json.loads(blob.decode("utf-8")))
 
 
 def load_stage(source: PathOrFile) -> StageRuntime:
-    """Load one stage's profile dump."""
+    """Load one stage's profile dump, sniffing the format (v1 or v2)."""
     if isinstance(source, str):
-        with open(source, "r", encoding="utf-8") as handle:
-            data = json.load(handle)
-    else:
-        data = json.load(source)
-    return decode_stage(data)
+        with open(source, "rb") as handle:
+            return _load_blob(handle.read())
+    data = source.read()
+    if isinstance(data, bytes):
+        return _load_blob(data)
+    return decode_stage(json.loads(data))
 
 
-def load_and_stitch(paths: List[str]):
-    """The presentation phase: load stage dumps and stitch end to end."""
+def dump_size(stage: StageRuntime, profile_format: str = "v1") -> int:
+    """The exact on-disk size of ``stage``'s dump in the given format."""
+    if profile_format == "v2":
+        return len(dumps_stage_v2(stage))
+    buffer = io.StringIO()
+    save_stage(stage, buffer, profile_format=profile_format)
+    return len(buffer.getvalue().encode("utf-8"))
+
+
+def load_and_stitch(paths: List[str], jobs: int = 1, strict: bool = True):
+    """The presentation phase: load stage dumps and stitch end to end.
+
+    ``jobs > 1`` decodes the dumps in a process pool before the serial
+    resolve+merge (see :mod:`repro.parallel.stitching` for the sharded
+    map-reduce variant).
+    """
     from repro.core.stitch import stitch_profiles
 
-    return stitch_profiles([load_stage(path) for path in paths])
+    if jobs > 1 and len(paths) > 1:
+        from repro.parallel.stitching import parallel_load
+
+        stages = parallel_load(paths, jobs=jobs)
+    else:
+        stages = [load_stage(path) for path in paths]
+    return stitch_profiles(stages, strict=strict)

@@ -114,6 +114,40 @@ class SynopsisTable:
     def __len__(self) -> int:
         return len(self._by_context)
 
+    @property
+    def base(self) -> int:
+        """The stage's claimed 12-bit base, as a full 32-bit prefix."""
+        return self._base
+
+    @property
+    def next_value(self) -> int:
+        """The next sequential local identifier to be allocated."""
+        return self._next
+
+    def restore_snapshot(self, base: int, next_value: int) -> None:
+        """Adopt a persisted ``(base, next)`` pair from a profile dump.
+
+        Post-mortem stitching may run in a fresh process whose
+        registration order differs from the run that produced the dump;
+        re-deriving the base there could salt colliding names into
+        *different* buckets than the run used.  Dumps therefore carry
+        the salted base explicitly, and decoding restores it here so
+        synopses minted after load can never alias dumped values.
+
+        The bucket this table claimed at construction is released (if
+        still owned) and the persisted one registered, unless another
+        stage already owns it — resolution is unaffected either way
+        since it reads the restored ``_by_value`` map directly.
+        """
+        if base != self._base:
+            if _BASE_OWNERS.get(self._base) == self.stage_name:
+                del _BASE_OWNERS[self._base]
+            if _BASE_OWNERS.get(base) is None:
+                _BASE_OWNERS[base] = self.stage_name
+            self._base = base
+        if next_value > self._next:
+            self._next = next_value
+
     def clear_mappings(self) -> int:
         """Forget every context<->synopsis mapping (crash amnesia).
 

@@ -1,0 +1,52 @@
+"""Multi-core scale-out: sharded simulation and the parallel
+presentation phase.
+
+Whodunit's workflow (§7.1) is embarrassingly parallel on both ends:
+profile *collection* happens independently per stage process, and the
+post-mortem *presentation* phase independently resolves each dump
+before one deterministic merge.  This package exploits both:
+
+- :mod:`repro.parallel.shard` deterministically partitions a TPC-W or
+  Haboob workload into N independent shards (per-shard seeds derived
+  from the run seed and shard index);
+- :mod:`repro.parallel.runner` executes the shards across a process
+  pool, spooling per-stage profile dumps and returning plain-data
+  summaries that merge post-hoc (including telemetry metrics);
+- :mod:`repro.parallel.stitching` is the map-reduce presentation
+  phase: workers load and pre-resolve dump groups in parallel, a
+  shard-ordered reduce merges the stitched profiles, so output is
+  byte-identical no matter how the work was scheduled.
+
+See ``docs/performance.md`` for the sharding model and determinism
+guarantees.
+"""
+
+from repro.parallel.shard import (
+    ShardPlan,
+    ShardSpec,
+    derive_shard_seed,
+    partition_clients,
+    plan_shards,
+)
+from repro.parallel.runner import ShardResult, ShardedRun, run_shards
+from repro.parallel.stitching import (
+    canonical_profile_bytes,
+    parallel_load,
+    parallel_stitch,
+    stitch_spool,
+)
+
+__all__ = [
+    "ShardPlan",
+    "ShardResult",
+    "ShardSpec",
+    "ShardedRun",
+    "canonical_profile_bytes",
+    "derive_shard_seed",
+    "parallel_load",
+    "parallel_stitch",
+    "partition_clients",
+    "plan_shards",
+    "run_shards",
+    "stitch_spool",
+]

@@ -1,0 +1,361 @@
+"""Sharded workload execution across a process pool.
+
+Each shard runs a *complete* simulated deployment (every tier, its own
+kernel, its own seeded RNG streams) inside one worker process, dumps
+its per-stage profiles to a spool directory, and returns a plain-data
+:class:`ShardResult`.  The parent merges results post-hoc — throughput
+sums, response-time averages weighted by completions, crosstalk totals,
+telemetry metric snapshots — always folding in shard-index order so the
+merged view is independent of worker scheduling.
+
+``jobs=1`` runs the shards sequentially in-process through the *same*
+code path, which is both the degenerate case and the determinism
+baseline: an N-job run must produce byte-identical dumps and merged
+output to the 1-job run of the same plan.
+
+Workers snapshot and restore the module-level telemetry switch so a
+shard always runs with exactly the telemetry mode its spec names,
+independent of whatever the parent process had installed at fork time.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro import telemetry as _telemetry
+from repro.parallel.shard import ShardPlan, ShardSpec
+
+#: Dump file suffix per profile format.
+DUMP_SUFFIX = {"v1": ".profile.json", "v2": ".profile.wdp"}
+
+MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class ShardResult:
+    """Plain-data summary of one executed shard (picklable)."""
+
+    index: int
+    seed: int
+    clients: int
+    wall_seconds: float
+    window: Tuple[float, float]
+    served: int
+    throughput: float
+    interactions: Dict[str, List[float]] = field(default_factory=dict)
+    db_cpu_weights: Dict[str, float] = field(default_factory=dict)
+    crosstalk: Dict[str, List[float]] = field(default_factory=dict)
+    comm: Tuple[int, int] = (0, 0)
+    dump_paths: List[str] = field(default_factory=list)
+    dump_bytes: int = 0
+    span_count: int = 0
+    metrics: List[Dict[str, Any]] = field(default_factory=list)
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+# ----------------------------------------------------------------------
+# Worker functions (top-level: must pickle across the process pool)
+# ----------------------------------------------------------------------
+def _dump_stages(spec: ShardSpec, stages_by_name) -> Tuple[List[str], int]:
+    """Spool the shard's per-stage dumps; returns (paths, total bytes)."""
+    if not spec.spool_dir:
+        return [], 0
+    from repro.core.persist import save_stage
+
+    shard_dir = os.path.join(spec.spool_dir, f"shard-{spec.index:04d}")
+    os.makedirs(shard_dir, exist_ok=True)
+    suffix = DUMP_SUFFIX[spec.profile_format]
+    paths: List[str] = []
+    total = 0
+    for name, stage in stages_by_name.items():
+        path = os.path.join(shard_dir, f"{name}{suffix}")
+        save_stage(stage, path, profile_format=spec.profile_format)
+        paths.append(path)
+        total += os.path.getsize(path)
+    return paths, total
+
+
+def _collect_telemetry(tele) -> Tuple[int, List[Dict[str, Any]]]:
+    if tele is None:
+        return 0, []
+    metrics = tele.metrics.snapshot() if tele.wants_metrics else []
+    return len(tele.spans.spans), metrics
+
+
+def _run_tpcw_shard(spec: ShardSpec) -> ShardResult:
+    from repro.apps.db.locks import INNODB, MYISAM
+    from repro.apps.tpcw import TpcwSystem
+    from repro.channels.rpc import RetryPolicy
+
+    params = spec.params
+    retry = None
+    if params.get("fault_plan") and params.get("retries", 0) > 0:
+        retry = RetryPolicy(
+            timeout=params.get("retry_timeout", 0.25),
+            retries=params["retries"],
+        )
+    start = time.perf_counter()
+    system = TpcwSystem(
+        clients=spec.clients,
+        caching=params.get("caching", False),
+        item_engine=INNODB if params.get("innodb") else MYISAM,
+        seed=spec.seed,
+        mix=params.get("mix", "browsing"),
+        think_mean=params.get("think_mean", 7.0),
+        db_connections=params.get("db_connections", 24),
+        fault_plan=params.get("fault_plan"),
+        fault_seed=params.get("fault_seed", 0) + spec.index,
+        retry=retry,
+    )
+    results = system.run(duration=spec.duration, warmup=spec.warmup)
+    wall = time.perf_counter() - start
+
+    interactions: Dict[str, List[float]] = {}
+    for tx_type, tx_start, tx_end in results.log.records:
+        cell = interactions.setdefault(tx_type, [0, 0.0])
+        cell[0] += 1
+        cell[1] += tx_end - tx_start
+    crosstalk = {
+        name: [cell[0], system.db.crosstalk.total_wait_of(name)]
+        for name, cell in interactions.items()
+    }
+    comm = results.comm_overhead()
+    dump_paths, dump_bytes = _dump_stages(spec, system.stages_by_name)
+    return ShardResult(
+        index=spec.index,
+        seed=spec.seed,
+        clients=spec.clients,
+        wall_seconds=wall,
+        window=(results.window_start, results.window_end),
+        served=results.log.completions_in(
+            results.window_start, results.window_end
+        ),
+        throughput=results.throughput_tpm(),
+        interactions=interactions,
+        db_cpu_weights=results.db_cpu_weights(),
+        crosstalk=crosstalk,
+        comm=(comm["data_bytes"], comm["context_bytes"]),
+        dump_paths=dump_paths,
+        dump_bytes=dump_bytes,
+        extra={
+            "db_utilization": system.db.cpu.utilization(),
+            "stitch_completeness": (
+                results.stitch_completeness()
+                if system.faults is not None
+                else 1.0
+            ),
+        },
+    )
+
+
+def _run_haboob_shard(spec: ShardSpec) -> ShardResult:
+    from repro.apps.haboob import HaboobConfig, HaboobServer
+    from repro.sim import Kernel, Rng
+    from repro.workloads import HttpClientPool, WebTrace
+
+    params = spec.params
+    start = time.perf_counter()
+    kernel = Kernel()
+    trace = WebTrace(Rng(spec.seed), objects=params.get("objects", 2000))
+    server = HaboobServer(
+        kernel,
+        trace,
+        config=HaboobConfig(
+            cache_bytes=params.get("cache_kb", 512) * 1024
+        ),
+    )
+    server.start()
+    HttpClientPool(
+        kernel, server.listener, trace, clients=spec.clients
+    ).start()
+    kernel.run(until=spec.duration)
+    wall = time.perf_counter() - start
+    dump_paths, dump_bytes = _dump_stages(spec, server.stages_by_name)
+    return ShardResult(
+        index=spec.index,
+        seed=spec.seed,
+        clients=spec.clients,
+        wall_seconds=wall,
+        window=(0.0, spec.duration),
+        served=server.responses_sent,
+        throughput=server.throughput_mbps(),
+        comm=(server.stage_runtime.comm_data_bytes,
+              server.stage_runtime.comm_context_bytes),
+        dump_paths=dump_paths,
+        dump_bytes=dump_bytes,
+        extra={"hit_ratio": server.page_cache.hit_ratio},
+    )
+
+
+_WORKLOAD_RUNNERS = {
+    "tpcw": _run_tpcw_shard,
+    "haboob": _run_haboob_shard,
+}
+
+
+def run_one_shard(spec: ShardSpec) -> ShardResult:
+    """Execute one shard, isolated from the caller's telemetry state."""
+    previous = _telemetry.ACTIVE
+    tele = None
+    try:
+        if spec.telemetry_mode != "off":
+            tele = _telemetry.install(spec.telemetry_mode)
+        else:
+            _telemetry.ACTIVE = None
+        result = _WORKLOAD_RUNNERS[spec.workload](spec)
+        result.span_count, result.metrics = _collect_telemetry(tele)
+        return result
+    finally:
+        _telemetry.ACTIVE = previous
+
+
+# ----------------------------------------------------------------------
+# The sharded run
+# ----------------------------------------------------------------------
+class ShardedRun:
+    """Merged view over the results of one sharded execution."""
+
+    def __init__(self, plan: ShardPlan, results: List[ShardResult],
+                 wall_seconds: float, jobs: int):
+        self.plan = plan
+        self.results = results
+        self.wall_seconds = wall_seconds
+        self.jobs = jobs
+
+    # -- merged measurements -------------------------------------------
+    def throughput(self) -> float:
+        return sum(result.throughput for result in self.results)
+
+    def served(self) -> int:
+        return sum(result.served for result in self.results)
+
+    def mean_response(self, interaction: Optional[str] = None) -> float:
+        count = 0
+        total = 0.0
+        for result in self.results:
+            for name, (n, resp_sum) in result.interactions.items():
+                if interaction is None or name == interaction:
+                    count += n
+                    total += resp_sum
+        return total / count if count else 0.0
+
+    def interaction_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for result in self.results:
+            for name, (n, _) in result.interactions.items():
+                counts[name] = counts.get(name, 0) + n
+        return counts
+
+    def db_cpu_share(self) -> Dict[str, float]:
+        weights: Dict[str, float] = {}
+        for result in self.results:
+            for name, weight in result.db_cpu_weights.items():
+                weights[name] = weights.get(name, 0.0) + weight
+        total = sum(weights.values())
+        if total == 0:
+            return {}
+        return {name: 100.0 * w / total for name, w in weights.items()}
+
+    def crosstalk_wait_ms(self) -> Dict[str, float]:
+        merged: Dict[str, List[float]] = {}
+        for result in self.results:
+            for name, (count, wait) in result.crosstalk.items():
+                cell = merged.setdefault(name, [0, 0.0])
+                cell[0] += count
+                cell[1] += wait
+        return {
+            name: 1000.0 * wait / count
+            for name, (count, wait) in merged.items()
+            if count
+        }
+
+    def merged_metrics(self):
+        """One registry holding every shard's telemetry metrics."""
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        for result in self.results:
+            registry.absorb(result.metrics)
+        return registry
+
+    def span_count(self) -> int:
+        return sum(result.span_count for result in self.results)
+
+    def dump_bytes(self) -> int:
+        return sum(result.dump_bytes for result in self.results)
+
+    def dump_groups(self) -> List[List[str]]:
+        """Per-shard dump path groups, in shard order (stitch input)."""
+        return [list(result.dump_paths) for result in self.results]
+
+    # -- presentation phase --------------------------------------------
+    def stitch(self, jobs: int = 1, strict: bool = True):
+        """Map-reduce the spooled dumps into one merged profile."""
+        from repro.parallel.stitching import parallel_stitch
+
+        return parallel_stitch(self.dump_groups(), jobs=jobs, strict=strict)
+
+
+def _write_manifest(plan: ShardPlan, results: List[ShardResult]) -> Optional[str]:
+    spool = plan.specs[0].spool_dir if plan.specs else ""
+    if not spool:
+        return None
+    manifest = {
+        "workload": plan.workload,
+        "seed": plan.seed,
+        "clients": plan.clients,
+        "shards": plan.shards,
+        "duration": plan.duration,
+        "warmup": plan.warmup,
+        "profile_format": plan.specs[0].profile_format,
+        "groups": [
+            {
+                "index": result.index,
+                "seed": result.seed,
+                "clients": result.clients,
+                "files": [os.path.basename(p) for p in result.dump_paths],
+                "dir": f"shard-{result.index:04d}",
+            }
+            for result in results
+        ],
+    }
+    path = os.path.join(spool, MANIFEST_NAME)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+    return path
+
+
+def run_shards(plan: ShardPlan, jobs: int = 1) -> ShardedRun:
+    """Execute every shard of ``plan`` with up to ``jobs`` processes.
+
+    ``jobs=1`` runs in-process (no pool); results always come back in
+    shard-index order either way, so every downstream merge is
+    scheduling-independent.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    specs = list(plan.specs)
+    for spec in specs:
+        if spec.spool_dir:
+            os.makedirs(spec.spool_dir, exist_ok=True)
+    start = time.perf_counter()
+    if jobs == 1 or len(specs) <= 1:
+        results = [run_one_shard(spec) for spec in specs]
+    else:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else None
+        )
+        with context.Pool(processes=min(jobs, len(specs))) as pool:
+            # Pool.map preserves input order: results land in shard order
+            # no matter which worker finished first.
+            results = pool.map(run_one_shard, specs, chunksize=1)
+    wall = time.perf_counter() - start
+    _write_manifest(plan, results)
+    return ShardedRun(plan, results, wall, jobs)

@@ -1,0 +1,162 @@
+"""The parallel presentation phase: map-reduce profile stitching.
+
+The map step loads one *group* of stage dumps (one shard's tiers — a
+self-contained resolution universe) and stitches it in a worker
+process; the reduce folds the per-group profiles together **in group
+order**, so the merged profile is a pure function of the dump set —
+independent of worker count, scheduling, or completion order.  The
+determinism proof in the scale-out benchmark serialises the merged
+profile with :func:`canonical_profile_bytes` and compares runs
+byte-for-byte.
+
+For a flat list of dumps that resolve against each other (the classic
+single-run, multi-tier layout), :func:`parallel_load` parallelises just
+the load/decode step and the caller stitches the loaded stages
+serially — resolution needs every synopsis table in one place.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.context import TransactionContext, UnresolvedRef
+from repro.core.stitch import StitchedProfile, stitch_profiles
+
+#: Kept in sync with repro.parallel.runner.MANIFEST_NAME (no import to
+#: keep worker pickling light).
+MANIFEST_NAME = "manifest.json"
+
+
+def _pool(jobs: int):
+    import multiprocessing
+
+    methods = multiprocessing.get_all_start_methods()
+    context = multiprocessing.get_context("fork" if "fork" in methods else None)
+    return context.Pool(processes=jobs)
+
+
+# ----------------------------------------------------------------------
+# Map workers (top-level for pickling)
+# ----------------------------------------------------------------------
+def _load_one(path: str):
+    from repro.core.persist import load_stage
+
+    return load_stage(path)
+
+
+def _stitch_group(task: Tuple[Sequence[str], bool]) -> StitchedProfile:
+    paths, strict = task
+    stages = [_load_one(path) for path in paths]
+    return stitch_profiles(stages, strict=strict)
+
+
+# ----------------------------------------------------------------------
+# Public API
+# ----------------------------------------------------------------------
+def parallel_load(paths: Sequence[str], jobs: int = 1) -> List:
+    """Load dumps (v1 or v2) with up to ``jobs`` worker processes.
+
+    Results come back in input order regardless of scheduling.
+    """
+    paths = list(paths)
+    if jobs <= 1 or len(paths) <= 1:
+        return [_load_one(path) for path in paths]
+    with _pool(min(jobs, len(paths))) as pool:
+        return pool.map(_load_one, paths, chunksize=1)
+
+
+def _tag_unresolved(profile: StitchedProfile, tag: str) -> StitchedProfile:
+    """Qualify UnresolvedRef origins with the shard they came from.
+
+    Synopsis values are only unique *within* a shard's stages: without
+    the qualifier, unresolved placeholders from different shards could
+    spuriously collide (same origin name, same 32-bit value, different
+    transactions) and merge weights that belong to distinct contexts.
+    Fully resolved contexts contain no refs and merge by value, which
+    is exactly what cross-shard aggregation wants.
+    """
+    if not any(
+        isinstance(element, UnresolvedRef)
+        for _, context in profile.entries
+        for element in context
+    ):
+        return profile
+    tagged = StitchedProfile()
+    for (stage, context), cct in profile.entries.items():
+        elements = [
+            UnresolvedRef(f"{element.origin}{tag}", element.value)
+            if isinstance(element, UnresolvedRef)
+            else element
+            for element in context
+        ]
+        tagged.add(stage, TransactionContext(elements), cct)
+    tagged.synopsis_refs = profile.synopsis_refs
+    tagged.unresolved_refs = profile.unresolved_refs
+    return tagged
+
+
+def parallel_stitch(
+    groups: Sequence[Sequence[str]],
+    jobs: int = 1,
+    strict: bool = True,
+) -> StitchedProfile:
+    """Stitch dump groups in parallel and reduce deterministically.
+
+    Each group is one self-contained resolution universe (one shard's
+    per-stage dumps).  With a single group this degenerates to the
+    serial presentation phase.
+    """
+    groups = [list(group) for group in groups]
+    tasks = [(group, strict) for group in groups]
+    if jobs <= 1 or len(tasks) <= 1:
+        profiles = [_stitch_group(task) for task in tasks]
+    else:
+        with _pool(min(jobs, len(tasks))) as pool:
+            profiles = pool.map(_stitch_group, tasks, chunksize=1)
+    merged = StitchedProfile()
+    for index, profile in enumerate(profiles):
+        if len(groups) > 1:
+            profile = _tag_unresolved(profile, f"@shard{index}")
+        merged.merge(profile)
+    return merged
+
+
+def stitch_spool(
+    spool_dir: str,
+    jobs: int = 1,
+    strict: bool = True,
+) -> StitchedProfile:
+    """Stitch a spool directory written by :func:`repro.parallel.runner.
+    run_shards`, using its manifest to group dumps per shard."""
+    manifest_path = os.path.join(spool_dir, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    groups = [
+        [os.path.join(spool_dir, group["dir"], name) for name in group["files"]]
+        for group in sorted(manifest["groups"], key=lambda g: g["index"])
+    ]
+    return parallel_stitch(groups, jobs=jobs, strict=strict)
+
+
+def canonical_profile_bytes(profile: StitchedProfile) -> bytes:
+    """A canonical byte serialisation of a stitched profile.
+
+    Entries are sorted by ``(stage, repr(context))`` and each CCT is
+    flattened to its canonical pre-order rows, so two profiles with the
+    same content — however they were produced — serialise to identical
+    bytes.  Floats use Python's shortest-exact repr via the JSON
+    encoder: byte equality means bit-exact weights.
+    """
+    entries = []
+    for (stage, context), cct in sorted(
+        profile.entries.items(), key=lambda item: (item[0][0], repr(item[0][1]))
+    ):
+        entries.append([stage, repr(context), cct.root.to_rows()])
+    document = {
+        "entries": entries,
+        "synopsis_refs": profile.synopsis_refs,
+        "unresolved_refs": profile.unresolved_refs,
+    }
+    return json.dumps(document, separators=(",", ":")).encode("utf-8")

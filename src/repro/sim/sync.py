@@ -124,7 +124,14 @@ class Mutex:
 
         Returns the holder snapshot taken at block time.
         """
-        snapshot = tuple((h, h.tran_ctxt) for h in self.holders)
+        # Sorted by tid: ``holders`` is a set, and set order follows
+        # per-process object hashes — observers (crosstalk events,
+        # profile dumps) must see the same holder order in every
+        # process for runs to be byte-reproducible.
+        snapshot = tuple(
+            (h, h.tran_ctxt)
+            for h in sorted(self.holders, key=lambda h: h.tid)
+        )
         self._waiters.append(_Waiter(thread, mode, kernel.now))
         return snapshot
 

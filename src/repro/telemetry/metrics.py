@@ -186,5 +186,63 @@ class MetricsRegistry:
             out.setdefault(metric.name, []).append(metric)
         return sorted(out.items())
 
+    # ------------------------------------------------------------------
+    # Cross-process merging (sharded runs)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[Dict]:
+        """A plain-data snapshot of every instrument, for IPC.
+
+        Shard workers return this from their process; the parent folds
+        the snapshots into its own registry with :meth:`absorb` so a
+        sharded run reports one merged metrics view post-hoc.
+        """
+        rows: List[Dict] = []
+        for metric in self.collect():
+            row: Dict = {
+                "name": metric.name,
+                "kind": metric.kind,
+                "help": metric.help,
+                "labels": dict(metric.labels),
+            }
+            if isinstance(metric, Histogram):
+                row["bounds"] = list(metric.bounds)
+                row["counts"] = list(metric.counts)
+                row["sum"] = metric.sum
+                row["count"] = metric.count
+            else:
+                row["value"] = metric.value
+            rows.append(row)
+        return rows
+
+    def absorb(self, rows: Iterable[Dict]) -> None:
+        """Fold a :meth:`snapshot` into this registry.
+
+        Counters and gauges accumulate (a merged gauge like in-flight
+        requests is the sum over shards); histogram bucket counts add
+        cell-wise and require identical bucket layouts.
+        """
+        for row in rows:
+            kind = row["kind"]
+            labels = row["labels"]
+            if kind == "counter":
+                self.counter(row["name"], row["help"], **labels).inc(row["value"])
+            elif kind == "gauge":
+                self.gauge(row["name"], row["help"], **labels).inc(row["value"])
+            elif kind == "histogram":
+                histogram = self.histogram(
+                    row["name"], row["help"], buckets=row["bounds"], **labels
+                )
+                if tuple(row["bounds"]) != histogram.bounds:
+                    raise ValueError(
+                        f"cannot absorb histogram {row['name']!r}: bucket "
+                        f"layouts differ"
+                    )
+                for index, count in enumerate(row["counts"]):
+                    histogram.counts[index] += count
+                histogram.sum += row["sum"]
+                histogram.count += row["count"]
+            else:
+                raise ValueError(f"cannot absorb metric kind {kind!r}")
+
     def __len__(self) -> int:
         return len(self._metrics)

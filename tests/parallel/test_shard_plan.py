@@ -1,0 +1,110 @@
+"""Tests for deterministic shard planning (seed derivation, partition)."""
+
+import pytest
+
+from repro.parallel import (
+    derive_shard_seed,
+    partition_clients,
+    plan_shards,
+)
+
+
+# ----------------------------------------------------------------------
+# Seed derivation
+# ----------------------------------------------------------------------
+def test_single_shard_passes_seed_through():
+    """--shards 1 must stay byte-identical to the serial path, so the
+    run seed must reach the (only) shard unchanged."""
+    assert derive_shard_seed(42, 0, 1) == 42
+    assert derive_shard_seed(0, 0, 1) == 0
+
+
+def test_derivation_is_deterministic():
+    assert derive_shard_seed(42, 3, 8) == derive_shard_seed(42, 3, 8)
+
+
+def test_shards_get_distinct_seeds():
+    seeds = [derive_shard_seed(42, index, 16) for index in range(16)]
+    assert len(set(seeds)) == 16
+
+
+def test_shard_count_is_part_of_the_derivation():
+    """Re-planning with a different N must reshuffle every stream, not
+    reuse a prefix of the old plan's seeds."""
+    assert derive_shard_seed(42, 0, 2) != derive_shard_seed(42, 0, 4)
+
+
+def test_derived_seeds_are_31_bit_non_negative():
+    for index in range(64):
+        seed = derive_shard_seed(7, index, 64)
+        assert 0 <= seed < 2**31
+
+
+# ----------------------------------------------------------------------
+# Client partitioning
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("clients,shards", [(100, 4), (101, 4), (7, 3), (5, 5)])
+def test_partition_sums_exactly(clients, shards):
+    populations = partition_clients(clients, shards)
+    assert len(populations) == shards
+    assert sum(populations) == clients
+
+
+def test_partition_is_near_equal():
+    populations = partition_clients(103, 4)
+    assert max(populations) - min(populations) <= 1
+    # Remainder goes to the lowest indices.
+    assert populations == sorted(populations, reverse=True)
+
+
+def test_partition_rejects_empty_shards():
+    with pytest.raises(ValueError):
+        partition_clients(3, 4)
+    with pytest.raises(ValueError):
+        partition_clients(10, 0)
+
+
+# ----------------------------------------------------------------------
+# The plan
+# ----------------------------------------------------------------------
+def test_plan_shards_builds_complete_specs(tmp_path):
+    plan = plan_shards(
+        "tpcw",
+        seed=42,
+        clients=10,
+        shards=4,
+        duration=30.0,
+        warmup=5.0,
+        params={"mix": "ordering"},
+        spool_dir=str(tmp_path),
+        profile_format="v2",
+    )
+    assert len(plan) == 4
+    assert [spec.index for spec in plan] == [0, 1, 2, 3]
+    assert sum(spec.clients for spec in plan) == 10
+    for spec in plan:
+        assert spec.workload == "tpcw"
+        assert spec.seed == derive_shard_seed(42, spec.index, 4)
+        assert spec.duration == 30.0
+        assert spec.warmup == 5.0
+        assert spec.params["mix"] == "ordering"
+        assert spec.spool_dir == str(tmp_path)
+        assert spec.profile_format == "v2"
+
+
+def test_plan_params_are_copied_per_spec():
+    plan = plan_shards("tpcw", seed=1, clients=4, shards=2, duration=1.0,
+                       params={"caching": True})
+    plan.specs[0].params["caching"] = False
+    assert plan.specs[1].params["caching"] is True
+
+
+def test_plan_rejects_unknown_workload():
+    with pytest.raises(ValueError):
+        plan_shards("memcached", seed=1, clients=4, shards=2, duration=1.0)
+
+
+def test_plan_is_reproducible():
+    a = plan_shards("haboob", seed=9, clients=12, shards=3, duration=2.0)
+    b = plan_shards("haboob", seed=9, clients=12, shards=3, duration=2.0)
+    assert a.specs == b.specs

@@ -362,3 +362,34 @@ def test_mesa_semantics_waiter_recontends_for_mutex():
     kernel.spawn(notifier())
     kernel.run()
     assert log == [("waiter-resumed", 3.0)]
+
+
+def test_holder_snapshot_order_is_deterministic():
+    """The snapshot handed to wait observers must be ordered by tid,
+    not by set iteration: set order follows per-process object hashes,
+    and profile dumps built from crosstalk events must be
+    byte-identical across processes."""
+    kernel = Kernel()
+    mutex = Mutex("m")
+    snapshots = []
+    mutex.observers.append(
+        lambda m, waiter, holders, mode, wait: snapshots.append(holders)
+    )
+
+    def reader(hold):
+        yield Acquire(mutex, shared=True)
+        yield Delay(hold)
+        yield Release(mutex)
+
+    def writer():
+        yield Delay(0.5)  # let every reader in first
+        yield Acquire(mutex)
+        yield Release(mutex)
+
+    readers = [kernel.spawn(reader(2.0)) for _ in range(8)]
+    kernel.spawn(writer())
+    kernel.run()
+    (holders,) = [s for s in snapshots if s]
+    tids = [thread.tid for thread, _ in holders]
+    assert tids == sorted(tids)
+    assert {thread.tid for thread, _ in holders} == {t.tid for t in readers}
