@@ -11,6 +11,14 @@ Use it to eyeball a perf trajectory across PRs::
 
     git show HEAD~1:BENCH_scaleout.json > /tmp/before.json
     python benchmarks/trend.py /tmp/before.json BENCH_scaleout.json
+
+With ``--gate KEY:RATIO`` (repeatable) the comparison becomes a
+regression gate: exit non-zero unless ``new[KEY] >= RATIO * old[KEY]``.
+CI uses this to fail a PR that slows a hot path below the committed
+baseline, with RATIO < 1 absorbing runner-to-runner variance::
+
+    python benchmarks/trend.py /tmp/before.json BENCH_hotpaths.json \
+        --gate kernel_event_throughput.events_per_sec:0.5
 """
 
 from __future__ import annotations
@@ -46,7 +54,33 @@ def render_delta(old: Any, new: Any) -> str:
     return f"{old!r} -> {new!r}"
 
 
-def trend(old_path: str, new_path: str) -> int:
+def check_gate(old: Dict[str, Any], new: Dict[str, Any], gate: str) -> bool:
+    """One ``KEY:RATIO`` gate; returns True when it passes.
+
+    A key missing from the old file passes (nothing to regress from); a
+    key missing from the new file fails (the metric disappeared).
+    """
+    key, _, ratio_text = gate.rpartition(":")
+    if not key:
+        raise SystemExit(f"malformed --gate {gate!r} (want KEY:RATIO)")
+    ratio = float(ratio_text)
+    if key not in old:
+        print(f"gate {key}: no baseline, skipped")
+        return True
+    if key not in new:
+        print(f"gate {key}: FAIL — metric missing from new results")
+        return False
+    floor = ratio * old[key]
+    ok = new[key] >= floor
+    verdict = "ok" if ok else "FAIL"
+    print(
+        f"gate {key}: {verdict} — {new[key]:g} vs floor {floor:g} "
+        f"({ratio:g} x baseline {old[key]:g})"
+    )
+    return ok
+
+
+def trend(old_path: str, new_path: str, gates=()) -> int:
     with open(old_path, "r", encoding="utf-8") as handle:
         old = flatten(json.load(handle))
     with open(new_path, "r", encoding="utf-8") as handle:
@@ -59,14 +93,25 @@ def trend(old_path: str, new_path: str) -> int:
         print(f"{key:<{width}}  added: {new[key]!r}")
     for key in sorted(set(old) - set(new)):
         print(f"{key:<{width}}  removed (was {old[key]!r})")
-    return 0
+    failed = [gate for gate in gates if not check_gate(old, new, gate)]
+    return 1 if failed else 0
 
 
 def main(argv) -> int:
-    if len(argv) != 3:
+    paths = []
+    gates = []
+    arguments = iter(argv[1:])
+    for argument in arguments:
+        if argument == "--gate":
+            gates.append(next(arguments, ""))
+        elif argument.startswith("--gate="):
+            gates.append(argument[len("--gate="):])
+        else:
+            paths.append(argument)
+    if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2
-    return trend(argv[1], argv[2])
+    return trend(paths[0], paths[1], gates)
 
 
 if __name__ == "__main__":

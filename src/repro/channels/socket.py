@@ -43,6 +43,22 @@ class Endpoint:
     on the link, so a large body delays everything queued behind it.
     """
 
+    __slots__ = (
+        "kernel",
+        "latency",
+        "bandwidth",
+        "name",
+        "_buffer",
+        "_receivers",
+        "_link_free_at",
+        "observers",
+        "delivered_messages",
+        "delivered_bytes",
+        "_tele_messages",
+        "_tele_bytes",
+        "_faults",
+    )
+
     def __init__(
         self,
         kernel: "Kernel",
@@ -82,29 +98,36 @@ class Endpoint:
 
         (if bandwidth-limited) plus the propagation latency.
         """
+        kernel = self.kernel
         delay = self.latency
         if self.bandwidth is not None:
-            start = max(self.kernel.now, self._link_free_at)
-            transmit = message.size / self.bandwidth
-            self._link_free_at = start + transmit
-            delay = (self._link_free_at - self.kernel.now) + self.latency
-        if self._faults is not None:
-            for extra in self._faults.deliveries(message):
-                self.kernel.schedule(delay + extra, self._deliver, message)
+            now = kernel.now
+            start = self._link_free_at
+            if now > start:
+                start = now
+            free = start + message.size / self.bandwidth
+            self._link_free_at = free
+            delay = (free - now) + self.latency
+        faults = self._faults
+        if faults is not None:
+            for extra in faults.deliveries(message):
+                kernel.schedule(delay + extra, self._deliver, message)
             return
         if delay > 0:
-            self.kernel.schedule(delay, self._deliver, message)
+            kernel.schedule(delay, self._deliver, message)
         else:
             self._deliver(message)
 
     def _deliver(self, message: Message) -> None:
         self.delivered_messages += 1
         self.delivered_bytes += message.size
-        if self._tele_messages is not None:
-            self._tele_messages.inc()
+        tele_messages = self._tele_messages
+        if tele_messages is not None:
+            tele_messages.inc()
             self._tele_bytes.inc(message.size)
-        while self._receivers:
-            receiver = self._receivers.popleft()
+        receivers = self._receivers
+        while receivers:
+            receiver = receivers.popleft()
             if not receiver.alive:
                 # A crashed thread consumes nothing: fall through to the
                 # next live receiver, or buffer the message.
@@ -203,6 +226,8 @@ class Connection:
     vice versa for ``to_client``.
     """
 
+    __slots__ = ("conn_id", "name", "to_server", "to_client")
+
     _next_id = 0
 
     def __init__(self, kernel: "Kernel", latency: float = 0.0, name: str = "conn"):
@@ -218,6 +243,16 @@ class Connection:
 
 class Listener:
     """A listening server socket with an accept queue."""
+
+    __slots__ = (
+        "kernel",
+        "latency",
+        "name",
+        "_backlog",
+        "_acceptors",
+        "observers",
+        "accepted_count",
+    )
 
     def __init__(self, kernel: "Kernel", latency: float = 0.0, name: str = "listener"):
         self.kernel = kernel

@@ -97,11 +97,18 @@ class TransactionContext:
     (§4.1 notes the complete context "may be useful ... for debugging").
     """
 
-    __slots__ = ("elements", "_hash")
+    __slots__ = ("elements", "_hash", "_appends")
 
     def __init__(self, elements: Iterable[Any] = ()):
         self.elements: Tuple[Any, ...] = tuple(elements)
         self._hash = hash(self.elements)
+        # Lazy memo of append() results.  The hot paths (SEDA stage
+        # dispatch, event-loop dispatch) append the same handful of
+        # stage/handler names to the same contexts millions of times;
+        # contexts are immutable, so the derived context can be reused.
+        # Keys are (element, collapse, prune); the dict is only
+        # allocated on first use and never pickled (see __reduce__).
+        self._appends = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -122,13 +129,24 @@ class TransactionContext:
         prune: bool = True,
     ) -> "TransactionContext":
         """Extend the context with one element, applying normalisation."""
+        cache = self._appends
+        key = (element, collapse, prune)
+        if cache is not None:
+            cached = cache.get(key)
+            if cached is not None:
+                return cached
+        else:
+            cache = self._appends = {}
         elements = self.elements
         if collapse and elements and elements[-1] == element:
-            return self
-        if prune and element in elements:
+            result = self
+        elif prune and element in elements:
             index = elements.index(element)
-            return TransactionContext(elements[: index + 1])
-        return TransactionContext(elements + (element,))
+            result = TransactionContext(elements[: index + 1])
+        else:
+            result = TransactionContext(elements + (element,))
+        cache[key] = result
+        return result
 
     def concat(self, other: "TransactionContext") -> "TransactionContext":
         """Plain concatenation (no normalisation), as at stage handoff."""
@@ -185,6 +203,12 @@ class TransactionContext:
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        # Pickle only the elements: the hash is per-process (it follows
+        # PYTHONHASHSEED) and the append memo is a per-process
+        # optimisation, not state.  Both are rebuilt on unpickle.
+        return (TransactionContext, (self.elements,))
 
     def __repr__(self) -> str:
         inner = ", ".join(

@@ -73,6 +73,22 @@ class Park(Syscall):
 class EventLoop:
     """A single-threaded event loop with transaction-context tracking."""
 
+    __slots__ = (
+        "kernel",
+        "name",
+        "loop_frame",
+        "prune_loops",
+        "collapse_repeats",
+        "_ready",
+        "_parked",
+        "_stopped",
+        "curr_tran_ctxt",
+        "_in_handler",
+        "dispatched",
+        "thread",
+        "_watches",
+    )
+
     def __init__(
         self,
         kernel: "Kernel",
@@ -95,6 +111,8 @@ class EventLoop:
         self.dispatched = 0
         # The loop's SimThread, available to handlers once run() starts.
         self.thread: Optional[SimThread] = None
+        # Outstanding waitable watches, so stop() can un-register them.
+        self._watches: list = []
 
     # ------------------------------------------------------------------
     # Registration (Fig 4, event_add)
@@ -119,10 +137,18 @@ class EventLoop:
         self.kernel.schedule(delay, self._make_ready, event)
 
     def _watch(self, waitable: Any, event: Event) -> None:
+        if self._stopped:
+            # A stopped loop will never dispatch the event; registering
+            # the observer would only recreate the leak stop() purges.
+            return
+
         def observer(_source) -> None:
             waitable.observers.remove(observer)
+            self._watches.remove(entry)
             self._make_ready(event)
 
+        entry = (waitable, observer)
+        self._watches.append(entry)
         waitable.observers.append(observer)
 
     def _make_ready(self, event: Event) -> None:
@@ -136,6 +162,12 @@ class EventLoop:
 
     def stop(self) -> None:
         self._stopped = True
+        # Un-register outstanding waitable watches: a stopped loop will
+        # never dispatch them, and a still-attached observer pins the
+        # loop and its captured events for the waitable's lifetime.
+        for waitable, observer in self._watches:
+            waitable.observers.remove(observer)
+        self._watches.clear()
         self.wake()
 
     # ------------------------------------------------------------------
@@ -146,19 +178,20 @@ class EventLoop:
         thread = yield CurrentThread()
         thread.daemon = True
         self.thread = thread
+        ready = self._ready
+        collapse = self.collapse_repeats
+        prune = self.prune_loops
         with frame(thread, self.loop_frame):
             while not self._stopped:
-                while not self._ready:
+                while not ready:
                     yield Park(self)
                     if self._stopped:
                         return
-                event = self._ready.popleft()
+                event = ready.popleft()
                 # Lines 5-6: current context = concat(event ctxt, handler),
                 # with repeat-collapsing and loop pruning (§4.1).
                 context = event.ev_tran_ctxt.append(
-                    event.name,
-                    collapse=self.collapse_repeats,
-                    prune=self.prune_loops,
+                    event.name, collapse=collapse, prune=prune
                 )
                 self.curr_tran_ctxt = context
                 thread.tran_ctxt = context

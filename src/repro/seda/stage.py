@@ -52,6 +52,20 @@ class StageQueue:
     behind SEDA's "well-conditioned" behaviour under overload.
     """
 
+    __slots__ = (
+        "kernel",
+        "name",
+        "capacity",
+        "_elements",
+        "_waiters",
+        "enqueued",
+        "rejected",
+        "_tele",
+        "_tele_depth",
+        "_tele_enqueued",
+        "_tele_rejected",
+    )
+
     def __init__(
         self,
         kernel: "Kernel",
@@ -95,29 +109,32 @@ class StageQueue:
         Returns False (and drops the element) when a bounded queue is
         full — SEDA admission control.
         """
+        tele_enqueued = self._tele_enqueued
         if self._tele is not None:
             element.enqueued_at = self.kernel.now
-        while self._waiters:
-            waiter = self._waiters.popleft()
+        waiters = self._waiters
+        while waiters:
+            waiter = waiters.popleft()
             if not waiter.alive:
                 # The worker crashed while blocked here; the element must
                 # go to a surviving worker (or the buffer), not vanish.
                 continue
             self.enqueued += 1
-            if self._tele_enqueued is not None:
-                self._tele_enqueued.inc()
+            if tele_enqueued is not None:
+                tele_enqueued.inc()
             self.kernel.resume(waiter, element)
             return True
-        if self.capacity is not None and len(self._elements) >= self.capacity:
+        elements = self._elements
+        if self.capacity is not None and len(elements) >= self.capacity:
             self.rejected += 1
             if self._tele_rejected is not None:
                 self._tele_rejected.inc()
             return False
         self.enqueued += 1
-        self._elements.append(element)
-        if self._tele_enqueued is not None:
-            self._tele_enqueued.inc()
-            self._tele_depth.set(len(self._elements))
+        elements.append(element)
+        if tele_enqueued is not None:
+            tele_enqueued.inc()
+            self._tele_depth.set(len(elements))
         return True
 
     def __len__(self) -> int:
@@ -275,6 +292,11 @@ class SedaStage:
         queue = self.input_queue
         self.lost_elements += len(queue._elements)
         queue._elements.clear()
+        # Dead workers parked in Dequeue must not linger in the waiter
+        # list: enqueue() skips them but never frees them, so repeated
+        # crash/restart cycles would grow the deque without bound.
+        if queue._waiters:
+            queue._waiters = deque(w for w in queue._waiters if w.alive)
         if queue._tele_depth is not None:
             queue._tele_depth.set(0)
         runtime = self.stage_runtime

@@ -1,10 +1,44 @@
-"""Simulation kernel: virtual clock, event queue, thread scheduler.
+"""Simulation kernel: virtual clock, indexed timer wheel, thread scheduler.
 
-The kernel owns a priority queue of timestamped callbacks and a registry
-of live :class:`~repro.sim.process.SimThread` coroutines.  All
-application code in this repository runs on top of it; nothing ever
+The kernel owns a timestamp-indexed timer wheel of cancellable callbacks
+and a registry of live :class:`~repro.sim.process.SimThread` coroutines.
+All application code in this repository runs on top of it; nothing ever
 reads the wall clock, so a given seed always produces the same
 execution, event for event.
+
+Event-queue design (the "kernel raw-speed overhaul")
+----------------------------------------------------
+
+The original kernel kept one binary heap of ``ScheduledEvent`` objects
+ordered by a Python-level ``__lt__``; every push and pop paid ``O(log
+n)`` *interpreted* comparisons, and same-timestamp storms (every
+``call_soon``/``resume``) re-entered the heap per event.  The rewrite is
+a two-level structure — a hashed timing wheel with an exact-time cursor:
+
+- ``_wheel``: a dict mapping each *exact* pending timestamp to the list
+  of events scheduled at it (its bucket).  Scheduling is an O(1) dict
+  append; buckets are in FIFO order by construction because the global
+  sequence number only ever grows.
+- ``_times``: a heap of the distinct pending timestamps (plain floats,
+  so every comparison runs in C).  One heap operation per *timestamp*,
+  not per event: a bucket of ten thousand same-time events costs one
+  pop, and the whole run of events drains in a tight loop — the batched
+  same-timestamp dispatch.
+
+Cancellation just flags the event (O(1)); a cancelled event is skipped
+when its bucket fires, and once cancelled entries dominate the wheel it
+is rebuilt without them (lazy purge), exactly as the old heap was.  This
+is what makes the dominant schedule-then-cancel pattern (RPC
+``RetryPolicy`` timeouts cancelled by the arriving response) cheap: no
+heap traffic for the event itself, only for its (often shared, often
+already pending) timestamp.
+
+A classical *hierarchical* timer wheel quantises time into ticks; this
+kernel deliberately does not, because runs must be byte-reproducible and
+virtual timestamps are exact floats — rounding a timeout to a tick
+boundary would change simulation results.  Indexing on the exact
+timestamp keeps O(1) schedule/cancel while preserving exact
+(time, insertion-order) firing semantics.
 """
 
 from __future__ import annotations
@@ -16,7 +50,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional
 from repro import telemetry as _telemetry
 from repro.sim.process import SimThread
 
-# Lazy-purge thresholds: rebuild the heap only when it is mostly dead
+# Lazy-purge thresholds: rebuild the wheel only when it is mostly dead
 # weight and big enough for the rebuild to matter.
 _PURGE_MIN_QUEUE = 64
 
@@ -24,22 +58,26 @@ _PURGE_MIN_QUEUE = 64
 # rather than on every pop.
 _TELEMETRY_GAUGE_INTERVAL = 64
 
+_INF = float("inf")
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
 
 class ScheduledEvent:
     """A cancellable callback scheduled at a point in virtual time."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled", "kernel")
+    __slots__ = ("time", "fn", "args", "cancelled", "kernel")
 
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+    def __init__(self, time: float, fn: Callable, args: tuple):
         self.time = time
-        self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
-        # Back-reference while the event sits in a kernel's queue, so
-        # cancellation can be counted (and the heap purged once
-        # cancelled entries dominate it).  Detached when the event is
-        # popped or purged.
+        # Back-reference while the event sits in a kernel's wheel, so
+        # cancellation can be counted (and the wheel purged once
+        # cancelled entries dominate it).  Detached when the event's
+        # bucket is dispatched or the event is purged.
         self.kernel: Optional["Kernel"] = None
 
     def cancel(self) -> None:
@@ -50,9 +88,6 @@ class ScheduledEvent:
         kernel = self.kernel
         if kernel is not None:
             kernel._note_cancelled()
-
-    def __lt__(self, other: "ScheduledEvent") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
 
 class SimulationError(Exception):
@@ -79,6 +114,27 @@ class Kernel:
         the event queue empties while spawned threads remain blocked.
     """
 
+    __slots__ = (
+        "now",
+        "strict",
+        "livelock_limit",
+        "_same_time_events",
+        "_wheel",
+        "_times",
+        "_num_events",
+        "_threads",
+        "_next_tid",
+        "_stopped",
+        "faults",
+        "_cancelled",
+        "_tele_events",
+        "_tele_cancelled",
+        "_tele_heap",
+        "_tele_threads",
+        "_tele_vtime",
+        "_tele_drift",
+    )
+
     def __init__(self, strict: bool = True, livelock_limit: int = 2_000_000):
         self.now: float = 0.0
         self.strict = strict
@@ -87,8 +143,13 @@ class Kernel:
         # virtual time; fail loudly instead of spinning silently.
         self.livelock_limit = livelock_limit
         self._same_time_events = 0
-        self._queue: List[ScheduledEvent] = []
-        self._seq = 0
+        # Timer wheel: exact timestamp -> FIFO bucket of events, plus a
+        # float heap of the distinct pending timestamps (see module
+        # docstring).  ``_num_events`` counts every event in the wheel,
+        # cancelled ones included.
+        self._wheel: Dict[float, List[ScheduledEvent]] = {}
+        self._times: List[float] = []
+        self._num_events = 0
         # Only live threads: finished/failed threads are reaped (see
         # :meth:`reap`), so deadlock checks and live_threads stay O(live)
         # however many short-lived threads a run spawns.
@@ -98,8 +159,8 @@ class Kernel:
         # Fault injector (repro.faults.install_faults); endpoints capture
         # their per-rule state from it at construction.  None = lossless.
         self.faults: Any = None
-        # Cancelled events still sitting in the heap; once they dominate
-        # it the heap is rebuilt without them (lazy purge).
+        # Cancelled events still sitting in the wheel; once they dominate
+        # it the wheel is rebuilt without them (lazy purge).
         self._cancelled = 0
         # Telemetry is captured once at construction so a disabled run
         # pays nothing in the event loop (no global lookups per event).
@@ -113,7 +174,7 @@ class Kernel:
                 "repro_sim_events_cancelled_total", "scheduled events cancelled"
             )
             self._tele_heap = m.gauge(
-                "repro_sim_event_heap_size", "entries in the kernel event heap"
+                "repro_sim_event_heap_size", "entries in the kernel timer wheel"
             )
             self._tele_threads = m.gauge(
                 "repro_sim_live_threads", "live simulated threads (runnable queue)"
@@ -134,7 +195,7 @@ class Kernel:
             self._tele_drift = None
 
     def _refresh_telemetry_gauges(self) -> None:
-        self._tele_heap.set(len(self._queue))
+        self._tele_heap.set(self._num_events)
         self._tele_threads.set(len(self._threads))
         self._tele_vtime.set(self.now)
 
@@ -145,41 +206,72 @@ class Kernel:
         """Run ``fn(*args)`` after ``delay`` units of virtual time."""
         if delay < 0:
             raise ValueError("cannot schedule into the past (delay=%r)" % delay)
-        event = ScheduledEvent(self.now + delay, self._seq, fn, args)
+        if delay != delay or delay == _INF:
+            # NaN slips past ``delay < 0`` (all comparisons are False)
+            # and, like +inf, would corrupt the wheel's time ordering.
+            raise ValueError("delay must be finite (delay=%r)" % delay)
+        when = self.now + delay
+        event = ScheduledEvent(when, fn, args)
         event.kernel = self
-        self._seq += 1
-        heapq.heappush(self._queue, event)
+        self._num_events += 1
+        bucket = self._wheel.get(when)
+        if bucket is None:
+            self._wheel[when] = [event]
+            _heappush(self._times, when)
+        else:
+            bucket.append(event)
         return event
-
-    def _note_cancelled(self) -> None:
-        """Count a cancellation; purge the heap when mostly cancelled."""
-        self._cancelled += 1
-        if self._tele_cancelled is not None:
-            self._tele_cancelled.inc()
-        if (
-            len(self._queue) > _PURGE_MIN_QUEUE
-            and self._cancelled * 2 > len(self._queue)
-        ):
-            self._purge_cancelled()
-
-    def _purge_cancelled(self) -> None:
-        """Rebuild the heap without cancelled events (O(live))."""
-        live = []
-        for event in self._queue:
-            if event.cancelled:
-                event.kernel = None
-            else:
-                live.append(event)
-        self._queue = live
-        heapq.heapify(self._queue)
-        self._cancelled = 0
 
     def call_soon(self, fn: Callable, *args: Any) -> ScheduledEvent:
         """Run ``fn(*args)`` at the current virtual time, after the
 
         currently executing event finishes.
         """
-        return self.schedule(0.0, fn, *args)
+        # Inlined zero-delay schedule: this is the hottest kernel entry
+        # point (every resume/spawn lands here), so it skips the delay
+        # validation and the addition.
+        when = self.now
+        event = ScheduledEvent(when, fn, args)
+        event.kernel = self
+        self._num_events += 1
+        bucket = self._wheel.get(when)
+        if bucket is None:
+            self._wheel[when] = [event]
+            _heappush(self._times, when)
+        else:
+            bucket.append(event)
+        return event
+
+    def _note_cancelled(self) -> None:
+        """Count a cancellation; purge the wheel when mostly cancelled."""
+        self._cancelled += 1
+        if self._tele_cancelled is not None:
+            self._tele_cancelled.inc()
+        if (
+            self._num_events > _PURGE_MIN_QUEUE
+            and self._cancelled * 2 > self._num_events
+        ):
+            self._purge_cancelled()
+
+    def _purge_cancelled(self) -> None:
+        """Rebuild the wheel without cancelled events (O(live))."""
+        wheel: Dict[float, List[ScheduledEvent]] = {}
+        total = 0
+        for when, bucket in self._wheel.items():
+            live = []
+            for event in bucket:
+                if event.cancelled:
+                    event.kernel = None
+                else:
+                    live.append(event)
+            if live:
+                wheel[when] = live
+                total += len(live)
+        self._wheel = wheel
+        self._times = list(wheel)
+        heapq.heapify(self._times)
+        self._num_events = total
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Threads
@@ -232,43 +324,112 @@ class Kernel:
         Returns the virtual time at which the run stopped.
         """
         self._stopped = False
+        # A previous horizon-bounded run() may have returned mid-batch
+        # of same-timestamp events; the livelock counter is per-run
+        # state and must not leak across segments.
+        self._same_time_events = 0
+        wheel = self._wheel
+        times = self._times
+        pop_bucket = wheel.pop
+        heappop = _heappop
+        horizon = _INF if until is None else until
+        livelock_limit = self.livelock_limit
         tele_events = self._tele_events
         if tele_events is not None:
             wall_start = time.perf_counter()
             virtual_start = self.now
-            fired = 0
-        while self._queue and not self._stopped:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                event.kernel = None
-                self._cancelled -= 1
-                continue
-            event.kernel = None
-            if until is not None and event.time > until:
-                # Put it back for a later run() call and stop the clock
-                # exactly at the horizon.
-                event.kernel = self
-                heapq.heappush(self._queue, event)
+            fired_total = 0
+        now = self.now
+        while times:
+            when = heappop(times)
+            if when > horizon:
+                # Leave the bucket for a later run() call and stop the
+                # clock exactly at the horizon.
+                _heappush(times, when)
                 self.now = until
-                return self.now
-            if event.time < self.now:
+                return until
+            if when < now:
                 raise SimulationError("time went backwards")
-            if event.time == self.now:
-                self._same_time_events += 1
-                if self._same_time_events > self.livelock_limit:
-                    raise SimulationError(
-                        f"livelock: {self.livelock_limit} events fired at "
-                        f"t={self.now} without the clock advancing"
-                    )
+            batch = pop_bucket(when)
+            if len(batch) == 1:
+                # Fast path: one event at this timestamp (the common
+                # case for distinct timer deadlines).  No batch slicing
+                # is ever needed, so no try/except either.
+                event = batch[0]
+                event.kernel = None
+                self._num_events -= 1
+                if event.cancelled:
+                    self._cancelled -= 1
+                    continue
+                if when > now:
+                    self.now = now = when
+                    self._same_time_events = 0
+                else:
+                    same = self._same_time_events + 1
+                    self._same_time_events = same
+                    if same > livelock_limit:
+                        raise SimulationError(
+                            f"livelock: {livelock_limit} events fired at "
+                            f"t={now} without the clock advancing"
+                        )
+                event.fn(*event.args)
+                if tele_events is not None:
+                    tele_events.inc()
+                    fired_total += 1
+                    if fired_total % _TELEMETRY_GAUGE_INTERVAL == 0:
+                        self._refresh_telemetry_gauges()
+                if self._stopped:
+                    break
+                continue
+            # Batched dispatch: detach the whole bucket first so a
+            # cancel() from inside the batch cannot touch the wheel's
+            # counters (the events are in flight, invisible to purge).
+            self._num_events -= len(batch)
+            cancelled_in_batch = 0
+            for event in batch:
+                event.kernel = None
+                if event.cancelled:
+                    cancelled_in_batch += 1
+            if cancelled_in_batch:
+                self._cancelled -= cancelled_in_batch
+                if cancelled_in_batch == len(batch):
+                    continue
+            if when > now:
+                self.now = now = when
+                same = -1  # the first event at a new time resets the count
             else:
-                self._same_time_events = 0
-            self.now = event.time
-            event.fn(*event.args)
-            if tele_events is not None:
-                tele_events.inc()
-                fired += 1
-                if fired % _TELEMETRY_GAUGE_INTERVAL == 0:
-                    self._refresh_telemetry_gauges()
+                same = self._same_time_events
+            fired = 0
+            event = None
+            try:
+                for event in batch:
+                    if event.cancelled:
+                        continue
+                    event.fn(*event.args)
+                    fired += 1
+                    if tele_events is not None:
+                        tele_events.inc()
+                        fired_total += 1
+                        if fired_total % _TELEMETRY_GAUGE_INTERVAL == 0:
+                            self._refresh_telemetry_gauges()
+                    if self._stopped:
+                        self._requeue(when, batch, event)
+                        break
+            except BaseException:
+                # The raising event is consumed; everything after it
+                # goes back so a later run() resumes exactly there.
+                self._requeue(when, batch, event)
+                self._same_time_events = max(same + fired, 0)
+                raise
+            same += fired
+            self._same_time_events = max(same, 0)
+            if same > livelock_limit:
+                raise SimulationError(
+                    f"livelock: {livelock_limit} events fired at "
+                    f"t={now} without the clock advancing"
+                )
+            if self._stopped:
+                break
         if tele_events is not None:
             elapsed_virtual = self.now - virtual_start
             if elapsed_virtual > 0:
@@ -287,12 +448,35 @@ class Kernel:
                 for t in self._threads.values()
                 if t.alive and t.blocked_on and not t.daemon
             ]
-            if blocked and not self._queue:
+            if blocked and not self._wheel:
                 names = ", ".join(
                     f"{t.name} on {t.blocked_on}" for t in blocked[:8]
                 )
                 raise Deadlock(f"all events drained with blocked threads: {names}")
         return self.now
+
+    def _requeue(self, when: float, batch: List[ScheduledEvent], last) -> None:
+        """Put the unfired tail of an interrupted batch back on the wheel.
+
+        ``last`` is the batch entry that stopped the dispatch (it is
+        consumed); everything after it is re-attached in order, ahead of
+        any same-timestamp events scheduled while the batch ran.
+        """
+        rest = batch[batch.index(last) + 1 :]
+        if not rest:
+            return
+        for event in rest:
+            event.kernel = self
+            if event.cancelled:
+                self._cancelled += 1
+        existing = self._wheel.get(when)
+        if existing is None:
+            self._wheel[when] = rest
+            _heappush(self._times, when)
+        else:
+            rest.extend(existing)
+            self._wheel[when] = rest
+        self._num_events += len(rest)
 
     def stop(self) -> None:
         """Stop :meth:`run` after the current event completes."""
@@ -308,4 +492,4 @@ class Kernel:
 
     def pending_events(self) -> int:
         """Number of scheduled, non-cancelled events (O(1))."""
-        return len(self._queue) - self._cancelled
+        return self._num_events - self._cancelled

@@ -28,6 +28,11 @@ class Syscall:
     resume it later.
     """
 
+    # Without slots on the base class, every syscall instance would
+    # carry a ``__dict__`` no matter what its subclass declares — and
+    # syscalls are allocated on nearly every simulated operation.
+    __slots__ = ()
+
     def execute(self, kernel: "Kernel", thread: "SimThread") -> None:
         raise NotImplementedError
 
@@ -55,6 +60,8 @@ class Delay(Syscall):
 
 class Exit(Syscall):
     """Terminate the current thread immediately."""
+
+    __slots__ = ()
 
     def execute(self, kernel: "Kernel", thread: "SimThread") -> None:
         thread.finish(None)
@@ -107,6 +114,8 @@ class CurrentThread(Syscall):
             thread = yield CurrentThread()
     """
 
+    __slots__ = ()
+
     def execute(self, kernel: "Kernel", thread: "SimThread") -> None:
         kernel.resume(thread, thread)
 
@@ -126,6 +135,22 @@ class SimThread:
     stage:
         The profiling stage runtime this thread belongs to, or ``None``.
     """
+
+    __slots__ = (
+        "kernel",
+        "generator",
+        "tid",
+        "name",
+        "stage",
+        "daemon",
+        "alive",
+        "result",
+        "failure",
+        "blocked_on",
+        "joiners",
+        "call_stack",
+        "tran_ctxt",
+    )
 
     def __init__(
         self,

@@ -57,6 +57,20 @@ class Mutex:
     the information crosstalk needs to answer *who caused the wait*.
     """
 
+    __slots__ = (
+        "name",
+        "policy",
+        "writer_starvation_limit",
+        "_kernel_now",
+        "holders",
+        "mode",
+        "_waiters",
+        "observers",
+        "total_wait_time",
+        "wait_count",
+        "acquire_count",
+    )
+
     def __init__(
         self,
         name: str = "mutex",
@@ -236,6 +250,8 @@ class Release(Syscall):
 class Condition:
     """Condition variable bound to a mutex (Mesa semantics)."""
 
+    __slots__ = ("mutex", "name", "_waiters")
+
     def __init__(self, mutex: Mutex, name: str = "cond"):
         self.mutex = mutex
         self.name = name
@@ -266,20 +282,24 @@ class Wait(Syscall):
         return f"Wait({self.cond.name})"
 
 
-class _Reacquire(Syscall):
-    """Internal: re-acquire the mutex after a condition wakeup."""
+class _Reacquire(Acquire):
+    """Internal: re-acquire the mutex after a condition wakeup.
 
-    __slots__ = ("mutex",)
+    A subclass of :class:`Acquire` on purpose: the post-``Wait``
+    reacquisition is a real contended acquisition, so it must take the
+    holder snapshot and run the same ``completed`` path that fires
+    ``mutex.observers``.  (It once bypassed both, which made the
+    Apache-like shared connection queue invisible to crosstalk — the
+    paper's §6 measurement point.)
+    """
+
+    __slots__ = ()
 
     def __init__(self, mutex: Mutex):
-        self.mutex = mutex
+        super().__init__(mutex, shared=False)
 
-    def execute(self, kernel: "Kernel", thread: SimThread) -> None:
-        if self.mutex.acquire(kernel, thread, EXCLUSIVE):
-            kernel.resume(thread, None)
-        else:
-            thread.blocked_on = self
-            self.mutex.enqueue(kernel, thread, EXCLUSIVE)
+    def __repr__(self) -> str:
+        return f"Reacquire({self.mutex.name})"
 
 
 def _wake_waiter(kernel: "Kernel", cond: Condition, waiter: SimThread) -> None:

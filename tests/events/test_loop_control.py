@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.channels import Endpoint, Message
 from repro.core.profiler import ProfilerMode, StageRuntime
 from repro.events import Event, EventLoop
 from repro.sim import Delay, Kernel
@@ -105,3 +106,52 @@ def test_handler_yields_are_allowed():
     loop.event_add(Event("slow", slow))
     kernel.run(until=1.0)
     assert times == [0.0, 0.5]
+
+
+def test_stop_unregisters_pending_watches():
+    """A loop stopped while watching never-readable endpoints must
+    detach its observers, or the endpoints pin the dead loop (and its
+    captured events) for as long as they live."""
+    kernel = Kernel()
+    loop, thread = make_loop(kernel)
+    endpoint = Endpoint(kernel, name="idle")
+
+    def handler(lp, ev):
+        return
+        yield  # pragma: no cover
+
+    for index in range(5):
+        loop.event_add(Event(f"read{index}", handler, waitable=endpoint))
+    assert len(endpoint.observers) == 5
+
+    def stopper():
+        yield Delay(1.0)
+        loop.stop()
+
+    kernel.spawn(stopper())
+    kernel.run(until=2.0)
+    assert endpoint.observers == []
+    assert loop._watches == []
+    # Watches registered after stop are dropped, not leaked.
+    loop.event_add(Event("late", handler, waitable=endpoint))
+    assert endpoint.observers == []
+
+
+def test_fired_watch_cleans_up_its_bookkeeping():
+    kernel = Kernel()
+    loop, thread = make_loop(kernel)
+    endpoint = Endpoint(kernel, latency=0.5, name="slow")
+    ran = []
+
+    def handler(lp, ev):
+        ran.append(ev.name)
+        return
+        yield  # pragma: no cover
+
+    loop.event_add(Event("read", handler, waitable=endpoint))
+    assert len(endpoint.observers) == 1
+    endpoint.send(Message("data", size=10))
+    kernel.run(until=1.0)
+    assert ran == ["read"]
+    assert endpoint.observers == []
+    assert loop._watches == []

@@ -1,0 +1,46 @@
+"""Golden end-to-end digests: kernel speedups must not move a byte.
+
+These SHA-256 digests of canonical v2 profile bytes were captured on
+the pre-timer-wheel kernel (a heap of event objects with per-event
+ordering).  They pin the complete simulation semantics — scheduling
+order, RNG draw order, lock-grant order, synopsis allocation — through
+the two full applications.  If a kernel or hot-path change moves any of
+these bytes, it changed simulation *behaviour*, not just speed, and the
+digest here must only be updated with a semantic change that is
+understood and intended.
+
+``canonical_profile_bytes`` is hash-seed and process independent, so
+the digests are stable across machines and PYTHONHASHSEED values.
+"""
+
+import hashlib
+
+from repro.apps.haboob import HaboobConfig, HaboobServer
+from repro.apps.tpcw import TpcwSystem
+from repro.core.stitch import stitch_profiles
+from repro.parallel import canonical_profile_bytes
+from repro.sim import Kernel, Rng
+from repro.workloads import HttpClientPool, WebTrace
+
+TPCW_DIGEST = "922c7eced0cce374cfe84f398542d2e076aa3f90a60ebe7250dbbcb20bf2304b"
+HABOOB_DIGEST = "9c4be995d922e792a7757edc16d7932715124d346508d02eec587b4e81cdfd79"
+
+
+def test_tpcw_profile_bytes_match_pre_rewrite_golden():
+    system = TpcwSystem(clients=12, seed=1234)
+    results = system.run(duration=10.0, warmup=2.0)
+    digest = hashlib.sha256(canonical_profile_bytes(results.stitch())).hexdigest()
+    assert digest == TPCW_DIGEST
+
+
+def test_haboob_profile_bytes_match_pre_rewrite_golden():
+    kernel = Kernel()
+    trace = WebTrace(Rng(23), objects=2000, requests_per_connection_mean=4.0)
+    server = HaboobServer(kernel, trace, config=HaboobConfig(cache_bytes=256 * 1024))
+    server.start()
+    clients = HttpClientPool(kernel, server.listener, trace, clients=5)
+    clients.start()
+    kernel.run(until=4.0)
+    profile = stitch_profiles([server.stage_runtime])
+    digest = hashlib.sha256(canonical_profile_bytes(profile)).hexdigest()
+    assert digest == HABOOB_DIGEST

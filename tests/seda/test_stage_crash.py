@@ -122,3 +122,28 @@ def test_double_crash_is_idempotent_on_thread_list():
     assert stage.crashes == 2
     assert stage.threads == []
     assert not [t for t in kernel.live_threads if t.name.startswith("s-")]
+
+
+def test_crash_purges_dead_waiters_from_queue():
+    """Workers killed while blocked in Dequeue must leave the waiter
+    deque; enqueue() skips dead waiters but never frees them, so
+    without the purge every crash/restart cycle grows the deque."""
+    kernel = Kernel()
+    stage = _stage(kernel, workers=3)
+    kernel.run(until=0.1)  # all three workers park in Dequeue
+    assert len(stage.input_queue._waiters) == 3
+    stage.crash()
+    assert len(stage.input_queue._waiters) == 0
+
+
+def test_crash_restart_cycles_keep_waiter_state_bounded():
+    kernel = Kernel()
+    stage = _stage(kernel, workers=3)
+    kernel.run(until=0.1)
+    for _ in range(10):
+        stage.crash()
+        stage.restart()
+        kernel.run(until=kernel.now + 0.1)
+    # Only the live pool waits; the 30 crashed workers are gone.
+    assert len(stage.input_queue._waiters) == 3
+    assert all(waiter.alive for waiter in stage.input_queue._waiters)

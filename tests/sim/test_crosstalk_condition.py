@@ -1,0 +1,82 @@
+"""Regression: contended Condition wakeups are visible to crosstalk (§6).
+
+The post-``Wait`` mutex reacquisition used to bypass the ``Acquire``
+observer path — ``_Reacquire`` was an unrelated syscall class, so
+``Mutex._grant_waiter``'s ``isinstance`` check never fired
+``mutex.observers`` for it.  Lock waits flowing through condition
+variables (the Apache-like server's shared connection queue) were
+therefore invisible to crosstalk, the paper's §6 measurement point.
+"""
+
+from repro.core.context import TransactionContext
+from repro.core.crosstalk import CrosstalkRecorder
+from repro.sim import (
+    Acquire,
+    Condition,
+    CurrentThread,
+    Delay,
+    Kernel,
+    Mutex,
+    Notify,
+    Release,
+    Wait,
+)
+
+
+def _contended_wakeup(kernel, mutex, cond, consumer_ctxt=None, producer_ctxt=None):
+    """Consumer waits on ``cond``; producer notifies while holding the
+
+    mutex for 0.5s, so the consumer's reacquisition is contended."""
+
+    def consumer():
+        thread = yield CurrentThread()
+        thread.tran_ctxt = consumer_ctxt
+        yield Acquire(mutex)
+        yield Wait(cond)
+        yield Release(mutex)
+
+    def producer():
+        thread = yield CurrentThread()
+        thread.tran_ctxt = producer_ctxt
+        yield Delay(1.0)
+        yield Acquire(mutex)  # uncontended: the consumer released in Wait
+        yield Notify(cond)  # the consumer's reacquire now blocks on us
+        yield Delay(0.5)  # hold the lock while it waits
+        yield Release(mutex)
+
+    kernel.spawn(consumer(), name="consumer")
+    kernel.spawn(producer(), name="producer")
+    kernel.run()
+
+
+def test_condition_reacquire_fires_mutex_observers():
+    kernel = Kernel()
+    mutex = Mutex("queue_lock")
+    cond = Condition(mutex, "nonempty")
+    events = []
+    mutex.observers.append(
+        lambda m, waiter, holders, mode, wait: events.append(
+            (waiter.name, [holder.name for holder, _ in holders], mode, wait)
+        )
+    )
+    _contended_wakeup(kernel, mutex, cond)
+    assert events == [("consumer", ["producer"], "exclusive", 0.5)]
+
+
+def test_condition_crosstalk_reaches_recorder():
+    """End to end: the wait shows up in a CrosstalkRecorder, attributed
+
+    to the notifier's transaction type."""
+    kernel = Kernel()
+    mutex = Mutex("queue_lock")
+    cond = Condition(mutex, "nonempty")
+    recorder = CrosstalkRecorder()
+    recorder.observe(mutex)
+    waiter_ctxt = TransactionContext(("GET /idle",))
+    holder_ctxt = TransactionContext(("POST /upload",))
+    _contended_wakeup(
+        kernel, mutex, cond, consumer_ctxt=waiter_ctxt, producer_ctxt=holder_ctxt
+    )
+    assert recorder.mean_wait(waiter_ctxt, holder_ctxt) == 0.5
+    assert recorder.total_wait_of(waiter_ctxt) == 0.5
+    assert recorder.events == [(waiter_ctxt, holder_ctxt, 0.5)]

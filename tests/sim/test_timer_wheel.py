@@ -1,0 +1,146 @@
+"""Timer-wheel semantics: cancellation, ordering, counters.
+
+The kernel's event queue is a hashed wheel (dict buckets keyed by exact
+timestamp plus a heap of distinct times) rather than a heap of event
+objects.  These tests pin the observable semantics the rewrite must
+preserve: FIFO order within a timestamp, zero-delay interleaving with
+``call_soon``, O(1) cancellation that never corrupts the pending-event
+counter, and livelock accounting that does not leak across segmented
+``run(until=...)`` calls.
+"""
+
+import pytest
+
+from repro.sim import Kernel
+
+
+def test_non_finite_delays_rejected():
+    kernel = Kernel()
+    with pytest.raises(ValueError, match="finite"):
+        kernel.schedule(float("nan"), lambda: None)
+    with pytest.raises(ValueError, match="finite"):
+        kernel.schedule(float("inf"), lambda: None)
+    # -inf trips the schedule-into-the-past check instead.
+    with pytest.raises(ValueError):
+        kernel.schedule(float("-inf"), lambda: None)
+    assert kernel.pending_events() == 0
+
+
+def test_cancel_after_fire_is_idempotent():
+    kernel = Kernel()
+    seen = []
+    event = kernel.schedule(1.0, seen.append, "x")
+    kernel.run()
+    event.cancel()
+    event.cancel()
+    assert seen == ["x"]
+    assert kernel.pending_events() == 0
+
+
+def test_cancel_twice_counts_once():
+    kernel = Kernel()
+    kernel.schedule(1.0, lambda: None)
+    event = kernel.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()
+    assert kernel.pending_events() == 1
+    kernel.run()
+    assert kernel.pending_events() == 0
+
+
+def test_zero_delay_schedule_and_call_soon_interleave_fifo():
+    kernel = Kernel()
+    seen = []
+    kernel.schedule(0.0, seen.append, "a")
+    kernel.call_soon(seen.append, "b")
+    kernel.schedule(0.0, seen.append, "c")
+    kernel.run()
+    assert seen == ["a", "b", "c"]
+
+
+def test_events_scheduled_mid_batch_fire_after_the_batch():
+    """New work at the current timestamp runs after the in-flight batch,
+
+    exactly as the old (time, seq) heap ordered it."""
+    kernel = Kernel()
+    seen = []
+
+    def first():
+        seen.append("first")
+        kernel.schedule(0.0, seen.append, "late")
+
+    kernel.schedule(1.0, first)
+    kernel.schedule(1.0, seen.append, "second")
+    kernel.run()
+    assert seen == ["first", "second", "late"]
+
+
+def test_cancel_churn_fires_survivors_in_order():
+    """The RPC retry pattern: many timers set, most cancelled early."""
+    kernel = Kernel()
+    seen = []
+    events = []
+    for index in range(200):
+        events.append(kernel.schedule(1.0 + (index % 7), seen.append, index))
+    for index, event in enumerate(events):
+        if index % 3:
+            event.cancel()
+    survivors = [index for index in range(200) if not index % 3]
+    assert kernel.pending_events() == len(survivors)
+    kernel.run()
+    assert seen == sorted(survivors, key=lambda i: (1.0 + (i % 7), i))
+
+
+def test_wheel_drains_completely():
+    kernel = Kernel()
+    for index in range(500):
+        event = kernel.schedule(1.0 + index * 1e-3, lambda: None)
+        if index % 10:
+            event.cancel()
+    kernel.run()
+    assert kernel.pending_events() == 0
+    # Whitebox: no leaked buckets or stale timestamps after a run.
+    assert kernel._wheel == {}
+    assert kernel._times == []
+
+
+def test_mid_batch_cancellation_suppresses_peers():
+    """An event fired in a batch may cancel later events of the same
+
+    timestamp; they must not run, and counters must stay exact."""
+    kernel = Kernel()
+    seen = []
+    victims = []
+
+    def assassin():
+        seen.append("assassin")
+        for victim in victims:
+            victim.cancel()
+
+    kernel.schedule(1.0, assassin)
+    victims.append(kernel.schedule(1.0, seen.append, "victim-a"))
+    victims.append(kernel.schedule(1.0, seen.append, "victim-b"))
+    kernel.schedule(2.0, seen.append, "after")
+    kernel.run()
+    assert seen == ["assassin", "after"]
+    assert kernel.pending_events() == 0
+
+
+def test_livelock_counter_resets_between_run_segments():
+    """A sub-limit same-time batch must not poison a later run() call.
+
+    The counter used to persist across segmented ``run(until=...)``
+    calls, so two batches at the same timestamp in consecutive segments
+    added up and tripped the livelock detector spuriously.
+    """
+    kernel = Kernel(livelock_limit=100)
+    seen = []
+    for index in range(80):
+        kernel.schedule(1.0, seen.append, index)
+    kernel.run(until=1.0)
+    assert len(seen) == 80
+    # Still at t=1.0: no clock advance to reset the counter for us.
+    for index in range(80):
+        kernel.schedule(0.0, seen.append, 80 + index)
+    kernel.run(until=1.0)
+    assert len(seen) == 160
