@@ -26,6 +26,13 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator, Tuple
 
+# Cap on the per-context append() memo.  The hot paths (SEDA stage
+# dispatch, event-loop dispatch) append a small fixed vocabulary of
+# stage/handler names, so the memo stays tiny; the cap keeps a call
+# site that appends high-cardinality elements (e.g. per-request ids)
+# from pinning unbounded derived contexts to a long-lived root.
+_APPEND_MEMO_MAX = 128
+
 
 class SynopsisRef:
     """Opaque stand-in for a remote transaction context.
@@ -107,7 +114,8 @@ class TransactionContext:
         # stage/handler names to the same contexts millions of times;
         # contexts are immutable, so the derived context can be reused.
         # Keys are (element, collapse, prune); the dict is only
-        # allocated on first use and never pickled (see __reduce__).
+        # allocated on first use, capped at _APPEND_MEMO_MAX entries,
+        # and never pickled (see __reduce__).
         self._appends = None
 
     # ------------------------------------------------------------------
@@ -145,7 +153,8 @@ class TransactionContext:
             result = TransactionContext(elements[: index + 1])
         else:
             result = TransactionContext(elements + (element,))
-        cache[key] = result
+        if len(cache) < _APPEND_MEMO_MAX:
+            cache[key] = result
         return result
 
     def concat(self, other: "TransactionContext") -> "TransactionContext":

@@ -254,10 +254,21 @@ class Kernel:
             self._purge_cancelled()
 
     def _purge_cancelled(self) -> None:
-        """Rebuild the wheel without cancelled events (O(live))."""
-        wheel: Dict[float, List[ScheduledEvent]] = {}
+        """Rebuild the wheel without cancelled events (O(live)).
+
+        Mutates ``self._wheel`` and ``self._times`` *in place*: a purge
+        can fire mid-:meth:`run` (a dispatched handler cancelling
+        pending timers is exactly the RPC retry pattern the wheel is
+        built for), and ``run()`` holds both structures — and the
+        wheel's bound ``pop`` — as locals.  Rebinding the attributes to
+        fresh objects would strand the running loop on the stale pair:
+        events scheduled after the purge would never fire, and live
+        events would be double-tracked.
+        """
+        wheel = self._wheel
+        live_buckets: Dict[float, List[ScheduledEvent]] = {}
         total = 0
-        for when, bucket in self._wheel.items():
+        for when, bucket in wheel.items():
             live = []
             for event in bucket:
                 if event.cancelled:
@@ -265,11 +276,13 @@ class Kernel:
                 else:
                     live.append(event)
             if live:
-                wheel[when] = live
+                live_buckets[when] = live
                 total += len(live)
-        self._wheel = wheel
-        self._times = list(wheel)
-        heapq.heapify(self._times)
+        wheel.clear()
+        wheel.update(live_buckets)
+        times = self._times
+        times[:] = live_buckets
+        heapq.heapify(times)
         self._num_events = total
         self._cancelled = 0
 

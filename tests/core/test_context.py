@@ -65,6 +65,20 @@ def test_prune_disabled_grows_history():
     assert grown.elements == ("accept", "read", "write", "read")
 
 
+def test_append_memo_is_bounded():
+    """High-cardinality appends (per-request ids) must not pin unbounded
+    derived contexts to a long-lived root via the append memo."""
+    from repro.core.context import _APPEND_MEMO_MAX
+
+    c = ctxt("accept")
+    for index in range(_APPEND_MEMO_MAX * 4):
+        result = c.append(f"req-{index}")
+        assert result.elements == ("accept", f"req-{index}")
+    assert len(c._appends) <= _APPEND_MEMO_MAX
+    # Cached appends still hit the memo and stay correct past the cap.
+    assert c.append("req-0") is c._appends[("req-0", True, True)]
+
+
 def test_concat_orders_elements():
     assert ctxt("a", "b").concat(ctxt("c")).elements == ("a", "b", "c")
 

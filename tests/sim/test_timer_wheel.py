@@ -126,6 +126,49 @@ def test_mid_batch_cancellation_suppresses_peers():
     assert kernel.pending_events() == 0
 
 
+def test_mid_run_purge_keeps_the_loop_on_the_live_wheel():
+    """Cancelling enough pending timers from inside a handler trips the
+    lazy purge while ``run()`` is draining.  The rebuilt wheel must be
+    the same objects the loop caches as locals: a rebinding purge left
+    the loop on the stale pair, so events scheduled after the purge
+    never fired and the duplicated survivors crashed the next run().
+    """
+    kernel = Kernel()
+    seen = []
+    timers = [kernel.schedule(10.0 + index, seen.append, index) for index in range(200)]
+
+    def cancel_most_then_reschedule():
+        # 150 cancellations out of ~200 pending events crosses the
+        # purge threshold (>64 events, majority cancelled) mid-run.
+        for timer in timers[:150]:
+            timer.cancel()
+        kernel.schedule(1.0, seen.append, "post-purge")
+
+    kernel.schedule(1.0, cancel_most_then_reschedule)
+    kernel.run(until=5.0)
+    assert "post-purge" in seen
+    # Exactly the 50 surviving timers remain; draining them in a second
+    # segment must not double-fire or raise "time went backwards".
+    assert kernel.pending_events() == 50
+    kernel.run()
+    assert kernel.pending_events() == 0
+    assert [x for x in seen if isinstance(x, int)] == list(range(150, 200))
+
+
+def test_purge_from_cancel_outside_run_stays_consistent():
+    """The purge also fires outside run(); counters and order survive."""
+    kernel = Kernel()
+    seen = []
+    events = [kernel.schedule(1.0 + index, seen.append, index) for index in range(100)]
+    for event in events[:80]:
+        event.cancel()
+    assert kernel.pending_events() == 20
+    kernel.schedule(0.5, seen.append, "early")
+    kernel.run()
+    assert seen == ["early"] + list(range(80, 100))
+    assert kernel.pending_events() == 0
+
+
 def test_livelock_counter_resets_between_run_segments():
     """A sub-limit same-time batch must not poison a later run() call.
 
