@@ -376,6 +376,16 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_digest(profile) -> int:
+    """Print the canonical SHA-256 of a stitched profile (CI proof)."""
+    import hashlib
+
+    from repro.parallel import canonical_profile_bytes
+
+    print(hashlib.sha256(canonical_profile_bytes(profile)).hexdigest())
+    return 0
+
+
 def cmd_stitch(args: argparse.Namespace) -> int:
     """Post-mortem presentation phase: stitch stage dumps end to end."""
     import os
@@ -390,17 +400,120 @@ def cmd_stitch(args: argparse.Namespace) -> int:
     strict = bool(getattr(args, "strict", False))
     if len(args.profiles) == 1 and os.path.isdir(args.profiles[0]):
         # A spool directory written by a sharded run: map-reduce the
-        # per-shard groups from its manifest.
-        profile = stitch_spool(args.profiles[0], jobs=args.jobs, strict=strict)
+        # per-shard groups from its manifest — flat, or through the
+        # hierarchical reduce tree when --group-size is given (the
+        # output bytes are identical either way).
+        profile = stitch_spool(
+            args.profiles[0],
+            jobs=args.jobs,
+            strict=strict,
+            group_size=args.group_size,
+        )
+        if args.digest:
+            return _print_digest(profile)
         print(render_stitched_profile(profile, min_share=args.min_share))
         print(f"\ncompleteness {100.0 * profile.completeness:.2f}%")
         return 0
     stages = parallel_load(args.profiles, jobs=args.jobs)
     resolve_cache = {}
     profile = stitch_profiles(stages, cache=resolve_cache, strict=strict)
+    if args.digest:
+        return _print_digest(profile)
     print(render_stitched_profile(profile, min_share=args.min_share))
     print()
     print(render_flow_graph(flow_graph(stages, cache=resolve_cache, strict=strict)))
+    return 0
+
+
+def _parse_flash_crowds(values) -> list:
+    """``start:duration:multiplier`` triples from repeated --flash flags."""
+    crowds = []
+    for value in values or []:
+        parts = value.split(":")
+        if len(parts) != 3:
+            raise SystemExit(
+                f"--flash wants START:DURATION:MULTIPLIER, got {value!r}"
+            )
+        crowds.append([float(parts[0]), float(parts[1]), float(parts[2])])
+    return crowds
+
+
+def _parse_think(value) -> Optional[dict]:
+    """``pareto[:alpha[:min]]``, ``lognormal[:mu[:sigma]]`` or
+    ``exp[:mean]`` into ThinkTime keyword arguments."""
+    if not value:
+        return None
+    parts = value.split(":")
+    kind, params = parts[0], parts[1:]
+    if kind in ("exp", "exponential"):
+        return {
+            "distribution": "exponential",
+            "mean": float(params[0]) if params else 1.0,
+        }
+    if kind == "pareto":
+        return {
+            "distribution": "pareto",
+            "alpha": float(params[0]) if params else 1.5,
+            "minimum": float(params[1]) if len(params) > 1 else 0.1,
+        }
+    if kind == "lognormal":
+        return {
+            "distribution": "lognormal",
+            "mu": float(params[0]) if params else 0.0,
+            "sigma": float(params[1]) if len(params) > 1 else 1.0,
+        }
+    raise SystemExit(f"unknown think-time distribution {kind!r}")
+
+
+def cmd_openloop(args: argparse.Namespace) -> int:
+    """Open-loop load generation, sharded: N simulated clients arrive
+    as a (possibly diurnal/flash-crowd-shaped) Poisson process split
+    deterministically across --shards independent deployments."""
+    from repro.parallel import plan_shards, run_shards
+
+    params = {
+        "arrival_rate": args.rate,
+        "total_clients": args.clients,
+        "objects": args.objects,
+        "cache_kb": args.cache_kb,
+        "record_log": args.record_log,
+    }
+    if args.diurnal_amplitude:
+        params["diurnal_amplitude"] = args.diurnal_amplitude
+        params["diurnal_period"] = args.diurnal_period
+    crowds = _parse_flash_crowds(args.flash)
+    if crowds:
+        params["flash_crowds"] = crowds
+    think = _parse_think(args.think)
+    if think:
+        params["think"] = think
+    plan = plan_shards(
+        "openloop",
+        seed=args.seed,
+        clients=args.clients,
+        shards=args.shards,
+        duration=args.seconds,
+        params=params,
+        spool_dir=args.spool or "",
+        profile_format=args.profile_format,
+        telemetry_mode=args.telemetry,
+    )
+    run = run_shards(plan, jobs=args.jobs)
+    print(
+        f"{args.shards} shards, {args.jobs} jobs: "
+        f"{run.sessions_started()} sessions started "
+        f"({run.sessions_finished()} finished) of {args.clients} planned"
+    )
+    print(
+        f"served {run.served()} responses, {run.throughput():.1f} Mb/s "
+        f"aggregate, mean response {run.mean_response() * 1000:.1f} ms"
+    )
+    print(
+        f"wall {run.wall_seconds:.2f}s, shard skew x{run.wall_skew():.2f}"
+    )
+    if args.spool:
+        print(f"spooled {run.dump_bytes()} profile bytes "
+              f"({args.profile_format}) to {args.spool}")
     return 0
 
 
@@ -576,6 +689,63 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_flags(p)
     p.set_defaults(fn=cmd_tpcw)
 
+    p = sub.add_parser(
+        "openloop",
+        help="open-loop load: Poisson session arrivals with diurnal "
+        "curves, flash crowds and heavy-tailed think times, sharded "
+        "across a work-stealing pool",
+    )
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=10000,
+        help="total simulated clients (session budget across all shards)",
+    )
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=500.0,
+        help="population-wide base session arrival rate per virtual second",
+    )
+    p.add_argument("--seconds", type=float, default=30.0)
+    p.add_argument("--objects", type=int, default=2000)
+    p.add_argument("--cache-kb", type=int, default=512)
+    p.add_argument(
+        "--diurnal-amplitude",
+        type=float,
+        default=0.0,
+        help="sinusoidal rate swing in [0,1): rate peaks at base*(1+A)",
+    )
+    p.add_argument(
+        "--diurnal-period",
+        type=float,
+        default=86400.0,
+        help="diurnal cycle length in virtual seconds",
+    )
+    p.add_argument(
+        "--flash",
+        action="append",
+        metavar="START:DUR:MULT",
+        help="flash crowd: multiply the rate by MULT for DUR seconds "
+        "starting at START (repeatable)",
+    )
+    p.add_argument(
+        "--think",
+        metavar="DIST[:ARGS]",
+        help="think time between requests: pareto[:alpha[:min]], "
+        "lognormal[:mu[:sigma]] or exp[:mean]",
+    )
+    p.add_argument(
+        "--record-log",
+        action="store_true",
+        help="keep the per-transaction log (off by default: million-"
+        "session shards return O(1) aggregates)",
+    )
+    scale_flags(p)
+    telemetry_flags(p)
+    p.set_defaults(fn=cmd_openloop)
+
     p = sub.add_parser("table3", help="critical-section emulation cost")
     telemetry_flags(p)
     p.set_defaults(fn=cmd_table3)
@@ -601,6 +771,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="abort on unresolvable synopses instead of emitting a "
         "partial profile",
+    )
+    p.add_argument(
+        "--group-size",
+        type=int,
+        default=None,
+        metavar="G",
+        help="spool dirs only: hierarchical shard→group→global reduce "
+        "with G shards per group (0 = ~sqrt(N)); bytes identical to "
+        "the flat reduce",
+    )
+    p.add_argument(
+        "--digest",
+        action="store_true",
+        help="print only the canonical SHA-256 of the stitched profile "
+        "(the determinism proof used by CI)",
     )
     telemetry_flags(p)
     p.set_defaults(fn=cmd_stitch)

@@ -432,32 +432,91 @@ def decode_stage_v2(data: List[Any]) -> StageRuntime:
     return stage
 
 
-def dumps_stage_v2(stage: StageRuntime) -> bytes:
-    """The complete framed v2 dump as bytes.
+# ----------------------------------------------------------------------
+# Generic framing (shared by stage dumps and the reduce-tree artifacts)
+# ----------------------------------------------------------------------
+def write_frame(
+    handle: IO,
+    document: Any,
+    magic: bytes = V2_MAGIC,
+    version: int = FORMAT_VERSION_V2,
+) -> int:
+    """Append one framed, gzipped JSON document to a binary stream.
 
     ``mtime=0`` keeps gzip output byte-deterministic for identical
-    profiles, which the shard-determinism proof relies on.
+    documents, which the shard-determinism proof relies on.  Returns
+    the number of bytes written.  Frames are self-delimiting, so any
+    number can be concatenated into one spool file and streamed back
+    with :func:`read_frame`.
     """
-    document = json.dumps(
-        encode_stage_v2(stage), separators=JSON_SEPARATORS
-    ).encode("utf-8")
-    payload = gzip.compress(document, compresslevel=9, mtime=0)
-    return _V2_HEADER.pack(V2_MAGIC, FORMAT_VERSION_V2, len(payload)) + payload
+    payload = gzip.compress(
+        json.dumps(document, separators=JSON_SEPARATORS).encode("utf-8"),
+        compresslevel=9,
+        mtime=0,
+    )
+    handle.write(_V2_HEADER.pack(magic, version, len(payload)))
+    handle.write(payload)
+    return _V2_HEADER.size + len(payload)
+
+
+def read_frame(
+    handle: IO,
+    magic: Optional[bytes] = None,
+    version: Optional[int] = None,
+) -> Optional[Any]:
+    """Read the next frame from a binary stream, or None at clean EOF.
+
+    Reads exactly header + payload bytes — never the rest of the file —
+    so arbitrarily long multi-frame spools stream in bounded memory.
+    """
+    header = handle.read(_V2_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _V2_HEADER.size:
+        raise ValueError("truncated frame header")
+    got_magic, got_version, length = _V2_HEADER.unpack(header)
+    if magic is not None and got_magic != magic:
+        raise ValueError(f"bad frame magic {got_magic!r} (wanted {magic!r})")
+    if version is not None and got_version != version:
+        raise ValueError(f"unsupported frame version {got_version!r}")
+    payload = handle.read(length)
+    if len(payload) != length:
+        raise ValueError("truncated frame payload")
+    return json.loads(gzip.decompress(payload))
+
+
+def dumps_stage_v2(stage: StageRuntime) -> bytes:
+    """The complete framed v2 dump as bytes."""
+    buffer = io.BytesIO()
+    write_frame(buffer, encode_stage_v2(stage))
+    return buffer.getvalue()
 
 
 def loads_stage_v2(blob: bytes) -> StageRuntime:
     """Decode a framed v2 dump produced by :func:`dumps_stage_v2`."""
-    if len(blob) < _V2_HEADER.size:
+    document = read_frame(io.BytesIO(blob), magic=V2_MAGIC,
+                          version=FORMAT_VERSION_V2)
+    if document is None:
         raise ValueError("truncated v2 profile dump")
-    magic, version, length = _V2_HEADER.unpack_from(blob)
-    if magic != V2_MAGIC:
-        raise ValueError("not a v2 profile dump (bad magic)")
-    if version != FORMAT_VERSION_V2:
-        raise ValueError(f"unsupported profile format {version!r}")
-    payload = blob[_V2_HEADER.size:_V2_HEADER.size + length]
-    if len(payload) != length:
-        raise ValueError("truncated v2 profile dump payload")
-    return decode_stage_v2(json.loads(gzip.decompress(payload)))
+    return decode_stage_v2(document)
+
+
+def iter_stage_frames(source: PathOrFile):
+    """Stream StageRuntimes from a file of concatenated v2 frames.
+
+    One frame is decoded at a time, so a spool holding hundreds of
+    stage dumps never needs to fit in memory at once.
+    """
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            yield from iter_stage_frames(handle)
+        return
+    while True:
+        document = read_frame(source, magic=V2_MAGIC,
+                              version=FORMAT_VERSION_V2)
+        if document is None:
+            return
+        yield decode_stage_v2(document)
 
 
 # ----------------------------------------------------------------------
@@ -501,10 +560,21 @@ def _load_blob(blob: bytes) -> StageRuntime:
 
 
 def load_stage(source: PathOrFile) -> StageRuntime:
-    """Load one stage's profile dump, sniffing the format (v1 or v2)."""
+    """Load one stage's profile dump, sniffing the format (v1 or v2).
+
+    v2 files are streamed frame-wise (header, then exactly the payload)
+    rather than slurped whole — the same reader the reduce tree uses on
+    multi-frame spool files.
+    """
     if isinstance(source, str):
         with open(source, "rb") as handle:
-            return _load_blob(handle.read())
+            probe = handle.read(len(V2_MAGIC))
+            if probe == V2_MAGIC:
+                handle.seek(0)
+                document = read_frame(handle, magic=V2_MAGIC,
+                                      version=FORMAT_VERSION_V2)
+                return decode_stage_v2(document)
+            return decode_stage(json.loads((probe + handle.read()).decode("utf-8")))
     data = source.read()
     if isinstance(data, bytes):
         return _load_blob(data)

@@ -9,13 +9,21 @@ before one deterministic merge.  This package exploits both:
 - :mod:`repro.parallel.shard` deterministically partitions a TPC-W or
   Haboob workload into N independent shards (per-shard seeds derived
   from the run seed and shard index);
-- :mod:`repro.parallel.runner` executes the shards across a process
-  pool, spooling per-stage profile dumps and returning plain-data
-  summaries that merge post-hoc (including telemetry metrics);
+- :mod:`repro.parallel.scheduler` is a persistent work-stealing
+  process pool: workers are started once per session and steal shard
+  tasks from one shared queue, so stragglers delay only themselves and
+  pool startup is never paid per run;
+- :mod:`repro.parallel.runner` executes the shards across that pool,
+  spooling per-stage profile dumps and returning plain-data summaries
+  that merge post-hoc (including telemetry metrics);
 - :mod:`repro.parallel.stitching` is the map-reduce presentation
-  phase: workers load and pre-resolve dump groups in parallel, a
-  shard-ordered reduce merges the stitched profiles, so output is
-  byte-identical no matter how the work was scheduled.
+  phase: workers load and pre-resolve dump groups in parallel, an
+  exact shard-ordered reduce merges the stitched profiles, so output
+  is byte-identical no matter how the work was scheduled;
+- :mod:`repro.parallel.reduce` is the hierarchical
+  shard → group → global reduce tree, byte-identical to the flat
+  reduce at every group size thanks to error-free (Shewchuk) weight
+  accumulation.
 
 See ``docs/performance.md`` for the sharding model and determinism
 guarantees.
@@ -29,24 +37,48 @@ from repro.parallel.shard import (
     plan_shards,
 )
 from repro.parallel.runner import ShardResult, ShardedRun, run_shards
+from repro.parallel.scheduler import (
+    WorkStealingPool,
+    WorkerError,
+    effective_jobs,
+    get_pool,
+    shutdown_pools,
+)
+from repro.parallel.reduce import (
+    ProfileAccumulator,
+    default_group_size,
+    hierarchical_stitch,
+    plan_groups,
+)
 from repro.parallel.stitching import (
     canonical_profile_bytes,
     parallel_load,
     parallel_stitch,
+    spool_groups,
     stitch_spool,
 )
 
 __all__ = [
+    "ProfileAccumulator",
     "ShardPlan",
     "ShardResult",
     "ShardSpec",
     "ShardedRun",
+    "WorkStealingPool",
+    "WorkerError",
     "canonical_profile_bytes",
+    "default_group_size",
     "derive_shard_seed",
+    "effective_jobs",
+    "get_pool",
+    "hierarchical_stitch",
     "parallel_load",
     "parallel_stitch",
     "partition_clients",
+    "plan_groups",
     "plan_shards",
     "run_shards",
+    "shutdown_pools",
+    "spool_groups",
     "stitch_spool",
 ]

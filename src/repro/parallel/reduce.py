@@ -1,0 +1,345 @@
+"""Hierarchical two-level profile reduce: shard → group → global.
+
+The flat map-reduce presentation phase stitches each shard in a worker
+but folds *every* shard profile in the parent, so parent-side merge
+cost grows linearly with the shard count.  At cluster scale that fold
+becomes the new straggler.  The two-level reduce keeps it sublinear:
+shards are partitioned into contiguous *groups*, each group is merged
+inside a worker (which also did the expensive load+stitch), and the
+parent only folds the G ≈ √N group artifacts, streaming them frame by
+frame from the spool instead of loading whole files.
+
+**Exactness is what makes the tree legal.**  Shard profiles share
+fully-resolved contexts (that is the point of cross-shard
+aggregation), so reducing means adding floats — and float addition is
+not associative: ``(a+b)+c`` and ``a+(b+c)`` can differ in the last
+ulp, which would make the merged profile depend on the group size.
+The reduce therefore never adds weights directly.  Every accumulation
+goes through Shewchuk error-free partials (:func:`grow_partials` — the
+algorithm inside ``math.fsum``): a node's weight is carried as a short
+list of non-overlapping floats whose *exact* real sum equals the exact
+sum of every contribution, and is rounded exactly once, at
+:meth:`ProfileAccumulator.finalize`, with ``math.fsum``.  Since the
+partials represent the exact sum regardless of how contributions were
+grouped, **every grouping — including the flat one — produces
+byte-identical output** (asserted for every group size in
+``tests/parallel/test_reduce.py``).
+
+Group artifacts are framed like v2 profile dumps (magic ``WDR2``): one
+tables frame (interned strings, resolution tallies, entry count)
+followed by one frame per profile entry, so the parent folds one entry
+at a time in bounded memory.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import tempfile
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cct import CallingContextTree
+from repro.core.context import TransactionContext
+from repro.core.persist import (
+    _Interner,
+    _v2_decode_context,
+    _v2_encode_context,
+    read_frame,
+    write_frame,
+)
+from repro.core.stitch import StitchedProfile
+
+#: Frame magic for reduce-tree group artifacts (header layout shared
+#: with v2 profile dumps: magic, u32 version, u32 payload length).
+REDUCE_MAGIC = b"WDR2"
+REDUCE_VERSION = 1
+
+#: Group artifact filename pattern inside a spool's ``reduce/`` dir.
+GROUP_FILE = "group-{index:04d}.wdr"
+
+
+def grow_partials(partials: List[float], value: float) -> None:
+    """Add ``value`` into Shewchuk partials in place, without error.
+
+    Maintains the invariant that ``sum(partials)`` computed in exact
+    real arithmetic equals the exact sum of every value ever grown in
+    (the partials are non-overlapping doubles).  This is the
+    accumulation loop used by ``math.fsum``; rounding happens only when
+    the caller finally collapses the partials with ``fsum``.
+    """
+    x = value
+    i = 0
+    for y in partials:
+        if abs(x) < abs(y):
+            x, y = y, x
+        hi = x + y
+        lo = y - (hi - x)
+        if lo:
+            partials[i] = lo
+            i += 1
+        x = hi
+    del partials[i:]
+    partials.append(x)
+
+
+class _PartialNode:
+    """A CCT node whose weight is exact partials, not one rounded float."""
+
+    __slots__ = ("partials", "call_count", "children")
+
+    def __init__(self):
+        self.partials: List[float] = []
+        self.call_count = 0
+        self.children: Dict[str, "_PartialNode"] = {}
+
+    def child(self, name: str) -> "_PartialNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = _PartialNode()
+        return node
+
+
+class ProfileAccumulator:
+    """Order-invariant exact accumulation of stitched profiles.
+
+    Feed it whole profiles (:meth:`add_profile`), streamed group-file
+    entries (:meth:`absorb_file`), or both; :meth:`finalize` rounds
+    each node exactly once.  Any feeding order and any grouping of the
+    same contributions produce identical output bytes.
+    """
+
+    def __init__(self):
+        self.entries: Dict[Tuple[str, TransactionContext], _PartialNode] = {}
+        self.synopsis_refs = 0
+        self.unresolved_refs = 0
+
+    def _root(self, stage: str, context: TransactionContext) -> _PartialNode:
+        key = (stage, context)
+        node = self.entries.get(key)
+        if node is None:
+            node = self.entries[key] = _PartialNode()
+        return node
+
+    # -- feeding -------------------------------------------------------
+    def add_profile(self, profile: StitchedProfile) -> None:
+        for (stage, context), cct in profile.entries.items():
+            stack = [(self._root(stage, context), cct.root)]
+            while stack:
+                node, src = stack.pop()
+                if src.self_weight:
+                    grow_partials(node.partials, src.self_weight)
+                node.call_count += src.call_count
+                for name, src_child in src.children.items():
+                    stack.append((node.child(name), src_child))
+        self.synopsis_refs += profile.synopsis_refs
+        self.unresolved_refs += profile.unresolved_refs
+
+    def _absorb_rows(self, root: _PartialNode, parents, names,
+                     partials_column, counts) -> None:
+        nodes: List[_PartialNode] = []
+        for parent, name, partials, count in zip(
+            parents, names, partials_column, counts
+        ):
+            node = root if parent < 0 else nodes[parent].child(name)
+            for value in partials:
+                grow_partials(node.partials, value)
+            node.call_count += count
+            nodes.append(node)
+
+    def absorb_file(self, source: str) -> None:
+        """Stream one group artifact into the accumulator, frame-wise."""
+        with open(source, "rb") as handle:
+            header = read_frame(handle, magic=REDUCE_MAGIC,
+                                version=REDUCE_VERSION)
+            if header is None:
+                raise ValueError(f"empty reduce artifact {source!r}")
+            strings, synopsis_refs, unresolved_refs, entry_count = header
+            self.synopsis_refs += synopsis_refs
+            self.unresolved_refs += unresolved_refs
+            for _ in range(entry_count):
+                entry = read_frame(handle, magic=REDUCE_MAGIC,
+                                   version=REDUCE_VERSION)
+                if entry is None:
+                    raise ValueError(f"truncated reduce artifact {source!r}")
+                stage_id, context_cells, parents, name_ids, partials, counts = entry
+                self._absorb_rows(
+                    self._root(
+                        strings[stage_id],
+                        _v2_decode_context(context_cells, strings),
+                    ),
+                    parents,
+                    [strings[name_id] for name_id in name_ids],
+                    partials,
+                    counts,
+                )
+
+    # -- persistence ---------------------------------------------------
+    @staticmethod
+    def _rows(root: _PartialNode):
+        """Canonical pre-order rows (children in sorted name order)."""
+        rows: List[Tuple[int, str, List[float], int]] = []
+        stack: List[Tuple[_PartialNode, str, int]] = [(root, "", -1)]
+        while stack:
+            node, name, parent = stack.pop()
+            index = len(rows)
+            rows.append((parent, name, node.partials, node.call_count))
+            for child_name in sorted(node.children, reverse=True):
+                stack.append((node.children[child_name], child_name, index))
+        return rows
+
+    def write(self, destination: str) -> int:
+        """Persist as a streamable group artifact; returns bytes written.
+
+        JSON floats round-trip exactly (shortest-repr encode, exact
+        decode), so the partials survive the file unrounded.
+        """
+        strings = _Interner()
+        entry_documents: List[List[Any]] = []
+        for (stage, context), root in self.entries.items():
+            rows = self._rows(root)
+            entry_documents.append([
+                strings.intern(stage),
+                _v2_encode_context(context, strings),
+                [row[0] for row in rows],
+                [strings.intern(row[1]) for row in rows],
+                [row[2] for row in rows],
+                [row[3] for row in rows],
+            ])
+        written = 0
+        with open(destination, "wb") as handle:
+            written += write_frame(
+                handle,
+                [strings.values, self.synopsis_refs, self.unresolved_refs,
+                 len(entry_documents)],
+                magic=REDUCE_MAGIC, version=REDUCE_VERSION,
+            )
+            for document in entry_documents:
+                written += write_frame(handle, document,
+                                       magic=REDUCE_MAGIC,
+                                       version=REDUCE_VERSION)
+        return written
+
+    # -- rounding ------------------------------------------------------
+    def finalize(self) -> StitchedProfile:
+        """Round every node exactly once and build the merged profile."""
+        profile = StitchedProfile()
+        for (stage, context), root in self.entries.items():
+            cct = CallingContextTree(context)
+            stack = [(cct.root, root)]
+            while stack:
+                dst, src = stack.pop()
+                if src.partials:
+                    dst.self_weight = math.fsum(src.partials)
+                dst.call_count = src.call_count
+                for name, src_child in src.children.items():
+                    stack.append((dst.child(name), src_child))
+            profile.entries[(stage, context)] = cct
+        profile.synopsis_refs = self.synopsis_refs
+        profile.unresolved_refs = self.unresolved_refs
+        return profile
+
+
+# ----------------------------------------------------------------------
+# The reduce tree
+# ----------------------------------------------------------------------
+def plan_groups(count: int, group_size: int) -> List[List[int]]:
+    """Contiguous shard-index groups: ``[[0..g-1], [g..2g-1], ...]``."""
+    if group_size < 1:
+        raise ValueError("group size must be >= 1")
+    return [
+        list(range(start, min(start + group_size, count)))
+        for start in range(0, count, group_size)
+    ]
+
+
+def default_group_size(count: int) -> int:
+    """≈√N groups of ≈√N shards keeps both reduce levels balanced."""
+    return max(2, math.ceil(math.sqrt(count)))
+
+
+def reduce_group_task(task) -> Tuple[str, float, int]:
+    """Worker: stitch one group's shards, merge them, spool the artifact.
+
+    ``task`` is ``(shard_indices, dump_groups, strict, out_path)``;
+    returns ``(out_path, wall_seconds, entry_count)``.  Top-level so the
+    work-stealing pool can ship it under any start method.
+    """
+    from repro.parallel.stitching import _stitch_group, _tag_unresolved
+
+    shard_indices, dump_groups, strict, out_path = task
+    start = time.perf_counter()
+    accumulator = ProfileAccumulator()
+    for shard_index, paths in zip(shard_indices, dump_groups):
+        profile = _tag_unresolved(
+            _stitch_group((paths, strict)), f"@shard{shard_index}"
+        )
+        accumulator.add_profile(profile)
+    accumulator.write(out_path)
+    return out_path, time.perf_counter() - start, len(accumulator.entries)
+
+
+def hierarchical_stitch(
+    groups: Sequence[Sequence[str]],
+    jobs: int = 1,
+    group_size: int = 0,
+    strict: bool = True,
+    reduce_dir: Optional[str] = None,
+    pool=None,
+    stats: Optional[Dict[str, Any]] = None,
+) -> StitchedProfile:
+    """Two-level reduce over per-shard dump groups.
+
+    Byte-identical to :func:`repro.parallel.stitching.parallel_stitch`
+    over the same groups, for every ``group_size`` (see module
+    docstring).  ``group_size=0`` picks ≈√N.  ``reduce_dir`` keeps the
+    group artifacts (default: a temporary directory); pass ``stats`` to
+    receive group walls, artifact bytes and the parent fold time.
+    """
+    groups = [list(group) for group in groups]
+    if len(groups) <= 1:
+        from repro.parallel.stitching import parallel_stitch
+
+        return parallel_stitch(groups, jobs=jobs, strict=strict)
+    if not group_size:
+        group_size = default_group_size(len(groups))
+    slices = plan_groups(len(groups), group_size)
+    scratch = None
+    if reduce_dir is None:
+        scratch = tempfile.TemporaryDirectory(prefix="whodunit-reduce-")
+        reduce_dir = scratch.name
+    os.makedirs(reduce_dir, exist_ok=True)
+    try:
+        tasks = []
+        for group_index, shard_indices in enumerate(slices):
+            tasks.append((
+                shard_indices,
+                [groups[index] for index in shard_indices],
+                strict,
+                os.path.join(reduce_dir, GROUP_FILE.format(index=group_index)),
+            ))
+        if pool is None and jobs > 1 and len(tasks) > 1:
+            from repro.parallel.scheduler import get_pool
+
+            pool = get_pool(jobs)
+        if pool is None or len(tasks) <= 1:
+            results = [reduce_group_task(task) for task in tasks]
+        else:
+            results = pool.run(reduce_group_task, tasks)
+        fold_start = time.perf_counter()
+        accumulator = ProfileAccumulator()
+        for path, _, _ in results:  # task order == group-index order
+            accumulator.absorb_file(path)
+        merged = accumulator.finalize()
+        if stats is not None:
+            stats["group_size"] = group_size
+            stats["groups"] = len(slices)
+            stats["group_walls"] = [wall for _, wall, _ in results]
+            stats["group_bytes"] = [
+                os.path.getsize(path) for path, _, _ in results
+            ]
+            stats["parent_fold_s"] = time.perf_counter() - fold_start
+        return merged
+    finally:
+        if scratch is not None:
+            scratch.cleanup()

@@ -191,9 +191,93 @@ def _run_haboob_shard(spec: ShardSpec) -> ShardResult:
     )
 
 
+def _run_openloop_shard(spec: ShardSpec) -> ShardResult:
+    """One slice of an open-loop population against its own Haboob tier.
+
+    ``spec.clients`` is this shard's *session budget* (its slice of the
+    simulated-client population); the arrival rate in
+    ``params["arrival_rate"]`` is the population-wide rate, scaled here
+    by the shard's share of the population, so N shards jointly emit
+    the planned non-homogeneous Poisson process.  Per-transaction logs
+    stay off by default (``params["record_log"]``) — a million-session
+    shard returns O(1) aggregates, not a million log records.
+    """
+    from repro.apps.haboob import HaboobConfig, HaboobServer
+    from repro.sim import Kernel, Rng
+    from repro.workloads import OpenLoopClientPool, WebTrace
+    from repro.workloads.openloop import RateCurve, ThinkTime
+
+    params = spec.params
+    total_clients = params.get("total_clients") or spec.clients * spec.shards
+    share = spec.clients / total_clients if total_clients else 1.0
+    base_rate = params.get("arrival_rate", 100.0) * share
+    curve = None
+    if params.get("diurnal_amplitude") or params.get("flash_crowds"):
+        curve = RateCurve(
+            base_rate=base_rate,
+            diurnal_amplitude=params.get("diurnal_amplitude", 0.0),
+            diurnal_period=params.get("diurnal_period", 86400.0),
+            flash_crowds=tuple(
+                tuple(crowd) for crowd in params.get("flash_crowds", ())
+            ),
+        )
+    think = None
+    if params.get("think"):
+        think = ThinkTime(**params["think"])
+
+    start = time.perf_counter()
+    kernel = Kernel()
+    trace = WebTrace(Rng(spec.seed), objects=params.get("objects", 2000))
+    server = HaboobServer(
+        kernel,
+        trace,
+        config=HaboobConfig(cache_bytes=params.get("cache_kb", 512) * 1024),
+    )
+    server.start()
+    pool = OpenLoopClientPool(
+        kernel,
+        server.listener,
+        trace,
+        arrival_rate=base_rate,
+        rng=Rng(spec.seed).stream("openloop"),
+        rate_curve=curve,
+        think=think,
+        max_sessions=spec.clients,
+        record_log=params.get("record_log", False),
+    )
+    pool.start()
+    kernel.run(until=spec.duration)
+    wall = time.perf_counter() - start
+    dump_paths, dump_bytes = _dump_stages(spec, server.stages_by_name)
+    return ShardResult(
+        index=spec.index,
+        seed=spec.seed,
+        clients=spec.clients,
+        wall_seconds=wall,
+        window=(0.0, spec.duration),
+        served=server.responses_sent,
+        throughput=server.throughput_mbps(),
+        interactions={
+            "GET": [pool.completed_requests, pool.response_sum]
+        },
+        comm=(server.stage_runtime.comm_data_bytes,
+              server.stage_runtime.comm_context_bytes),
+        dump_paths=dump_paths,
+        dump_bytes=dump_bytes,
+        extra={
+            "hit_ratio": server.page_cache.hit_ratio,
+            "sessions_started": pool.sessions_started,
+            "sessions_finished": pool.sessions_finished,
+            "offered_rate": base_rate,
+            "mean_response": pool.mean_response(),
+        },
+    )
+
+
 _WORKLOAD_RUNNERS = {
     "tpcw": _run_tpcw_shard,
     "haboob": _run_haboob_shard,
+    "openloop": _run_openloop_shard,
 }
 
 
@@ -232,6 +316,19 @@ class ShardedRun:
 
     def served(self) -> int:
         return sum(result.served for result in self.results)
+
+    def sessions_started(self) -> int:
+        """Total simulated clients spawned (open-loop runs)."""
+        return sum(
+            result.extra.get("sessions_started", 0)
+            for result in self.results
+        )
+
+    def sessions_finished(self) -> int:
+        return sum(
+            result.extra.get("sessions_finished", 0)
+            for result in self.results
+        )
 
     def mean_response(self, interaction: Optional[str] = None) -> float:
         count = 0
@@ -292,12 +389,44 @@ class ShardedRun:
         """Per-shard dump path groups, in shard order (stitch input)."""
         return [list(result.dump_paths) for result in self.results]
 
-    # -- presentation phase --------------------------------------------
-    def stitch(self, jobs: int = 1, strict: bool = True):
-        """Map-reduce the spooled dumps into one merged profile."""
-        from repro.parallel.stitching import parallel_stitch
+    def shard_walls(self) -> List[float]:
+        """Per-shard wall seconds, in shard order."""
+        return [result.wall_seconds for result in self.results]
 
-        return parallel_stitch(self.dump_groups(), jobs=jobs, strict=strict)
+    def wall_skew(self) -> float:
+        """Straggler factor: slowest shard wall over mean shard wall.
+
+        1.0 means perfectly even shards; the gap between this and the
+        observed speedup is what work stealing recovers versus static
+        chunking (a straggler delays only itself, never a chunk-mate).
+        """
+        walls = self.shard_walls()
+        if not walls:
+            return 1.0
+        mean = sum(walls) / len(walls)
+        return max(walls) / mean if mean else 1.0
+
+    # -- presentation phase --------------------------------------------
+    def stitch(self, jobs: int = 1, strict: bool = True,
+               group_size: Optional[int] = None, stats=None):
+        """Map-reduce the spooled dumps into one merged profile.
+
+        ``group_size=None`` is the flat reduce; any integer (0 for the
+        ≈√N default) uses the hierarchical shard→group→global tree.
+        Output bytes are identical either way.
+        """
+        if group_size is None:
+            from repro.parallel.stitching import parallel_stitch
+
+            return parallel_stitch(
+                self.dump_groups(), jobs=jobs, strict=strict
+            )
+        from repro.parallel.reduce import hierarchical_stitch
+
+        return hierarchical_stitch(
+            self.dump_groups(), jobs=jobs, group_size=group_size,
+            strict=strict, stats=stats,
+        )
 
 
 def _write_manifest(plan: ShardPlan, results: List[ShardResult]) -> Optional[str]:
@@ -329,12 +458,20 @@ def _write_manifest(plan: ShardPlan, results: List[ShardResult]) -> Optional[str
     return path
 
 
-def run_shards(plan: ShardPlan, jobs: int = 1) -> ShardedRun:
-    """Execute every shard of ``plan`` with up to ``jobs`` processes.
+def run_shards(
+    plan: ShardPlan,
+    jobs: int = 1,
+    submit_order: Optional[List[int]] = None,
+    pool=None,
+) -> ShardedRun:
+    """Execute every shard of ``plan`` with up to ``jobs`` workers.
 
-    ``jobs=1`` runs in-process (no pool); results always come back in
-    shard-index order either way, so every downstream merge is
-    scheduling-independent.
+    ``jobs=1`` runs in-process (no pool); otherwise shards go onto the
+    shared work-stealing pool (persistent across runs — startup cost is
+    paid once per session).  Results always come back in shard-index
+    order regardless of which worker stole which task, so every
+    downstream merge is scheduling-independent; ``submit_order``
+    permutes only the steal order (the determinism tests randomise it).
     """
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
@@ -343,19 +480,14 @@ def run_shards(plan: ShardPlan, jobs: int = 1) -> ShardedRun:
         if spec.spool_dir:
             os.makedirs(spec.spool_dir, exist_ok=True)
     start = time.perf_counter()
-    if jobs == 1 or len(specs) <= 1:
+    if pool is None and jobs > 1 and len(specs) > 1:
+        from repro.parallel.scheduler import get_pool
+
+        pool = get_pool(jobs)
+    if pool is None or len(specs) <= 1:
         results = [run_one_shard(spec) for spec in specs]
     else:
-        import multiprocessing
-
-        methods = multiprocessing.get_all_start_methods()
-        context = multiprocessing.get_context(
-            "fork" if "fork" in methods else None
-        )
-        with context.Pool(processes=min(jobs, len(specs))) as pool:
-            # Pool.map preserves input order: results land in shard order
-            # no matter which worker finished first.
-            results = pool.map(run_one_shard, specs, chunksize=1)
+        results = pool.run(run_one_shard, specs, submit_order=submit_order)
     wall = time.perf_counter() - start
     _write_manifest(plan, results)
     return ShardedRun(plan, results, wall, jobs)

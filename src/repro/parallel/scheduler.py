@@ -1,0 +1,233 @@
+"""A persistent, work-stealing process pool for shard execution.
+
+The original scale-out runner created a fresh ``multiprocessing.Pool``
+per run and carved the shard list into static ``map`` chunks.  That
+shape loses twice at cluster scale: pool startup (fork/exec plus module
+imports under spawn) is paid on *every* run, and a straggler shard
+serialises its whole chunk behind it.
+
+:class:`WorkStealingPool` fixes both.  Workers are long-lived processes
+started once per session; every task goes onto one shared queue, and an
+idle worker *steals* the next task the moment it finishes its previous
+one — so an unlucky shard delays only itself, never a statically
+assigned neighbour.  Results carry their task index and the parent
+folds them **in index order**, which keeps every downstream merge a
+pure function of the plan no matter which worker finished first (the
+determinism tests randomise the submission order on purpose).
+
+Start-method safety: tasks are ``(index, function, payload)`` tuples
+where the function is a *top-level importable* — pickled by reference,
+so the pool works identically under ``fork``, ``forkserver`` and
+``spawn``.  The default prefers ``fork`` where the platform offers it
+(cheapest startup); tests exercise ``spawn`` explicitly.
+
+Use :func:`get_pool` for the shared session pool (created on first use,
+reused by the shard runner *and* the reduce phase, closed at interpreter
+exit) or instantiate :class:`WorkStealingPool` directly for an isolated
+one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import queue
+import traceback
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+
+class WorkerError(RuntimeError):
+    """A task raised inside a worker; carries the remote traceback."""
+
+    def __init__(self, index: int, message: str, remote_traceback: str):
+        super().__init__(
+            f"task {index} failed in worker: {message}\n{remote_traceback}"
+        )
+        self.index = index
+        self.remote_traceback = remote_traceback
+
+
+def _worker_main(task_queue, result_queue) -> None:
+    """Worker loop: steal the next task, run it, post the result.
+
+    Top-level (not a closure) so the function reference pickles under
+    every start method.  ``None`` is the shutdown sentinel.
+    """
+    while True:
+        task = task_queue.get()
+        if task is None:
+            return
+        index, fn, payload = task
+        try:
+            result_queue.put((index, True, fn(payload)))
+        except BaseException as exc:  # noqa: BLE001 - must cross the pipe
+            result_queue.put(
+                (index, False, (repr(exc), traceback.format_exc()))
+            )
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform has it, else the platform default."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else multiprocessing.get_start_method()
+
+
+class WorkStealingPool:
+    """Long-lived worker processes pulling tasks from one shared queue."""
+
+    def __init__(self, workers: int, start_method: Optional[str] = None):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.start_method = start_method or default_start_method()
+        self._context = multiprocessing.get_context(self.start_method)
+        self.workers = workers
+        self._tasks = self._context.Queue()
+        self._results = self._context.Queue()
+        self._processes = [
+            self._context.Process(
+                target=_worker_main,
+                args=(self._tasks, self._results),
+                name=f"whodunit-worker-{i}",
+                daemon=True,
+            )
+            for i in range(workers)
+        ]
+        for process in self._processes:
+            process.start()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def worker_pids(self) -> List[int]:
+        """Live worker PIDs (stable across runs — the reuse proof)."""
+        return [p.pid for p in self._processes if p.pid is not None]
+
+    def alive(self) -> bool:
+        return not self._closed and all(p.is_alive() for p in self._processes)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        fn: Callable[[Any], Any],
+        items: Sequence[Any],
+        submit_order: Optional[Sequence[int]] = None,
+    ) -> List[Any]:
+        """Execute ``fn`` over ``items``; results come back in item order.
+
+        ``submit_order`` permutes only the order tasks enter the shared
+        queue (and therefore the steal order) — the returned list is
+        always indexed like ``items``.  The determinism tests drive this
+        with random permutations to prove scheduling independence.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        items = list(items)
+        if not items:
+            return []
+        order = list(submit_order) if submit_order is not None else range(
+            len(items)
+        )
+        if submit_order is not None and sorted(order) != list(range(len(items))):
+            raise ValueError("submit_order must permute range(len(items))")
+        for index in order:
+            self._tasks.put((index, fn, items[index]))
+        results: List[Any] = [None] * len(items)
+        failures: List[Tuple[int, str, str]] = []
+        pending = len(items)
+        while pending:
+            try:
+                index, ok, payload = self._results.get(timeout=1.0)
+            except queue.Empty:
+                dead = [p for p in self._processes if not p.is_alive()]
+                if dead:
+                    self._closed = True
+                    raise RuntimeError(
+                        f"{len(dead)} worker(s) died with "
+                        f"{pending} task(s) outstanding: "
+                        + ", ".join(
+                            f"{p.name} (exitcode {p.exitcode})" for p in dead
+                        )
+                    )
+                continue
+            pending -= 1
+            if ok:
+                results[index] = payload
+            else:
+                failures.append((index, payload[0], payload[1]))
+        if failures:
+            # Lowest task index wins: the raised error is deterministic
+            # even when several tasks fail in racing workers.
+            index, message, remote = min(failures)
+            raise WorkerError(index, message, remote)
+        return results
+
+    # ------------------------------------------------------------------
+    def close(self, timeout: float = 5.0) -> None:
+        """Shut the workers down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for _ in self._processes:
+            try:
+                self._tasks.put(None)
+            except (ValueError, OSError):  # queue already torn down
+                break
+        for process in self._processes:
+            process.join(timeout=timeout)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        self._tasks.close()
+        self._results.close()
+
+    def __enter__(self) -> "WorkStealingPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# The shared session pool
+# ----------------------------------------------------------------------
+#: (workers, start_method) -> pool.  One pool per shape, created on
+#: first use and reused by every subsequent sharded run and reduce in
+#: the session, so startup cost is paid once — not once per run.
+_POOLS: Dict[Tuple[int, str], WorkStealingPool] = {}
+
+
+def get_pool(
+    workers: int, start_method: Optional[str] = None
+) -> WorkStealingPool:
+    """The session's shared pool for ``workers`` (created on first use).
+
+    A pool whose workers died (a task hard-crashed a process) is
+    replaced transparently on the next request.
+    """
+    method = start_method or default_start_method()
+    key = (workers, method)
+    pool = _POOLS.get(key)
+    if pool is not None and pool.alive():
+        return pool
+    if pool is not None:
+        pool.close()
+    pool = WorkStealingPool(workers, start_method=method)
+    _POOLS[key] = pool
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Close every shared pool (tests and interpreter exit)."""
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.close()
+
+
+atexit.register(shutdown_pools)
+
+
+def effective_jobs(jobs: Optional[int]) -> int:
+    """``jobs`` with 0/None meaning "one per CPU"."""
+    if jobs:
+        return jobs
+    return os.cpu_count() or 1

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
 #: Workload kinds the runner knows how to execute.
-WORKLOADS = ("tpcw", "haboob")
+WORKLOADS = ("tpcw", "haboob", "openloop")
 
 
 def derive_shard_seed(seed: int, index: int, shards: int) -> int:

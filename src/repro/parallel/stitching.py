@@ -1,13 +1,15 @@
 """The parallel presentation phase: map-reduce profile stitching.
 
 The map step loads one *group* of stage dumps (one shard's tiers — a
-self-contained resolution universe) and stitches it in a worker
-process; the reduce folds the per-group profiles together **in group
-order**, so the merged profile is a pure function of the dump set —
-independent of worker count, scheduling, or completion order.  The
-determinism proof in the scale-out benchmark serialises the merged
-profile with :func:`canonical_profile_bytes` and compares runs
-byte-for-byte.
+self-contained resolution universe) and stitches it in a worker from
+the shared work-stealing pool (:mod:`repro.parallel.scheduler`); the
+reduce folds the per-group profiles through the exact accumulator from
+:mod:`repro.parallel.reduce`, so the merged profile is a pure function
+of the dump set — independent of worker count, scheduling, completion
+order, *and* reduce-tree shape (the hierarchical shard→group→global
+reduce produces byte-identical output).  The determinism proof in the
+scale-out benchmark serialises the merged profile with
+:func:`canonical_profile_bytes` and compares runs byte-for-byte.
 
 For a flat list of dumps that resolve against each other (the classic
 single-run, multi-tier layout), :func:`parallel_load` parallelises just
@@ -30,11 +32,10 @@ MANIFEST_NAME = "manifest.json"
 
 
 def _pool(jobs: int):
-    import multiprocessing
+    """The shared session pool (persistent; startup paid once)."""
+    from repro.parallel.scheduler import get_pool
 
-    methods = multiprocessing.get_all_start_methods()
-    context = multiprocessing.get_context("fork" if "fork" in methods else None)
-    return context.Pool(processes=jobs)
+    return get_pool(jobs)
 
 
 # ----------------------------------------------------------------------
@@ -63,8 +64,7 @@ def parallel_load(paths: Sequence[str], jobs: int = 1) -> List:
     paths = list(paths)
     if jobs <= 1 or len(paths) <= 1:
         return [_load_one(path) for path in paths]
-    with _pool(min(jobs, len(paths))) as pool:
-        return pool.map(_load_one, paths, chunksize=1)
+    return _pool(jobs).run(_load_one, paths)
 
 
 def _tag_unresolved(profile: StitchedProfile, tag: str) -> StitchedProfile:
@@ -101,43 +101,78 @@ def parallel_stitch(
     groups: Sequence[Sequence[str]],
     jobs: int = 1,
     strict: bool = True,
+    pool=None,
 ) -> StitchedProfile:
     """Stitch dump groups in parallel and reduce deterministically.
 
     Each group is one self-contained resolution universe (one shard's
     per-stage dumps).  With a single group this degenerates to the
-    serial presentation phase.
+    serial presentation phase.  The multi-group reduce goes through the
+    exact accumulator, so it is byte-identical to
+    :func:`repro.parallel.reduce.hierarchical_stitch` over the same
+    groups at any group size.
     """
     groups = [list(group) for group in groups]
     tasks = [(group, strict) for group in groups]
-    if jobs <= 1 or len(tasks) <= 1:
+    if pool is None and jobs > 1 and len(tasks) > 1:
+        pool = _pool(jobs)
+    if pool is None or len(tasks) <= 1:
         profiles = [_stitch_group(task) for task in tasks]
     else:
-        with _pool(min(jobs, len(tasks))) as pool:
-            profiles = pool.map(_stitch_group, tasks, chunksize=1)
-    merged = StitchedProfile()
+        profiles = pool.run(_stitch_group, tasks)
+    if len(groups) <= 1:
+        # Single resolution universe: plain clone-merge, no shard
+        # tagging — the classic serial presentation phase.
+        merged = StitchedProfile()
+        for profile in profiles:
+            merged.merge(profile)
+        return merged
+    from repro.parallel.reduce import ProfileAccumulator
+
+    accumulator = ProfileAccumulator()
     for index, profile in enumerate(profiles):
-        if len(groups) > 1:
-            profile = _tag_unresolved(profile, f"@shard{index}")
-        merged.merge(profile)
-    return merged
+        accumulator.add_profile(_tag_unresolved(profile, f"@shard{index}"))
+    return accumulator.finalize()
+
+
+def spool_groups(spool_dir: str) -> List[List[str]]:
+    """Per-shard dump path groups from a spool manifest, in shard order.
+
+    The manifest stores only manifest-relative paths, so a spool
+    directory rsync'd to another machine resolves against its new
+    location with no rewriting.
+    """
+    manifest_path = os.path.join(spool_dir, MANIFEST_NAME)
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    return [
+        [os.path.join(spool_dir, group["dir"], name) for name in group["files"]]
+        for group in sorted(manifest["groups"], key=lambda g: g["index"])
+    ]
 
 
 def stitch_spool(
     spool_dir: str,
     jobs: int = 1,
     strict: bool = True,
+    group_size: Optional[int] = None,
+    stats=None,
 ) -> StitchedProfile:
     """Stitch a spool directory written by :func:`repro.parallel.runner.
-    run_shards`, using its manifest to group dumps per shard."""
-    manifest_path = os.path.join(spool_dir, MANIFEST_NAME)
-    with open(manifest_path, "r", encoding="utf-8") as handle:
-        manifest = json.load(handle)
-    groups = [
-        [os.path.join(spool_dir, group["dir"], name) for name in group["files"]]
-        for group in sorted(manifest["groups"], key=lambda g: g["index"])
-    ]
-    return parallel_stitch(groups, jobs=jobs, strict=strict)
+    run_shards`, using its manifest to group dumps per shard.
+
+    ``group_size=None`` runs the flat map-reduce; any integer (0 for
+    the ≈√N default) routes through the hierarchical two-level reduce —
+    output bytes are identical either way.
+    """
+    groups = spool_groups(spool_dir)
+    if group_size is None:
+        return parallel_stitch(groups, jobs=jobs, strict=strict)
+    from repro.parallel.reduce import hierarchical_stitch
+
+    return hierarchical_stitch(
+        groups, jobs=jobs, group_size=group_size, strict=strict, stats=stats
+    )
 
 
 def canonical_profile_bytes(profile: StitchedProfile) -> bytes:

@@ -2,7 +2,7 @@
 
 from repro.workloads.webtrace import WebObject, WebTrace
 from repro.workloads.clients import HttpClientPool, TxLog
-from repro.workloads.openloop import OpenLoopClientPool
+from repro.workloads.openloop import OpenLoopClientPool, RateCurve, ThinkTime
 from repro.workloads.logreplay import LogRecord, ReplayTrace, parse_log
 
 __all__ = [
@@ -10,6 +10,8 @@ __all__ = [
     "WebObject",
     "HttpClientPool",
     "OpenLoopClientPool",
+    "RateCurve",
+    "ThinkTime",
     "TxLog",
     "ReplayTrace",
     "LogRecord",

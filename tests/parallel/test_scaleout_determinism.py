@@ -127,6 +127,44 @@ def test_rerun_is_byte_reproducible(tmp_path):
     assert _file_hashes(first) == _file_hashes(second)
 
 
+def test_openloop_shards_are_deterministic(tmp_path):
+    """The open-loop workload shards like the closed-loop ones: same
+    plan, any job count, byte-identical dumps and aggregates."""
+    params = {
+        "arrival_rate": 300.0,
+        "total_clients": 600,
+        "diurnal_amplitude": 0.4,
+        "diurnal_period": 5.0,
+        "flash_crowds": [[1.0, 1.0, 2.0]],
+        "think": {"distribution": "pareto", "alpha": 1.5, "minimum": 0.05},
+    }
+
+    def run(tag, jobs):
+        plan = plan_shards(
+            "openloop",
+            seed=13,
+            clients=600,
+            shards=4,
+            duration=4.0,
+            params=params,
+            spool_dir=str(tmp_path / tag),
+            profile_format="v2",
+        )
+        return run_shards(plan, jobs=jobs)
+
+    serial = run("serial", jobs=1)
+    pooled = run("pooled", jobs=2)
+    assert _file_hashes(serial) == _file_hashes(pooled)
+    assert serial.sessions_started() == pooled.sessions_started()
+    assert serial.sessions_finished() == pooled.sessions_finished()
+    assert serial.served() == pooled.served()
+    assert serial.mean_response() == pooled.mean_response()
+    assert serial.sessions_started() == 600  # the budget, exactly
+    assert canonical_profile_bytes(serial.stitch()) == canonical_profile_bytes(
+        pooled.stitch(jobs=2, group_size=2)
+    )
+
+
 def test_parallel_load_ships_stages_across_the_pool(tmp_path):
     """Loaded StageRuntimes must pickle back from pool workers (the
     default crosstalk classifier was once a lambda and couldn't)."""

@@ -1,0 +1,95 @@
+"""Spool relocatability: a spool directory is a self-contained artifact.
+
+The cluster prerequisite — dumps spool on the machine that ran the
+shards, then the whole directory is rsync'd to wherever the
+presentation phase runs.  That only works if the manifest references
+its files relative to itself, never by absolute path.
+"""
+
+import json
+import os
+import shutil
+
+from repro.parallel import (
+    canonical_profile_bytes,
+    plan_shards,
+    run_shards,
+    spool_groups,
+    stitch_spool,
+)
+from repro.parallel.runner import MANIFEST_NAME
+
+
+def _spool_run(spool_dir, profile_format="v2"):
+    plan = plan_shards(
+        "haboob",
+        seed=21,
+        clients=9,
+        shards=3,
+        duration=2.0,
+        spool_dir=str(spool_dir),
+        profile_format=profile_format,
+    )
+    return run_shards(plan, jobs=1)
+
+
+class TestManifestRelativity:
+    def test_manifest_has_no_absolute_paths(self, tmp_path):
+        spool = tmp_path / "spool"
+        _spool_run(spool)
+        with open(spool / MANIFEST_NAME, encoding="utf-8") as handle:
+            manifest = json.load(handle)
+        for group in manifest["groups"]:
+            assert not os.path.isabs(group["dir"])
+            assert os.sep not in group["dir"]
+            for name in group["files"]:
+                assert not os.path.isabs(name)
+                assert os.sep not in name
+
+    def test_spool_groups_resolve_against_spool_dir(self, tmp_path):
+        spool = tmp_path / "spool"
+        run = _spool_run(spool)
+        groups = spool_groups(str(spool))
+        assert [sorted(g) for g in groups] == [
+            sorted(g) for g in run.dump_groups()
+        ]
+        for group in groups:
+            for path in group:
+                assert os.path.exists(path)
+
+
+class TestRelocation:
+    def test_moved_spool_stitches_byte_identically(self, tmp_path):
+        spool = tmp_path / "origin" / "spool"
+        _spool_run(spool)
+        before = canonical_profile_bytes(stitch_spool(str(spool)))
+
+        # Simulate the rsync to another machine: copy the tree to a
+        # different root, then remove the original entirely so any
+        # stale absolute reference would fail loudly.
+        relocated = tmp_path / "other-machine" / "data" / "spool"
+        shutil.copytree(str(spool), str(relocated))
+        shutil.rmtree(str(tmp_path / "origin"))
+
+        after = canonical_profile_bytes(stitch_spool(str(relocated)))
+        assert after == before
+
+    def test_relocated_hierarchical_reduce(self, tmp_path):
+        spool = tmp_path / "spool"
+        _spool_run(spool)
+        flat = canonical_profile_bytes(stitch_spool(str(spool)))
+        relocated = tmp_path / "elsewhere"
+        shutil.move(str(spool), str(relocated))
+        assert canonical_profile_bytes(
+            stitch_spool(str(relocated), group_size=2)
+        ) == flat
+
+    def test_relocated_v1_spool(self, tmp_path):
+        spool = tmp_path / "spool"
+        _spool_run(spool, profile_format="v1")
+        before = canonical_profile_bytes(stitch_spool(str(spool)))
+        relocated = tmp_path / "moved"
+        shutil.move(str(spool), str(relocated))
+        assert canonical_profile_bytes(
+            stitch_spool(str(relocated))
+        ) == before

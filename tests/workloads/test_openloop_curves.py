@@ -1,0 +1,172 @@
+"""Rate curves, flash crowds, heavy-tailed think times, session caps —
+the cluster-scale extensions to the open-loop generator."""
+
+import pytest
+
+from repro.apps.httpd import HttpdServer
+from repro.sim import Kernel, Rng
+from repro.workloads import OpenLoopClientPool, RateCurve, ThinkTime, WebTrace
+
+
+def run_openloop(seconds=3.0, seed=3, **kwargs):
+    kernel = Kernel()
+    trace = WebTrace(Rng(seed), objects=100, requests_per_connection_mean=2.0)
+    server = HttpdServer(kernel, trace)
+    server.start()
+    pool = OpenLoopClientPool(
+        kernel, server.listener_socket, trace, rng=Rng(seed), **kwargs
+    )
+    pool.start()
+    kernel.run(until=seconds)
+    return server, pool
+
+
+class TestRateCurve:
+    def test_constant_curve(self):
+        curve = RateCurve(base_rate=100.0)
+        assert curve.rate(0.0) == 100.0
+        assert curve.rate(12345.6) == 100.0
+        assert curve.peak_rate() == 100.0
+
+    def test_diurnal_swing(self):
+        curve = RateCurve(
+            base_rate=100.0, diurnal_amplitude=0.5, diurnal_period=4.0
+        )
+        assert curve.rate(1.0) == pytest.approx(150.0)  # sin peak
+        assert curve.rate(3.0) == pytest.approx(50.0)  # sin trough
+        assert curve.peak_rate() == pytest.approx(150.0)
+
+    def test_flash_crowd_window(self):
+        curve = RateCurve(
+            base_rate=10.0, flash_crowds=((5.0, 2.0, 4.0),)
+        )
+        assert curve.rate(4.9) == 10.0
+        assert curve.rate(5.0) == 40.0
+        assert curve.rate(6.9) == 40.0
+        assert curve.rate(7.0) == 10.0
+        assert curve.peak_rate() == 40.0
+
+    def test_overlapping_crowds_take_max(self):
+        curve = RateCurve(
+            base_rate=10.0,
+            flash_crowds=((0.0, 10.0, 2.0), (3.0, 2.0, 5.0)),
+        )
+        assert curve.rate(4.0) == 50.0
+        assert curve.rate(8.0) == 20.0
+
+    def test_scaled_keeps_shape(self):
+        curve = RateCurve(
+            base_rate=100.0, diurnal_amplitude=0.3, diurnal_period=7.0,
+            flash_crowds=((1.0, 1.0, 2.0),),
+        )
+        half = curve.scaled(0.5)
+        assert half.base_rate == 50.0
+        assert half.rate(1.5) == pytest.approx(curve.rate(1.5) / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateCurve(base_rate=0.0)
+        with pytest.raises(ValueError):
+            RateCurve(base_rate=1.0, diurnal_amplitude=1.0)
+        with pytest.raises(ValueError):
+            RateCurve(base_rate=1.0, flash_crowds=((0.0, -1.0, 2.0),))
+
+
+class TestThinkTime:
+    def test_none_draws_nothing(self):
+        rng = Rng(1)
+        assert ThinkTime().sample(rng) == 0.0
+        # No RNG state was consumed by the "none" distribution.
+        assert rng.random() == Rng(1).random()
+
+    def test_pareto_heavy_tail(self):
+        think = ThinkTime(distribution="pareto", alpha=1.2, minimum=0.5)
+        rng = Rng(7)
+        samples = [think.sample(rng) for _ in range(4000)]
+        assert min(samples) >= 0.5
+        # Heavy tail: the max dominates the median by orders of magnitude.
+        ordered = sorted(samples)
+        assert ordered[-1] > 50 * ordered[len(ordered) // 2]
+
+    def test_lognormal_positive(self):
+        think = ThinkTime(distribution="lognormal", mu=0.0, sigma=1.5)
+        rng = Rng(7)
+        assert all(think.sample(rng) > 0 for _ in range(100))
+
+    def test_exponential_mean(self):
+        think = ThinkTime(distribution="exponential", mean=2.0)
+        rng = Rng(7)
+        samples = [think.sample(rng) for _ in range(4000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            ThinkTime(distribution="uniform")
+
+
+class TestGeneratorExtensions:
+    def test_max_sessions_is_a_hard_cap(self):
+        _, pool = run_openloop(arrival_rate=500.0, max_sessions=40,
+                               seconds=5.0)
+        assert pool.sessions_started == 40
+        assert pool.sessions_finished == 40
+
+    def test_record_log_off_keeps_aggregates(self):
+        _, logged = run_openloop(arrival_rate=50.0, seconds=3.0)
+        _, unlogged = run_openloop(arrival_rate=50.0, seconds=3.0,
+                                   record_log=False)
+        assert unlogged.log.count() == 0
+        assert unlogged.completed_requests == logged.log.count()
+        assert unlogged.mean_response() == pytest.approx(
+            logged.log.mean_response()
+        )
+
+    def test_legacy_stream_unchanged(self):
+        # The plain constant-rate path must consume the RNG draw-for-
+        # draw as before the extensions: same seed, same arrivals.
+        _, a = run_openloop(arrival_rate=80.0, seconds=3.0)
+        _, b = run_openloop(arrival_rate=80.0, seconds=3.0,
+                            rate_curve=None, think=None, max_sessions=None)
+        assert a.sessions_started == b.sessions_started
+        assert a.log.records == b.log.records
+
+    def test_flash_crowd_multiplies_arrivals(self):
+        base = RateCurve(base_rate=60.0)
+        crowd = RateCurve(
+            base_rate=60.0, flash_crowds=((1.0, 2.0, 4.0),)
+        )
+        _, quiet = run_openloop(rate_curve=base, seconds=4.0)
+        _, stormy = run_openloop(rate_curve=crowd, seconds=4.0)
+        # 2s at 4x adds ~360 expected sessions on a ~240 baseline.
+        assert stormy.sessions_started > 1.8 * quiet.sessions_started
+
+    def test_diurnal_rate_averages_out(self):
+        # Over whole periods the sinusoid integrates to the base rate.
+        curve = RateCurve(
+            base_rate=100.0, diurnal_amplitude=0.8, diurnal_period=1.0
+        )
+        _, pool = run_openloop(rate_curve=curve, seconds=6.0)
+        expected = 600
+        assert 0.6 * expected < pool.sessions_started < 1.4 * expected
+
+    def test_thinning_is_deterministic(self):
+        curve = RateCurve(
+            base_rate=80.0, diurnal_amplitude=0.4, diurnal_period=2.0,
+            flash_crowds=((1.0, 0.5, 3.0),),
+        )
+        think = ThinkTime(distribution="pareto", alpha=1.5, minimum=0.05)
+        runs = [
+            run_openloop(rate_curve=curve, think=think, seconds=3.0)[1]
+            for _ in range(2)
+        ]
+        assert runs[0].sessions_started == runs[1].sessions_started
+        assert runs[0].completed_requests == runs[1].completed_requests
+        assert runs[0].response_sum == runs[1].response_sum
+
+    def test_think_time_slows_sessions(self):
+        think = ThinkTime(distribution="exponential", mean=1.0)
+        _, fast = run_openloop(arrival_rate=50.0, seconds=3.0)
+        _, slow = run_openloop(arrival_rate=50.0, seconds=3.0, think=think)
+        # Same arrivals, but paused sessions finish far fewer of them.
+        assert slow.sessions_started == fast.sessions_started
+        assert slow.sessions_finished < fast.sessions_finished
