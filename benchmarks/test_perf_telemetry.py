@@ -46,7 +46,36 @@ def _run_mode(mode):
         telemetry.uninstall()
 
 
-def test_telemetry_overhead(benchmark):
+# Resident-CCT bound for the live-stitcher row: deliberately smaller
+# than the workload's context count so the LRU actually evicts and the
+# row reflects checkpoint-spill pressure, not just in-memory appends.
+LIVE_RESIDENT = 12
+
+
+def _run_live(checkpoint_dir):
+    """Wall-time the same run with the online streaming stitcher
+    attached (spans mode + StitchingSink + interval checkpoints)."""
+    from repro.live import attach_collector
+
+    tele = telemetry.install("spans")
+    try:
+        collector = attach_collector(
+            tele,
+            directory=checkpoint_dir,
+            interval=2.0,
+            max_resident=LIVE_RESIDENT,
+        )
+        system = TpcwSystem(clients=CLIENTS, seed=23)
+        start = time.perf_counter()
+        results = system.run(duration=DURATION, warmup=WARMUP)
+        collector.finalize()
+        elapsed = time.perf_counter() - start
+        return elapsed, results.throughput_tpm(), collector
+    finally:
+        telemetry.uninstall()
+
+
+def test_telemetry_overhead(benchmark, tmp_path):
     def run():
         out = {}
         for mode in ("off", "spans", "full"):
@@ -56,14 +85,28 @@ def test_telemetry_overhead(benchmark):
                 "throughput_tpm": throughput,
                 "spans": spans,
             }
+        elapsed, throughput, collector = _run_live(str(tmp_path / "live"))
+        out["live_stitcher"] = {
+            "seconds": elapsed,
+            "throughput_tpm": throughput,
+            "spans": collector.spans_seen,
+            "events": collector.events_absorbed,
+            "events_per_sec": collector.events_absorbed / elapsed,
+            "peak_resident": collector.peak_resident,
+            "evictions": collector.evictions,
+            "revivals": collector.revivals,
+            "checkpoints": collector.checkpoints_written,
+            "completeness": collector.completeness(),
+        }
         return out
 
     out = run_once(benchmark, run)
     off = out["off"]["seconds"]
-    for mode in ("spans", "full"):
+    for mode in ("spans", "full", "live_stitcher"):
         out[mode]["overhead_pct"] = 100.0 * (out[mode]["seconds"] / off - 1.0)
     out["clients"] = CLIENTS
     out["duration"] = DURATION
+    out["live_resident"] = LIVE_RESIDENT
     out["smoke"] = SMOKE
     RESULTS_PATH.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
 
@@ -77,16 +120,35 @@ def test_telemetry_overhead(benchmark):
                 out[mode]["spans"],
                 fmt(out[mode].get("overhead_pct", 0.0), 1),
             ]
-            for mode in ("off", "spans", "full")
+            for mode in ("off", "spans", "full", "live_stitcher")
         ],
+    )
+    live = out["live_stitcher"]
+    print_table(
+        "live stitcher — streaming absorption under eviction",
+        ["events/s", "peak resident", "evictions", "checkpoints"],
+        [[
+            fmt(live["events_per_sec"], 0),
+            live["peak_resident"],
+            live["evictions"],
+            live["checkpoints"],
+        ]],
     )
 
     # Telemetry must not perturb the simulation itself: the virtual-time
-    # outcome is identical in all three modes (deterministic seed).
+    # outcome is identical in all modes (deterministic seed) — including
+    # with the online stitcher consuming the profile-event stream.
     assert out["off"]["throughput_tpm"] == out["spans"]["throughput_tpm"]
     assert out["off"]["throughput_tpm"] == out["full"]["throughput_tpm"]
+    assert out["off"]["throughput_tpm"] == live["throughput_tpm"]
     # Telemetry on actually records something.
     assert out["full"]["spans"] > 0
+    # The live row measured real bounded-memory behaviour: the LRU
+    # bound held and eviction was actually exercised.
+    assert live["events"] > 0
+    assert live["peak_resident"] <= LIVE_RESIDENT
+    assert live["evictions"] > 0
+    assert live["completeness"] == 1.0
     # Enabled modes stay within a generous envelope (wall clocks on CI
     # are noisy; the committed-baseline comparison guards the off path).
     assert out["full"]["seconds"] < off * 3.0

@@ -21,9 +21,12 @@ from repro.analysis.export import (
     write_rows,
 )
 from repro.analysis.telemetry import render_telemetry
+from repro.analysis.live import render_live_crosstalk, render_live_top
 
 __all__ = [
     "render_telemetry",
+    "render_live_crosstalk",
+    "render_live_top",
     "context_shares",
     "diff_profiles",
     "frame_shares",

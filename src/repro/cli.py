@@ -72,6 +72,53 @@ def _telemetry_finish(args: argparse.Namespace, tele) -> None:
     print(render_telemetry(tele))
 
 
+def _live_setup(args: argparse.Namespace):
+    """Attach the online streaming stitcher, if requested.
+
+    Must run *before* the simulated system is built: stage runtimes
+    capture the profile-event emitter at construction time.  ``main``
+    has already upgraded ``--telemetry off`` to ``spans`` when live
+    collection was asked for, so the active telemetry exists here.
+    """
+    if not (getattr(args, "live", False) or getattr(args, "live_dir", None)):
+        return None
+    from repro.live import attach_collector
+
+    tele = telemetry.active()
+    if tele is None:  # defensive: main() upgrades the mode first
+        tele = telemetry.install("spans")
+    resident = args.live_resident if args.live_resident > 0 else None
+    return attach_collector(
+        tele,
+        directory=args.live_dir,
+        interval=args.live_interval,
+        max_resident=resident,
+    )
+
+
+def _live_finish(args: argparse.Namespace, collector) -> None:
+    """Print the live view and compact the checkpoint directory."""
+    if collector is None:
+        return
+    from repro.analysis import render_live_crosstalk, render_live_top
+
+    print()
+    print(render_live_top(collector, k=args.live_top))
+    if collector.crosstalk_pairs():
+        print()
+        print(render_live_crosstalk(collector))
+    profile = collector.compact(strict=False)
+    print(
+        f"\nlive stitch: {len(profile.entries)} contexts; "
+        f"completeness {100.0 * profile.completeness:.2f}%"
+    )
+    if collector.directory:
+        print(
+            f"live checkpoints compacted in {collector.directory} "
+            f"(query later with: live-report {collector.directory})"
+        )
+
+
 def cmd_apache(args: argparse.Namespace) -> int:
     from repro.apps.httpd import HttpdServer
 
@@ -157,6 +204,9 @@ def _cmd_haboob_sharded(args: argparse.Namespace) -> int:
         spool_dir=args.spool or args.save_profiles or "",
         profile_format=args.profile_format,
         telemetry_mode=args.telemetry,
+        live_dir=_sharded_live_dir(args),
+        live_interval=args.live_interval,
+        live_resident=args.live_resident,
     )
     run = run_shards(plan, jobs=args.jobs)
     print(
@@ -170,7 +220,26 @@ def _cmd_haboob_sharded(args: argparse.Namespace) -> int:
     if plan.specs[0].spool_dir:
         print(f"spooled {run.dump_bytes()} profile bytes "
               f"({args.profile_format}) to {plan.specs[0].spool_dir}")
+    if plan.specs[0].live_dir:
+        print(f"live checkpoints in {plan.specs[0].live_dir}/shard-*/ "
+              f"(fold with: live-report {plan.specs[0].live_dir})")
     return 0
+
+
+def _sharded_live_dir(args: argparse.Namespace) -> str:
+    """The --live-dir for a sharded run ('' = no live collection).
+
+    Sharded live collection checkpoints per shard under
+    ``DIR/shard-NNNN/``; an in-memory ``--live`` without a directory
+    has nowhere to surface from a worker process, so it needs the dir.
+    """
+    live_dir = getattr(args, "live_dir", None) or ""
+    if getattr(args, "live", False) and not live_dir:
+        print(
+            "warning: --live with --shards needs --live-dir; ignored",
+            file=sys.stderr,
+        )
+    return live_dir
 
 
 def cmd_haboob(args: argparse.Namespace) -> int:
@@ -178,6 +247,7 @@ def cmd_haboob(args: argparse.Namespace) -> int:
 
     if args.shards > 1:
         return _cmd_haboob_sharded(args)
+    collector = _live_setup(args)
     kernel = Kernel()
     injector = _install_faults(kernel, args)
     trace = WebTrace(Rng(args.seed), objects=args.objects)
@@ -202,6 +272,7 @@ def cmd_haboob(args: argparse.Namespace) -> int:
     print()
     print(render_stage_profile(server.stage_runtime, min_share=1.0))
     _maybe_dot(args, server.stage_runtime)
+    _live_finish(args, collector)
     if args.save_profiles:
         for path in server.save_profiles(
             args.save_profiles, profile_format=args.profile_format
@@ -270,6 +341,9 @@ def _cmd_tpcw_sharded(args: argparse.Namespace) -> int:
             spool_dir=spool,
             profile_format=args.profile_format,
             telemetry_mode=args.telemetry,
+            live_dir=_sharded_live_dir(args),
+            live_interval=args.live_interval,
+            live_resident=args.live_resident,
         )
         run = run_shards(plan, jobs=args.jobs)
         print(
@@ -307,6 +381,9 @@ def _cmd_tpcw_sharded(args: argparse.Namespace) -> int:
                 print(line)
         if args.telemetry != "off":
             print(f"spans recorded across shards: {run.span_count()}")
+        if plan.specs[0].live_dir:
+            print(f"live checkpoints in {plan.specs[0].live_dir}/shard-*/ "
+                  f"(fold with: live-report {plan.specs[0].live_dir})")
         if args.check_stitch and strict and profile.completeness < 1.0:
             print("error: lossless run stitched below 100%", file=sys.stderr)
             return 1
@@ -323,6 +400,7 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
 
     if args.shards > 1:
         return _cmd_tpcw_sharded(args)
+    collector = _live_setup(args)
     retry = None
     if args.faults and args.retries > 0:
         retry = RetryPolicy(timeout=args.retry_timeout, retries=args.retries)
@@ -360,6 +438,7 @@ def cmd_tpcw(args: argparse.Namespace) -> int:
         print(render_fault_report(results.fault_report()))
         completeness = results.stitch_completeness()
         print(f"stitch completeness: {100.0 * completeness:.2f}%")
+    _live_finish(args, collector)
     if args.save_profiles:
         for path in system.save_profiles(
             args.save_profiles, profile_format=args.profile_format
@@ -422,6 +501,87 @@ def cmd_stitch(args: argparse.Namespace) -> int:
     print(render_stitched_profile(profile, min_share=args.min_share))
     print()
     print(render_flow_graph(flow_graph(stages, cache=resolve_cache, strict=strict)))
+    return 0
+
+
+def cmd_live_report(args: argparse.Namespace) -> int:
+    """Answer queries from live-collector checkpoint directories.
+
+    A single directory recovers one collector (bounded loss: anything
+    newer than its last checkpoint is gone, by design) and stitches it;
+    a directory holding ``shard-NNNN/`` subdirectories recovers every
+    shard and folds the per-shard profiles through the same exact
+    accumulator the sharded post-mortem reduce uses, with the same
+    ``@shardN`` qualification of unresolved refs — so the digest
+    matches ``stitch --digest`` over the equivalent spool.
+    """
+    import os
+
+    from repro.analysis import (
+        render_live_crosstalk,
+        render_live_top,
+        render_stitched_profile,
+    )
+    from repro.live import LiveCollector, list_checkpoints
+
+    directory = args.directory
+    if not os.path.isdir(directory):
+        print(f"error: {directory!r} is not a directory", file=sys.stderr)
+        return 2
+    strict = bool(args.strict)
+    shard_names = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith("shard-")
+        and os.path.isdir(os.path.join(directory, name))
+    )
+    if shard_names:
+        from repro.parallel.reduce import ProfileAccumulator
+        from repro.parallel.stitching import _tag_unresolved
+
+        accumulator = ProfileAccumulator()
+        checkpoint_files = 0
+        for name in shard_names:
+            shard_dir = os.path.join(directory, name)
+            index = int(name.split("-", 1)[1])
+            checkpoint_files += len(list_checkpoints(shard_dir))
+            collector = LiveCollector.recover(shard_dir)
+            shard_profile = (
+                collector.compact(strict=strict)
+                if args.compact
+                else collector.stitched_profile(strict=strict)
+            )
+            accumulator.add_profile(
+                _tag_unresolved(shard_profile, f"@shard{index}")
+            )
+        profile = accumulator.finalize()
+        if args.digest:
+            return _print_digest(profile)
+        print(
+            f"recovered {len(shard_names)} shard collectors "
+            f"({checkpoint_files} checkpoint files)"
+        )
+        print()
+    else:
+        if not list_checkpoints(directory):
+            print(f"error: no checkpoints in {directory!r}", file=sys.stderr)
+            return 2
+        collector = LiveCollector.recover(directory)
+        profile = (
+            collector.compact(strict=strict)
+            if args.compact
+            else collector.stitched_profile(strict=strict)
+        )
+        if args.digest:
+            return _print_digest(profile)
+        if args.top:
+            print(render_live_top(collector, k=args.top))
+            if collector.crosstalk_pairs():
+                print()
+                print(render_live_crosstalk(collector))
+            print()
+    print(render_stitched_profile(profile, min_share=args.min_share))
+    print(f"\ncompleteness {100.0 * profile.completeness:.2f}%")
     return 0
 
 
@@ -574,6 +734,43 @@ def build_parser() -> argparse.ArgumentParser:
             help="write Prometheus text metrics (requires --telemetry full)",
         )
 
+    def live_flags(p):
+        p.add_argument(
+            "--live",
+            action="store_true",
+            help="attach the online streaming stitcher for mid-run "
+            "queries (implies --telemetry spans when telemetry is off)",
+        )
+        p.add_argument(
+            "--live-dir",
+            metavar="DIR",
+            help="checkpoint live state into DIR every --live-interval "
+            "(implies --live; enables bounded-memory eviction, crash "
+            "recovery, and the live-report subcommand)",
+        )
+        p.add_argument(
+            "--live-interval",
+            type=float,
+            default=5.0,
+            metavar="SECONDS",
+            help="virtual seconds between live checkpoints",
+        )
+        p.add_argument(
+            "--live-resident",
+            type=int,
+            default=512,
+            metavar="N",
+            help="LRU bound on resident live CCTs; colder trees spill "
+            "to checkpoints (0 = unbounded; needs --live-dir to bound)",
+        )
+        p.add_argument(
+            "--live-top",
+            type=int,
+            default=10,
+            metavar="K",
+            help="rows in the end-of-run live top-contexts table",
+        )
+
     def scale_flags(p):
         from repro.core.persist import PROFILE_FORMATS
 
@@ -645,6 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fault_flags(p)
     scale_flags(p)
+    live_flags(p)
     p.set_defaults(fn=cmd_haboob)
 
     p = sub.add_parser("tpcw", help="three-tier bookstore (§8.4)")
@@ -687,6 +885,7 @@ def build_parser() -> argparse.ArgumentParser:
         "exit non-zero below 100%%",
     )
     telemetry_flags(p)
+    live_flags(p)
     p.set_defaults(fn=cmd_tpcw)
 
     p = sub.add_parser(
@@ -790,11 +989,53 @@ def build_parser() -> argparse.ArgumentParser:
     telemetry_flags(p)
     p.set_defaults(fn=cmd_stitch)
 
+    p = sub.add_parser(
+        "live-report",
+        help="stitch/query a live collector's checkpoint directory "
+        "(or a sharded run's parent directory of shard-*/ dirs)",
+    )
+    p.add_argument(
+        "directory",
+        help="checkpoint directory written by --live-dir",
+    )
+    p.add_argument("--min-share", type=float, default=0.5)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on unresolvable synopses instead of emitting a "
+        "partial profile",
+    )
+    p.add_argument(
+        "--digest",
+        action="store_true",
+        help="print only the canonical SHA-256 of the recovered "
+        "profile (byte-comparable against `stitch --digest`)",
+    )
+    p.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also print the recovered live top-K view "
+        "(single directory only)",
+    )
+    p.add_argument(
+        "--compact",
+        action="store_true",
+        help="collapse the directory to one superseding full snapshot "
+        "after stitching",
+    )
+    p.set_defaults(fn=cmd_live_report)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    wants_live = getattr(args, "live", False) or getattr(args, "live_dir", None)
+    if wants_live and getattr(args, "telemetry", "off") == "off":
+        # The live collector rides the telemetry profile-event stream.
+        args.telemetry = "spans"
     tele = _telemetry_setup(args)
     try:
         status = args.fn(args)

@@ -146,6 +146,15 @@ def _decode_type(data: Any) -> Any:
     raise ValueError(f"bad crosstalk type {data!r}")
 
 
+def encode_crosstalk_type(value: Any) -> Any:
+    """Public codec for crosstalk transaction types (live checkpoints)."""
+    return _encode_type(value)
+
+
+def decode_crosstalk_type(data: Any) -> Any:
+    return _decode_type(data)
+
+
 def encode_stage(stage: StageRuntime) -> Dict[str, Any]:
     """The JSON-serialisable v1 dump of one stage's profile state."""
     return {

@@ -151,6 +151,11 @@ class StageRuntime:
         # Telemetry, captured once at construction (zero-cost when off).
         tele = _telemetry.ACTIVE
         self._tele = tele
+        # Raw profile-event stream for online stitching: None unless a
+        # profile-event sink (see repro.live) was attached before the
+        # system was built, so a span-only run pays one ``is None`` test
+        # per sample and an off run pays nothing.
+        self._emit_profile = tele.spans.profile_emitter() if tele is not None else None
         if tele is not None and tele.wants_metrics:
             m = tele.metrics
             self._tele_samples = m.counter(
@@ -230,7 +235,12 @@ class StageRuntime:
             weight = float(self._poisson(expected))
             if weight == 0.0:
                 return
-        self.cct_for(label).record_sample(thread.call_path(), weight)
+        path = thread.call_path()
+        self.cct_for(label).record_sample(path, weight)
+        if self._emit_profile is not None:
+            self._emit_profile(
+                ("sample", self.name, label, path, weight, thread.kernel.now)
+            )
         if self._tele_samples is not None:
             self._tele_samples.inc()
             self._tele_sample_weight.inc(weight)
@@ -308,7 +318,17 @@ class StageRuntime:
         if not self.tracking:
             return None
         context = self.context_at_send(thread)
-        value = self.synopses.synopsis(context)
+        emit = self._emit_profile
+        if emit is None:
+            value = self.synopses.synopsis(context)
+        else:
+            # Emit a mint event only when this send actually allocated a
+            # new synopsis — the online stitcher mirrors the table, not
+            # the traffic.
+            before = self.synopses.next_value
+            value = self.synopses.synopsis(context)
+            if self.synopses.next_value != before:
+                emit(("synopsis", self.name, value, context, thread.kernel.now))
         entry = self._sent_requests.get(value)
         if entry is None:
             self._sent_requests[value] = [thread.tran_ctxt, 1]
@@ -353,7 +373,14 @@ class StageRuntime:
         local = TransactionContext.from_call_path(thread.call_path())
         self.add_pending(thread, self.overhead.synopsis_cost)
         self.comm_context_bytes_full += local.wire_size()
-        return self.synopses.make_response(request_synopsis, local)
+        emit = self._emit_profile
+        if emit is None:
+            return self.synopses.make_response(request_synopsis, local)
+        before = self.synopses.next_value
+        composite = self.synopses.make_response(request_synopsis, local)
+        if self.synopses.next_value != before:
+            emit(("synopsis", self.name, composite.suffix, local, thread.kernel.now))
+        return composite
 
     def receive_response(self, thread: SimThread, composite: Optional[CompositeSynopsis]) -> bool:
         """Receive-wrapper at the caller.
@@ -429,7 +456,12 @@ class StageRuntime:
         self._pending.clear()
         if self._tele_inflight is not None:
             self._tele_inflight.set(0)
-        return self.synopses.clear_mappings()
+        lost = self.synopses.clear_mappings()
+        if self._emit_profile is not None:
+            # The online stitcher mirrors the amnesia: its shadow table
+            # forgets the same mappings the real table just lost.
+            self._emit_profile(("crash", self.name, lost))
+        return lost
 
     @property
     def in_flight_requests(self) -> int:

@@ -1,0 +1,725 @@
+"""The online streaming stitcher: live profiles without post-mortem dumps.
+
+Whodunit's presentation phase is batch: run, dump per-stage profiles,
+stitch.  :class:`LiveCollector` is the continuous-profiling version —
+a long-lived consumer of the telemetry layer's raw profile-event
+stream (CPU samples, synopsis mints, crash amnesia, crosstalk waits)
+that maintains *shadow* per-stage profiling state incrementally and
+can answer "top contexts right now" at any virtual time, while the
+simulation keeps running.
+
+Equivalence guarantee
+---------------------
+
+The collector does not approximate: it replays the exact per-stage
+operations the real :class:`~repro.core.profiler.StageRuntime` applied,
+in the same order, with the same floats — shadow CCTs receive the same
+``record_sample`` calls, shadow synopsis tables the same mints and the
+same crash clears.  Final compaction therefore feeds
+:func:`repro.core.stitch.stitch_profiles` bit-identical inputs, and
+the compacted profile serialises to the *same bytes*
+(:func:`repro.parallel.stitching.canonical_profile_bytes`) as the
+post-mortem stitch of the same seeded run.  Eviction round-trips
+(``to_rows``/``attach_rows`` through JSON) are float-exact, so bounded
+memory does not weaken the guarantee.
+
+Bounded memory
+--------------
+
+Resident CCTs live in an LRU; when the resident count exceeds
+``max_resident`` the coldest trees are spilled to the checkpoint
+directory (cumulative snapshots, superseding — see
+:mod:`repro.live.checkpoint`) and dropped, then faulted back in on
+their next sample.  Scalar per-context weight aggregates stay resident
+regardless, so live queries never touch evicted trees.  Periodic
+interval checkpoints persist everything dirty, so a collector crash
+loses at most one interval; :meth:`LiveCollector.recover` rebuilds the
+shadow state (cold — trees stay on disk) by replaying the directory.
+
+Backpressure
+------------
+
+``on_profile_event`` is O(1): append + a counter check.  Absorption
+runs in batches, *inline in the producer's call* once the pending
+buffer reaches ``batch`` events — the producer pays for absorption
+instead of growing an unbounded queue.  ``pending_events`` is the
+pressure signal the :class:`~repro.telemetry.sinks.StitchingSink`
+exposes to the recorder.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import OrderedDict
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.cct import CallingContextTree
+from repro.core.context import TransactionContext, UnresolvedRef
+from repro.core.stitch import StitchStats, resolve_context, stitch_profiles
+from repro.live import checkpoint as _ckpt
+
+__all__ = ["LiveCollector", "attach_collector"]
+
+
+class _ShadowSynopses:
+    """Mirror of a stage's synopsis table, fed by mint/crash events.
+
+    Duck-types the slice of :class:`~repro.core.synopsis.SynopsisTable`
+    the resolver uses (``resolve``), so shadow stages drop straight
+    into :func:`resolve_context` / :func:`stitch_profiles`.
+    """
+
+    __slots__ = ("stage_name", "by_value")
+
+    def __init__(self, stage_name: str):
+        self.stage_name = stage_name
+        self.by_value: Dict[int, TransactionContext] = {}
+
+    def resolve(self, value: int) -> TransactionContext:
+        try:
+            return self.by_value[value]
+        except KeyError:
+            raise KeyError(
+                f"stage {self.stage_name!r} has no synopsis {value:#010x}"
+            ) from None
+
+
+class _Entry:
+    """Per-(stage, label) shadow state: the CCT (or None when spilled)
+    plus the scalar aggregates that never leave memory."""
+
+    __slots__ = ("cct", "weight", "dirty", "resolved")
+
+    def __init__(self):
+        self.cct: Optional[CallingContextTree] = None
+        self.weight = 0.0
+        self.dirty = False
+        self.resolved: Optional[TransactionContext] = None
+
+
+class _ShadowStage:
+    """Shadow of one StageRuntime's profile state."""
+
+    __slots__ = (
+        "name", "synopses", "labels", "order", "new_labels",
+        "pending_ops", "crosstalk", "crashes",
+    )
+
+    def __init__(self, name: str):
+        self.name = name
+        self.synopses = _ShadowSynopses(name)
+        self.labels: Dict[TransactionContext, _Entry] = {}
+        # First-seen label order — replayed at compaction so the shadow
+        # ccts dict iterates exactly like the real stage's.
+        self.order: List[TransactionContext] = []
+        # Order of labels first seen since the last checkpoint write.
+        self.new_labels: List[TransactionContext] = []
+        # Synopsis op log since the last checkpoint write.
+        self.pending_ops: List[Any] = []
+        # Cumulative (count, total, max) per ordered type pair.
+        self.crosstalk: Dict[Tuple[Any, Any], List[Any]] = {}
+        self.crashes = 0
+
+
+class LiveCollector:
+    """Consumes the raw profile-event stream; answers live queries.
+
+    Attach via :func:`attach_collector` (or wrap in a
+    :class:`~repro.telemetry.sinks.StitchingSink` manually) *before*
+    constructing the simulated system — instrumentation sites capture
+    the emitter at construction, like every other telemetry hook.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        interval: float = 5.0,
+        max_resident: Optional[int] = 512,
+        batch: int = 512,
+    ):
+        if directory is None and max_resident is not None:
+            # Nowhere to spill: eviction would lose samples.
+            max_resident = None
+        self.directory = directory
+        self.interval = interval
+        self.max_resident = max_resident
+        self.batch = max(1, batch)
+        self._pending: List[Tuple[Any, ...]] = []
+        self._stages: Dict[str, _ShadowStage] = {}
+        # LRU over resident (stage, label) entries, coldest first.
+        self._lru: "OrderedDict[Tuple[str, TransactionContext], _Entry]" = (
+            OrderedDict()
+        )
+        # Latest checkpoint file holding each label's cumulative tree.
+        self._spill_index: Dict[Tuple[str, TransactionContext], str] = {}
+        self._doc_cache: Tuple[Optional[str], Any] = (None, None)
+        # Incremental resolution state for the live query index.
+        self._cache: Dict[TransactionContext, TransactionContext] = {}
+        self._missing: set = set()
+        self._resolved_weights: Dict[Tuple[str, TransactionContext], float] = {}
+        self._index_dirty = False
+        # Virtual time of the newest absorbed event.
+        self.now = 0.0
+        self._seq = 0
+        self._next_ckpt = interval
+        # Cumulative counters (checkpointed, restored on recovery).
+        self.samples = 0
+        self.sample_weight = 0.0
+        self.synopses_minted = 0
+        self.synopses_lost = 0
+        self.crashes = 0
+        self.crosstalk_events = 0
+        self.spans_seen = 0
+        self.hops_seen = 0
+        self.events_absorbed = 0
+        self.evictions = 0
+        self.revivals = 0
+        self.checkpoints_written = 0
+        self.peak_resident = 0
+        self.recovered_from = 0
+
+    # ------------------------------------------------------------------
+    # Sink-facing entry points (hot path)
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        return len(self._pending)
+
+    def on_span(self, span: Any) -> None:
+        self.spans_seen += 1
+        if span.category == "transaction.hop":
+            self.hops_seen += 1
+
+    def on_profile_event(self, event: Tuple[Any, ...]) -> None:
+        pending = self._pending
+        pending.append(event)
+        if len(pending) >= self.batch:
+            self.drain()
+
+    # ------------------------------------------------------------------
+    # Absorption
+    # ------------------------------------------------------------------
+    def drain(self) -> None:
+        """Absorb every pending event into the shadow state."""
+        while self._pending:
+            batch, self._pending = self._pending, []
+            for event in batch:
+                kind = event[0]
+                if kind == "sample":
+                    self._on_sample(event[1], event[2], event[3], event[4], event[5])
+                elif kind == "synopsis":
+                    self._on_synopsis(event[1], event[2], event[3], event[4])
+                elif kind == "crash":
+                    self._on_crash(event[1], event[2])
+                elif kind == "crosstalk":
+                    self._on_crosstalk(event[1], event[2], event[3], event[4])
+            self.events_absorbed += len(batch)
+        if self.directory is not None and self.now >= self._next_ckpt:
+            self.checkpoint()
+
+    def _stage(self, name: str) -> _ShadowStage:
+        shadow = self._stages.get(name)
+        if shadow is None:
+            shadow = self._stages[name] = _ShadowStage(name)
+        return shadow
+
+    def _on_sample(self, stage_name, label, path, weight, t) -> None:
+        self.now = t
+        self.samples += 1
+        self.sample_weight += weight
+        shadow = self._stage(stage_name)
+        entry = shadow.labels.get(label)
+        key = (stage_name, label)
+        if entry is None:
+            entry = _Entry()
+            shadow.labels[label] = entry
+            shadow.order.append(label)
+            shadow.new_labels.append(label)
+            entry.cct = CallingContextTree(label)
+            self._admit(key, entry)
+            entry.resolved = self._resolve_label(label)
+        elif entry.cct is None:
+            self._revive(key, entry, shadow)
+        else:
+            self._lru.move_to_end(key)
+        entry.cct.record_sample(path, weight)
+        entry.dirty = True
+        entry.weight += weight
+        if not self._index_dirty and entry.resolved is not None:
+            rkey = (stage_name, entry.resolved)
+            self._resolved_weights[rkey] = (
+                self._resolved_weights.get(rkey, 0.0) + weight
+            )
+
+    def _on_synopsis(self, stage_name, value, context, t) -> None:
+        self.now = t
+        self.synopses_minted += 1
+        shadow = self._stage(stage_name)
+        shadow.synopses.by_value[value] = context
+        shadow.pending_ops.append(("s", value, context))
+        if (stage_name, value) in self._missing:
+            # A reference that previously failed to resolve just became
+            # resolvable; re-bucket the scalar index on next query.
+            self._index_dirty = True
+
+    def _on_crash(self, stage_name, lost) -> None:
+        self.crashes += 1
+        self.synopses_lost += lost
+        shadow = self._stage(stage_name)
+        shadow.crashes += 1
+        shadow.synopses.by_value.clear()
+        shadow.pending_ops.append(("c", lost))
+        # Earlier resolutions may have read mappings that no longer
+        # exist; queries resolve against *current* tables, like the
+        # post-mortem pass resolves against end-of-run tables.
+        self._index_dirty = True
+
+    def _on_crosstalk(self, stage_name, waiter, holder, wait) -> None:
+        self.crosstalk_events += 1
+        shadow = self._stage(stage_name or "<anonymous>")
+        stats = shadow.crosstalk.get((waiter, holder))
+        if stats is None:
+            shadow.crosstalk[(waiter, holder)] = [1, wait, wait]
+        else:
+            stats[0] += 1
+            stats[1] += wait
+            if wait > stats[2]:
+                stats[2] = wait
+
+    # ------------------------------------------------------------------
+    # LRU + spill
+    # ------------------------------------------------------------------
+    @property
+    def resident_contexts(self) -> int:
+        return len(self._lru)
+
+    def _admit(self, key, entry: _Entry) -> None:
+        limit = self.max_resident
+        if limit is not None and len(self._lru) >= limit:
+            self._evict(max(1, limit // 4))
+        self._lru[key] = entry
+        if len(self._lru) > self.peak_resident:
+            self.peak_resident = len(self._lru)
+
+    def _evict(self, count: int) -> None:
+        """Spill the coldest ``count`` resident trees to disk."""
+        victims: List[Tuple[Tuple[str, TransactionContext], _Entry]] = []
+        for key in list(self._lru):
+            if len(victims) >= count:
+                break
+            victims.append((key, self._lru[key]))
+        dirty = [(key, entry) for key, entry in victims if entry.dirty]
+        if dirty:
+            # One spill file for the whole batch; it is an ordinary
+            # interval checkpoint that happens to snapshot only the
+            # evicted trees, so replay semantics stay uniform.
+            self._write_doc([key for key, _ in dirty])
+        for key, entry in victims:
+            entry.cct = None
+            entry.dirty = False
+            del self._lru[key]
+            self.evictions += 1
+
+    def _revive(self, key, entry: _Entry, shadow: _ShadowStage) -> None:
+        """Fault a spilled tree back in from its latest snapshot."""
+        entry.cct = self._load_tree(key)
+        self._admit(key, entry)
+        self.revivals += 1
+
+    def _load_tree(self, key) -> CallingContextTree:
+        stage_name, label = key
+        path = self._spill_index.get(key)
+        if path is None:
+            # Never persisted (clean empty entry from recovery edge
+            # cases): start a fresh tree.
+            return CallingContextTree(label)
+        cached_path, cached_doc = self._doc_cache
+        if cached_path == path:
+            doc = cached_doc
+        else:
+            doc = _ckpt.read_checkpoint(path)
+            self._doc_cache = (path, doc)
+        for cell in doc["stages"].get(stage_name, {}).get("ccts", []):
+            if _ckpt.cct_cell_label(cell) == label:
+                return _ckpt.decode_cct(cell)
+        raise ValueError(
+            f"checkpoint {path!r} lost the snapshot for {stage_name!r} "
+            f"label {label!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _counters_doc(self) -> Dict[str, Any]:
+        stats = self._fresh_stats()
+        return {
+            "samples": self.samples,
+            "sample_weight": self.sample_weight,
+            "synopses_minted": self.synopses_minted,
+            "synopses_lost": self.synopses_lost,
+            "crashes": self.crashes,
+            "crosstalk_events": self.crosstalk_events,
+            "spans_seen": self.spans_seen,
+            "hops_seen": self.hops_seen,
+            "events_absorbed": self.events_absorbed,
+            "evictions": self.evictions,
+            "revivals": self.revivals,
+            "attempted": stats.attempted,
+            "unresolved": stats.unresolved,
+        }
+
+    def _write_doc(
+        self,
+        snapshot_keys: Iterable[Tuple[str, TransactionContext]],
+        kind: str = "interval",
+    ) -> str:
+        """Persist one superseding checkpoint document (see
+        :mod:`repro.live.checkpoint` for the replay semantics)."""
+        stages_doc: Dict[str, Any] = {}
+        by_stage: Dict[str, List[TransactionContext]] = {}
+        for stage_name, label in snapshot_keys:
+            by_stage.setdefault(stage_name, []).append(label)
+        for name, shadow in self._stages.items():
+            cct_cells = []
+            for label in by_stage.get(name, []):
+                entry = shadow.labels[label]
+                cct_cells.append(_ckpt.encode_cct(label, entry.cct))
+            stages_doc[name] = {
+                "new_labels": [
+                    _ckpt.encode_context(label) for label in shadow.new_labels
+                ],
+                "syn_ops": [_ckpt.encode_syn_op(op) for op in shadow.pending_ops],
+                "ccts": cct_cells,
+                "crosstalk": _ckpt.encode_crosstalk(shadow.crosstalk),
+            }
+            shadow.new_labels = []
+            shadow.pending_ops = []
+        document = {
+            "seq": self._seq,
+            "t": self.now,
+            "kind": kind,
+            "counters": self._counters_doc(),
+            "stages": stages_doc,
+        }
+        path = _ckpt.write_checkpoint(self.directory, self._seq, document)
+        self._seq += 1
+        self.checkpoints_written += 1
+        self._doc_cache = (None, None)
+        for key in snapshot_keys:
+            self._spill_index[key] = path
+            entry = self._stages[key[0]].labels[key[1]]
+            entry.dirty = False
+        return path
+
+    def checkpoint(self) -> Optional[str]:
+        """Write an interval checkpoint of everything dirty.
+
+        After this returns, a collector crash loses only events newer
+        than the write — at most one checkpoint interval.
+        """
+        if self.directory is None:
+            return None
+        dirty = [
+            (name, label)
+            for name, shadow in self._stages.items()
+            for label, entry in shadow.labels.items()
+            if entry.dirty and entry.cct is not None
+        ]
+        path = self._write_doc(dirty)
+        self._next_ckpt = self.now + self.interval
+        return path
+
+    def finalize(self) -> Optional[str]:
+        """Absorb everything pending and write a final interval
+        checkpoint (the end-of-run flush path for shard runners)."""
+        self.drain()
+        if self.directory is None:
+            return None
+        return self.checkpoint()
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        directory: str,
+        interval: float = 5.0,
+        max_resident: Optional[int] = 512,
+        batch: int = 512,
+    ) -> "LiveCollector":
+        """Rebuild a collector from a checkpoint directory.
+
+        State is reconstructed *cold*: synopsis tables and scalar
+        aggregates come back resident, CCTs stay on disk until touched.
+        Everything newer than the last completed checkpoint is gone —
+        the bounded-loss guarantee, not a bug.
+        """
+        collector = cls(
+            directory=directory,
+            interval=interval,
+            max_resident=max_resident,
+            batch=batch,
+        )
+        paths = _ckpt.list_checkpoints(directory)
+        for path in paths:
+            collector._replay(_ckpt.read_checkpoint(path), path)
+        if paths:
+            collector.recovered_from = len(paths)
+            collector._next_ckpt = collector.now + interval
+            collector._index_dirty = True
+        return collector
+
+    def _replay(self, doc: Dict[str, Any], path: str) -> None:
+        if doc.get("kind") == "full":
+            # A full snapshot is absolute: drop anything replayed from
+            # older files (compaction normally deletes them anyway).
+            self._stages.clear()
+            self._lru.clear()
+            self._spill_index.clear()
+        self._seq = doc["seq"] + 1
+        self.now = doc["t"]
+        counters = doc["counters"]
+        self.samples = counters["samples"]
+        self.sample_weight = counters["sample_weight"]
+        self.synopses_minted = counters["synopses_minted"]
+        self.synopses_lost = counters["synopses_lost"]
+        self.crashes = counters["crashes"]
+        self.crosstalk_events = counters["crosstalk_events"]
+        self.spans_seen = counters["spans_seen"]
+        self.hops_seen = counters["hops_seen"]
+        self.events_absorbed = counters["events_absorbed"]
+        for name, stage_doc in doc["stages"].items():
+            shadow = self._stage(name)
+            for cells in stage_doc["new_labels"]:
+                label = _ckpt.decode_context(cells)
+                if label not in shadow.labels:
+                    shadow.labels[label] = _Entry()
+                    shadow.order.append(label)
+            for cell in stage_doc["syn_ops"]:
+                op = _ckpt.decode_syn_op(cell)
+                if op[0] == "s":
+                    shadow.synopses.by_value[op[1]] = op[2]
+                else:
+                    shadow.synopses.by_value.clear()
+                    shadow.crashes += 1
+            for cell in stage_doc["ccts"]:
+                label = _ckpt.cct_cell_label(cell)
+                entry = shadow.labels.get(label)
+                if entry is None:
+                    entry = shadow.labels[label] = _Entry()
+                    shadow.order.append(label)
+                entry.cct = None
+                entry.dirty = False
+                entry.weight = math.fsum(_ckpt.cct_cell_weights(cell))
+                self._spill_index[(name, label)] = path
+            if stage_doc["crosstalk"]:
+                shadow.crosstalk = {
+                    key: list(stats)
+                    for key, stats in _ckpt.decode_crosstalk(
+                        stage_doc["crosstalk"]
+                    ).items()
+                }
+
+    # ------------------------------------------------------------------
+    # Live queries
+    # ------------------------------------------------------------------
+    def _stage_map(self) -> Dict[str, _ShadowStage]:
+        return self._stages
+
+    def _resolve_label(self, label: TransactionContext) -> TransactionContext:
+        resolved = resolve_context(
+            label, self._stages, self._cache, strict=False
+        )
+        for element in resolved:
+            if isinstance(element, UnresolvedRef):
+                self._missing.add((element.origin, element.value))
+        return resolved
+
+    def _fresh_stats(self) -> StitchStats:
+        """One non-strict resolve pass over every label against the
+        *current* tables (exactly what the post-mortem pass would count
+        on the same state)."""
+        stats = StitchStats()
+        cache: Dict[TransactionContext, TransactionContext] = {}
+        for shadow in self._stages.values():
+            for label in shadow.order:
+                resolve_context(label, self._stages, cache, False, stats)
+        return stats
+
+    def _refresh_index(self) -> None:
+        if not self._index_dirty:
+            return
+        self._cache = {}
+        self._missing.clear()
+        self._resolved_weights = {}
+        for name, shadow in self._stages.items():
+            for label in shadow.order:
+                entry = shadow.labels[label]
+                entry.resolved = self._resolve_label(label)
+                if entry.weight:
+                    rkey = (name, entry.resolved)
+                    self._resolved_weights[rkey] = (
+                        self._resolved_weights.get(rkey, 0.0) + entry.weight
+                    )
+        self._index_dirty = False
+
+    def top_contexts(
+        self, k: int = 10
+    ) -> List[Tuple[str, TransactionContext, float, float]]:
+        """The ``k`` heaviest (stage, resolved context) entries right
+        now: rows ``(stage, context, weight, share-of-stage)``.
+
+        Served from the scalar index — never touches spilled trees, so
+        a query mid-run is cheap at any memory pressure.
+        """
+        self.drain()
+        self._refresh_index()
+        totals = self.stage_weights()
+        rows = sorted(
+            self._resolved_weights.items(),
+            key=lambda item: (-item[1], item[0][0], repr(item[0][1])),
+        )
+        return [
+            (stage, context, weight, weight / totals[stage] if totals[stage] else 0.0)
+            for (stage, context), weight in rows[: max(0, k)]
+        ]
+
+    def stage_weights(self) -> Dict[str, float]:
+        """Total sample weight per stage, at the current virtual time."""
+        self.drain()
+        return {
+            name: math.fsum(entry.weight for entry in shadow.labels.values())
+            for name, shadow in self._stages.items()
+        }
+
+    def completeness(self) -> float:
+        """Fraction of synopsis references resolvable *right now*."""
+        self.drain()
+        return self._fresh_stats().completeness
+
+    def stitch_stats(self) -> Tuple[int, int]:
+        """Current ``(attempted, unresolved)`` resolution tallies."""
+        self.drain()
+        stats = self._fresh_stats()
+        return stats.attempted, stats.unresolved
+
+    def crosstalk_pairs(self) -> List[Tuple[Any, Any, int, float, float, float]]:
+        """Crosstalk aggregated across stages: rows ``(waiter, holder,
+        count, total, mean, max)``, heaviest total first."""
+        self.drain()
+        folded: Dict[Tuple[Any, Any], List[Any]] = {}
+        for shadow in self._stages.values():
+            for key, stats in shadow.crosstalk.items():
+                acc = folded.get(key)
+                if acc is None:
+                    folded[key] = list(stats)
+                else:
+                    acc[0] += stats[0]
+                    acc[1] += stats[1]
+                    if stats[2] > acc[2]:
+                        acc[2] = stats[2]
+        rows = [
+            (waiter, holder, count, total, total / count if count else 0.0, peak)
+            for (waiter, holder), (count, total, peak) in folded.items()
+        ]
+        rows.sort(key=lambda row: -row[3])
+        return rows
+
+    # ------------------------------------------------------------------
+    # Compaction: the live profile, byte-identical to post-mortem
+    # ------------------------------------------------------------------
+    class _StitchView:
+        """Duck-typed StageRuntime slice for :func:`stitch_profiles`."""
+
+        __slots__ = ("name", "ccts", "synopses")
+
+        def __init__(self, name, ccts, synopses):
+            self.name = name
+            self.ccts = ccts
+            self.synopses = synopses
+
+    def _views(self) -> List["LiveCollector._StitchView"]:
+        views = []
+        for name, shadow in self._stages.items():
+            ccts: Dict[TransactionContext, CallingContextTree] = {}
+            for label in shadow.order:
+                entry = shadow.labels[label]
+                if entry.cct is not None:
+                    ccts[label] = entry.cct
+                else:
+                    ccts[label] = self._load_tree((name, label))
+            views.append(self._StitchView(name, ccts, shadow.synopses))
+        return views
+
+    def stitched_profile(self, strict: bool = False):
+        """The full end-to-end profile of everything absorbed so far.
+
+        Materialises every spilled tree (this is the end-of-run path —
+        bounded-memory queries should use :meth:`top_contexts` /
+        :meth:`stage_weights` instead) and runs the very same
+        :func:`stitch_profiles` the post-mortem presentation phase
+        runs, on bit-identical inputs.
+        """
+        self.drain()
+        return stitch_profiles(self._views(), strict=strict)
+
+    def compact(self, strict: bool = False):
+        """Finalize: stitch, then collapse the checkpoint directory to
+        a single ``kind="full"`` snapshot superseding all others.
+
+        Returns the stitched profile.  After compaction the directory
+        replays from one file; :func:`repro.cli` exposes this as
+        ``repro live-report``.
+        """
+        self.drain()
+        profile = self.stitched_profile(strict=strict)
+        if self.directory is not None:
+            older = _ckpt.list_checkpoints(self.directory)
+            keys = [
+                (name, label)
+                for name, shadow in self._stages.items()
+                for label in shadow.order
+            ]
+            for name, shadow in self._stages.items():
+                # Full documents carry absolute state: every label in
+                # first-seen order, the whole current synopsis table.
+                shadow.new_labels = list(shadow.order)
+                shadow.pending_ops = [
+                    ("s", value, context)
+                    for value, context in shadow.synopses.by_value.items()
+                ]
+                for label in shadow.order:
+                    entry = shadow.labels[label]
+                    if entry.cct is None:
+                        entry.cct = self._load_tree((name, label))
+                        self._lru[(name, label)] = entry
+            final = self._write_doc(keys, kind="full")
+            _ckpt.remove_checkpoints([p for p in older if p != final])
+        return profile
+
+
+def attach_collector(
+    tele: Any,
+    directory: Optional[str] = None,
+    interval: float = 5.0,
+    max_resident: Optional[int] = 512,
+    batch: int = 512,
+) -> LiveCollector:
+    """Create a LiveCollector and attach it to ``tele`` via a
+    :class:`~repro.telemetry.sinks.StitchingSink`.
+
+    Must run before the simulated system is built (stage runtimes
+    capture the profile-event emitter at construction).  Returns the
+    collector; the sink is reachable as usual through the recorder.
+    """
+    from repro.telemetry.sinks import StitchingSink
+
+    collector = LiveCollector(
+        directory=directory,
+        interval=interval,
+        max_resident=max_resident,
+        batch=batch,
+    )
+    tele.add_sink(StitchingSink(collector))
+    return collector

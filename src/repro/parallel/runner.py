@@ -282,18 +282,54 @@ _WORKLOAD_RUNNERS = {
 
 
 def run_one_shard(spec: ShardSpec) -> ShardResult:
-    """Execute one shard, isolated from the caller's telemetry state."""
+    """Execute one shard, isolated from the caller's telemetry state.
+
+    A spec with ``live_dir`` set attaches an online streaming stitcher
+    (:mod:`repro.live`) before the system is built — upgrading a
+    telemetry mode of ``off`` to ``spans``, since the collector rides
+    the profile-event stream — and finalizes it (drain + last
+    checkpoint) into ``live_dir/shard-NNNN/`` when the shard ends, so
+    the parent (or ``live-report``) can fold the per-shard state.
+    """
     previous = _telemetry.ACTIVE
     tele = None
+    collector = None
     try:
-        if spec.telemetry_mode != "off":
-            tele = _telemetry.install(spec.telemetry_mode)
+        mode = spec.telemetry_mode
+        if mode == "off" and spec.live_dir:
+            mode = "spans"
+        if mode != "off":
+            tele = _telemetry.install(mode)
         else:
             _telemetry.ACTIVE = None
+        if spec.live_dir:
+            from repro.live import attach_collector
+
+            shard_live = os.path.join(
+                spec.live_dir, f"shard-{spec.index:04d}"
+            )
+            collector = attach_collector(
+                tele,
+                directory=shard_live,
+                interval=spec.live_interval,
+                max_resident=spec.live_resident or None,
+            )
         result = _WORKLOAD_RUNNERS[spec.workload](spec)
         result.span_count, result.metrics = _collect_telemetry(tele)
+        if collector is not None:
+            collector.finalize()
+            result.extra["live"] = {
+                "dir": collector.directory,
+                "samples": collector.samples,
+                "events": collector.events_absorbed,
+                "peak_resident": collector.peak_resident,
+                "evictions": collector.evictions,
+                "sink_errors": tele.sink_errors,
+            }
         return result
     finally:
+        if tele is not None:
+            tele.close()
         _telemetry.ACTIVE = previous
 
 

@@ -73,6 +73,13 @@ class ShardSpec:
     profile_format: str = "v2"
     #: Telemetry mode to install inside the worker ("off", "spans", "full").
     telemetry_mode: str = "off"
+    #: Parent directory for live-collector checkpoints ("" = no live
+    #: collection); each shard checkpoints under ``shard-NNNN/``.
+    live_dir: str = ""
+    #: Virtual seconds between live checkpoints.
+    live_interval: float = 5.0
+    #: LRU bound on resident live CCTs (0 = unbounded).
+    live_resident: int = 512
 
 
 @dataclass
@@ -105,6 +112,9 @@ def plan_shards(
     spool_dir: str = "",
     profile_format: str = "v2",
     telemetry_mode: str = "off",
+    live_dir: str = "",
+    live_interval: float = 5.0,
+    live_resident: int = 512,
 ) -> ShardPlan:
     """Build the deterministic shard plan for a run."""
     if workload not in WORKLOADS:
@@ -123,6 +133,9 @@ def plan_shards(
             spool_dir=spool_dir,
             profile_format=profile_format,
             telemetry_mode=telemetry_mode,
+            live_dir=live_dir,
+            live_interval=live_interval,
+            live_resident=live_resident,
         )
         for index in range(shards)
     ]

@@ -258,12 +258,24 @@ class SedaStage:
                         thread=thread.tid,
                         attrs={"queue_wait": wait},
                     )
+                closing = False
                 try:
                     with frame(thread, self.name):
                         yield from self.handler(self, thread, element.payload)
+                except GeneratorExit:
+                    # The worker is being destroyed while suspended —
+                    # a stage crash, or the interpreter finalizing the
+                    # generator at garbage-collection time.  The element
+                    # never completed, and GC can fire at an arbitrary
+                    # point of the host program (even mid-iteration of
+                    # the span recorder's own structures), so emitting
+                    # telemetry from here would both fake a completion
+                    # and mutate live state out of virtual time.
+                    closing = True
+                    raise
                 finally:
                     thread.tran_ctxt = None
-                    if span is not None:
+                    if span is not None and not closing:
                         tele.spans.end(span, self.kernel.now)
                         if self._tele_service is not None:
                             self._tele_service.observe(span.duration)

@@ -41,6 +41,7 @@ from repro.telemetry.sinks import (
     CallbackSink,
     CollectingSink,
     JsonLinesSink,
+    StitchingSink,
     TelemetrySink,
 )
 
@@ -81,6 +82,10 @@ class Telemetry:
                 "repro_telemetry_pending_synopses",
                 "registered send-span synopses awaiting adoption (LRU-bounded)",
             )
+            self.spans.error_counter = m.counter(
+                "repro_telemetry_sink_errors_total",
+                "sinks detached after raising from a telemetry callback",
+            )
         else:
             self.channel_messages = None
             self.channel_bytes = None
@@ -90,6 +95,15 @@ class Telemetry:
 
     def add_sink(self, sink: TelemetrySink) -> None:
         self.spans.add_sink(sink)
+
+    @property
+    def sink_errors(self) -> int:
+        """Sinks detached after raising from a telemetry callback."""
+        return self.spans.sink_errors
+
+    def close(self) -> None:
+        """Flush and close every attached sink (idempotent)."""
+        self.spans.close_sinks()
 
 
 # The single module-level switch.  ``None`` = telemetry off.
@@ -112,9 +126,11 @@ def install(mode: str = "full", span_capacity: Optional[int] = None) -> Optional
 
 
 def uninstall() -> None:
-    """Disable telemetry globally."""
+    """Disable telemetry globally (closing any attached sinks)."""
     global ACTIVE
-    ACTIVE = None
+    previous, ACTIVE = ACTIVE, None
+    if previous is not None:
+        previous.close()
 
 
 def active() -> Optional[Telemetry]:
@@ -161,6 +177,7 @@ __all__ = [
     "MODES",
     "Span",
     "SpanRecorder",
+    "StitchingSink",
     "Telemetry",
     "TelemetrySink",
     "active",

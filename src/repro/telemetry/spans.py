@@ -110,9 +110,14 @@ class SpanRecorder:
         self.synopses_evicted = 0
         # Size gauge, installed by the telemetry hub when metrics are on.
         self.pending_gauge: Optional[Any] = None
+        # Sink-error counter, installed by the hub when metrics are on.
+        self.error_counter: Optional[Any] = None
         self._sinks: List[Any] = []
+        # Subset of sinks that opted into raw profiler events.
+        self._profile_sinks: List[Any] = []
         self.dropped = 0
         self.completed = 0
+        self.sink_errors = 0
 
     # ------------------------------------------------------------------
     # Sinks
@@ -120,14 +125,89 @@ class SpanRecorder:
     def add_sink(self, sink: Any) -> None:
         """Attach a streaming sink (see :mod:`repro.telemetry.sinks`)."""
         self._sinks.append(sink)
+        if getattr(sink, "wants_profile_events", False):
+            self._profile_sinks.append(sink)
+
+    def detach_sink(self, sink: Any) -> None:
+        """Remove a sink from all dispatch lists (no-op if absent)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+        if sink in self._profile_sinks:
+            self._profile_sinks.remove(sink)
+
+    def _quarantine(self, failed: List[Any]) -> None:
+        """Detach sinks that raised; the hot path must survive them."""
+        for sink in failed:
+            self.sink_errors += 1
+            if self.error_counter is not None:
+                self.error_counter.inc()
+            self.detach_sink(sink)
+            try:
+                sink.close()
+            except Exception:
+                pass
 
     def _emit(self, span: Span) -> None:
         self.completed += 1
         if self._spans.maxlen is not None and len(self._spans) == self._spans.maxlen:
             self.dropped += 1
         self._spans.append(span)
+        failed = None
         for sink in self._sinks:
-            sink.on_span(span)
+            try:
+                sink.on_span(span)
+            except Exception:
+                if failed is None:
+                    failed = []
+                failed.append(sink)
+        if failed is not None:
+            self._quarantine(failed)
+
+    # ------------------------------------------------------------------
+    # Raw profiler events (online stitching)
+    # ------------------------------------------------------------------
+    def profile_emitter(self) -> Optional[Any]:
+        """Bound dispatch method, or ``None`` when no sink wants the
+        profiler stream — instrumentation sites capture this once at
+        construction so a span-only run pays nothing per sample."""
+        return self.emit_profile_event if self._profile_sinks else None
+
+    def emit_profile_event(self, event: Any) -> None:
+        """Fan a raw profiler event out to opted-in sinks (hardened)."""
+        failed = None
+        for sink in self._profile_sinks:
+            try:
+                sink.on_profile_event(event)
+            except Exception:
+                if failed is None:
+                    failed = []
+                failed.append(sink)
+        if failed is not None:
+            self._quarantine(failed)
+
+    def flush_sinks(self) -> None:
+        """Flush every attached sink (errors detach, never propagate)."""
+        failed = None
+        for sink in list(self._sinks):
+            try:
+                sink.flush()
+            except Exception:
+                if failed is None:
+                    failed = []
+                failed.append(sink)
+        if failed is not None:
+            self._quarantine(failed)
+
+    def close_sinks(self) -> None:
+        """Close every attached sink once; errors are counted, not raised."""
+        sinks, self._sinks, self._profile_sinks = self._sinks, [], []
+        for sink in sinks:
+            try:
+                sink.close()
+            except Exception:
+                self.sink_errors += 1
+                if self.error_counter is not None:
+                    self.error_counter.inc()
 
     # ------------------------------------------------------------------
     # Span lifecycle
@@ -284,12 +364,14 @@ class SpanRecorder:
         return list(self._spans)
 
     def by_category(self, category: str) -> List[Span]:
-        return [s for s in self._spans if s.category == category]
+        # Snapshot before filtering: a GC-time finalizer that emits a
+        # span must not invalidate the deque iterator under our feet.
+        return [s for s in tuple(self._spans) if s.category == category]
 
     def traces(self) -> Dict[int, List[Span]]:
         """Completed spans grouped by trace id."""
         out: Dict[int, List[Span]] = {}
-        for span in self._spans:
+        for span in tuple(self._spans):
             out.setdefault(span.trace_id, []).append(span)
         return out
 

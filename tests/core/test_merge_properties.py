@@ -1,0 +1,143 @@
+"""Algebraic properties of :meth:`StitchedProfile.merge`.
+
+The parallel presentation phase and the live collector both lean on
+``merge`` behaving like a well-defined fold: merging with an empty
+profile is the identity, and — when the weights are exactly
+representable so float addition cannot re-associate — any order and
+any grouping of the same contributions produce byte-identical
+canonical output.  Weights here are dyadic rationals (``k / 8`` with
+small ``k``), for which IEEE-754 addition is exact, so the properties
+hold *bitwise*, which is what :func:`canonical_profile_bytes` checks.
+(Arbitrary float weights need the Shewchuk accumulator in
+``repro.parallel.reduce`` for order invariance — covered by the
+parallel reduce tests.)
+"""
+
+import hashlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cct import CallingContextTree
+from repro.core.context import TransactionContext
+from repro.core.stitch import StitchedProfile
+from repro.parallel import canonical_profile_bytes
+
+_STAGES = ("web", "app", "db")
+_FRAMES = ("main", "accept", "parse", "service", "query", "sort")
+_CONTEXTS = (
+    ("main", "get"),
+    ("main", "post"),
+    ("main", "get", "query"),
+)
+
+
+def _digest(profile: StitchedProfile) -> str:
+    return hashlib.sha256(canonical_profile_bytes(profile)).hexdigest()
+
+
+# One sample: which (stage, context) entry it lands in, its call path,
+# and an exactly-representable dyadic weight.
+_sample = st.tuples(
+    st.sampled_from(_STAGES),
+    st.sampled_from(_CONTEXTS),
+    st.lists(st.sampled_from(_FRAMES), min_size=1, max_size=4),
+    st.integers(min_value=1, max_value=64).map(lambda k: k / 8.0),
+)
+
+
+def _build(samples, refs=(0, 0)) -> StitchedProfile:
+    profile = StitchedProfile()
+    trees = {}
+    for stage, context, path, weight in samples:
+        key = (stage, TransactionContext(context))
+        cct = trees.get(key)
+        if cct is None:
+            cct = trees[key] = CallingContextTree(key[1])
+        cct.record_sample(tuple(path), weight)
+    for (stage, context), cct in trees.items():
+        profile.add(stage, context, cct)
+    profile.synopsis_refs, profile.unresolved_refs = refs
+    return profile
+
+
+_profile = st.tuples(
+    st.lists(_sample, max_size=12),
+    st.tuples(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=5),
+    ),
+).map(lambda pair: _build(pair[0], pair[1]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(_profile)
+def test_merge_with_empty_is_identity(profile):
+    before = _digest(profile)
+    profile.merge(StitchedProfile())
+    assert _digest(profile) == before
+    empty = StitchedProfile()
+    empty.merge(profile)
+    assert _digest(empty) == before
+    assert empty.synopsis_refs == profile.synopsis_refs
+    assert empty.unresolved_refs == profile.unresolved_refs
+
+
+@settings(max_examples=60, deadline=None)
+@given(_profile, _profile)
+def test_merge_is_commutative(a, b):
+    ab = StitchedProfile()
+    ab.merge(a)
+    ab.merge(b)
+    ba = StitchedProfile()
+    ba.merge(b)
+    ba.merge(a)
+    assert _digest(ab) == _digest(ba)
+    assert ab.synopsis_refs == ba.synopsis_refs
+    assert ab.unresolved_refs == ba.unresolved_refs
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(_profile, min_size=3, max_size=5),
+    st.randoms(use_true_random=False),
+)
+def test_merge_is_associative_over_shuffled_folds(profiles, rng):
+    """Any permutation and any grouping of the same shard profiles
+    yields identical canonical bytes (shard order must not matter)."""
+    flat = StitchedProfile()
+    for profile in profiles:
+        flat.merge(profile)
+    reference = _digest(flat)
+
+    shuffled = list(profiles)
+    rng.shuffle(shuffled)
+    refold = StitchedProfile()
+    for profile in shuffled:
+        refold.merge(profile)
+    assert _digest(refold) == reference
+
+    # A different association: fold pairwise into groups, then fold
+    # the groups — the hierarchical reduce shape.
+    split = max(1, len(shuffled) // 2)
+    left, right = StitchedProfile(), StitchedProfile()
+    for profile in shuffled[:split]:
+        left.merge(profile)
+    for profile in shuffled[split:]:
+        right.merge(profile)
+    grouped = StitchedProfile()
+    grouped.merge(left)
+    grouped.merge(right)
+    assert _digest(grouped) == reference
+
+
+def test_merge_does_not_alias_source_trees():
+    """merge() must deep-copy on first insertion: mutating the merged
+    result later must not corrupt the contributing profile."""
+    source = _build([("db", ("main", "get"), ["main", "query"], 1.0)])
+    before = _digest(source)
+    merged = StitchedProfile()
+    merged.merge(source)
+    for cct in merged.entries.values():
+        cct.record_sample(("main", "query", "sort"), 2.0)
+    assert _digest(source) == before

@@ -1,0 +1,85 @@
+"""CLI surface of the online streaming stitcher.
+
+``--live`` / ``--live-dir`` on the single-run and sharded paths, and
+``live-report`` over checkpoint directories — including the CI-grade
+proof that a live run's checkpoints stitch to the *same digest* as the
+post-mortem spool of the identical seeded run.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.live import list_checkpoints
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_teardown():
+    from repro import telemetry
+
+    yield
+    telemetry.uninstall()
+
+
+_TPCW = ["tpcw", "--clients", "8", "--duration", "8", "--warmup", "1",
+         "--seed", "7"]
+
+
+def test_tpcw_live_flag(capsys):
+    assert main(_TPCW + ["--live", "--live-top", "4"]) == 0
+    out = capsys.readouterr().out
+    assert "=== live profile @ t=" in out
+    assert "live stitch:" in out
+    assert "completeness 100.00%" in out
+
+
+def test_haboob_live_with_checkpoints(tmp_path, capsys):
+    live = tmp_path / "live"
+    assert main([
+        "haboob", "--seconds", "2", "--clients", "3", "--objects", "50",
+        "--live-dir", str(live), "--live-interval", "0.5",
+        "--live-resident", "6",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "live profile" in out
+    # Compaction at the end of the run collapsed the chain to one file.
+    assert len(list_checkpoints(str(live))) == 1
+    assert main(["live-report", str(live), "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "live profile" in out
+    assert "end-to-end transactional profile" in out
+
+
+def test_live_report_digest_matches_postmortem_stitch(tmp_path, capsys):
+    """The acceptance proof, end to end through the CLI: a sharded run
+    writes both live checkpoints and post-mortem spool dumps; the
+    live-report fold and the spool stitch print the same SHA-256."""
+    live = tmp_path / "live"
+    spool = tmp_path / "spool"
+    assert main(_TPCW + [
+        "--shards", "2", "--jobs", "1",
+        "--live-dir", str(live), "--live-interval", "2",
+        "--live-resident", "4",
+        "--spool", str(spool), "--profile-format", "v2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "live checkpoints in" in out
+    assert main(["live-report", str(live), "--digest"]) == 0
+    live_digest = capsys.readouterr().out.strip()
+    assert main(["stitch", str(spool), "--digest"]) == 0
+    post_digest = capsys.readouterr().out.strip()
+    assert len(live_digest) == 64
+    assert live_digest == post_digest
+
+
+def test_live_report_rejects_bad_directory(tmp_path, capsys):
+    assert main(["live-report", str(tmp_path / "nope")]) == 2
+    assert "not a directory" in capsys.readouterr().err
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert main(["live-report", str(empty)]) == 2
+    assert "no checkpoints" in capsys.readouterr().err
+
+
+def test_sharded_live_without_dir_warns(tmp_path, capsys):
+    assert main(_TPCW + ["--shards", "2", "--jobs", "1", "--live"]) == 0
+    assert "--live with --shards needs --live-dir" in capsys.readouterr().err
