@@ -19,6 +19,17 @@ baseline, with RATIO < 1 absorbing runner-to-runner variance::
 
     python benchmarks/trend.py /tmp/before.json BENCH_hotpaths.json \
         --gate kernel_event_throughput.events_per_sec:0.5
+
+With ``--history OUT.json`` the positional arguments become an ordered
+series of snapshots (two or more) and the tool emits a compact history
+document instead of a pairwise report: one entry per snapshot with its
+label and flattened numeric metrics.  ``repro diff --html`` feeds this
+document to the report's trend sparklines::
+
+    git show HEAD~2:BENCH_hotpaths.json > /tmp/h0.json
+    git show HEAD~1:BENCH_hotpaths.json > /tmp/h1.json
+    python benchmarks/trend.py --history /tmp/history.json \
+        /tmp/h0.json /tmp/h1.json BENCH_hotpaths.json
 """
 
 from __future__ import annotations
@@ -97,17 +108,61 @@ def trend(old_path: str, new_path: str, gates=()) -> int:
     return 1 if failed else 0
 
 
+def emit_history(paths, out_path: str) -> int:
+    """Fold an ordered run of snapshot files into one history document.
+
+    Only numeric leaves survive (sparklines can't draw strings); labels
+    are the snapshot file basenames, which CI names after the commit.
+    """
+    import os
+
+    series = []
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as handle:
+            flat = flatten(json.load(handle))
+        metrics = {
+            key: value
+            for key, value in flat.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        label = os.path.basename(path)
+        for suffix in (".json",):
+            if label.endswith(suffix):
+                label = label[: -len(suffix)]
+        series.append({"label": label, "metrics": metrics})
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump({"series": series}, handle, separators=(",", ":"))
+    keys = set()
+    for entry in series:
+        keys.update(entry["metrics"])
+    print(
+        f"history: {len(series)} snapshot(s), {len(keys)} metric(s) "
+        f"-> {out_path}"
+    )
+    return 0
+
+
 def main(argv) -> int:
     paths = []
     gates = []
+    history = None
     arguments = iter(argv[1:])
     for argument in arguments:
         if argument == "--gate":
             gates.append(next(arguments, ""))
         elif argument.startswith("--gate="):
             gates.append(argument[len("--gate="):])
+        elif argument == "--history":
+            history = next(arguments, None)
+        elif argument.startswith("--history="):
+            history = argument[len("--history="):]
         else:
             paths.append(argument)
+    if history is not None:
+        if not history or not paths:
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        return emit_history(paths, history)
     if len(paths) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

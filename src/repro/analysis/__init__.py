@@ -14,12 +14,22 @@ from repro.analysis.render import (
     render_stage_profile,
     render_stitched_profile,
 )
+from repro.analysis.diff import (
+    ContextDelta,
+    GateViolation,
+    ProfileDiff,
+    diff_runs,
+    diff_stitched,
+    render_diff,
+    render_gate,
+)
 from repro.analysis.export import (
     export_crosstalk,
     export_series,
     export_stage_profile,
     write_rows,
 )
+from repro.analysis.htmlreport import load_history, render_html_report
 from repro.analysis.telemetry import render_telemetry
 from repro.analysis.live import render_live_crosstalk, render_live_top
 
@@ -29,6 +39,15 @@ __all__ = [
     "render_live_top",
     "context_shares",
     "diff_profiles",
+    "ContextDelta",
+    "GateViolation",
+    "ProfileDiff",
+    "diff_runs",
+    "diff_stitched",
+    "render_diff",
+    "render_gate",
+    "render_html_report",
+    "load_history",
     "frame_shares",
     "top_paths",
     "render_cct",

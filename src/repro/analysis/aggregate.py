@@ -15,12 +15,14 @@ from repro.core.profiler import StageRuntime
 
 
 def context_shares(stage: StageRuntime) -> Dict[TransactionContext, float]:
-    """Percentage of the stage's samples per transaction context."""
+    """Percentage of the stage's samples per transaction context.
+
+    A stage whose CCTs carry no weight (call counts only, or nothing
+    sampled yet) reports 0.0 per context instead of dividing by zero.
+    """
     total = stage.total_weight()
-    if total == 0:
-        return {}
     return {
-        label: 100.0 * cct.total_weight() / total
+        label: 100.0 * cct.total_weight() / total if total else 0.0
         for label, cct in stage.ccts.items()
     }
 
@@ -28,10 +30,8 @@ def context_shares(stage: StageRuntime) -> Dict[TransactionContext, float]:
 def frame_shares(cct: CallingContextTree, total: float = 0.0) -> Dict[str, float]:
     """Percentage per frame name of (by default) the CCT's own weight."""
     denominator = total or cct.total_weight()
-    if denominator == 0:
-        return {}
     return {
-        name: 100.0 * weight / denominator
+        name: 100.0 * weight / denominator if denominator else 0.0
         for name, weight in cct.by_frame().items()
     }
 
@@ -79,9 +79,7 @@ def subtree_share(
     context's CCT — the number the paper writes in a triangle.
     """
     total = stage.total_weight()
-    if total == 0:
-        return 0.0
     cct = stage.ccts.get(label)
     if cct is None:
         return 0.0
-    return 100.0 * cct.inclusive_weight_of(path) / total
+    return 100.0 * cct.inclusive_weight_of(path) / total if total else 0.0

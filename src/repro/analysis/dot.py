@@ -30,11 +30,14 @@ def stage_profile_dot(stage: StageRuntime, min_share: float = 0.5) -> str:
     to its root.
     """
     total = stage.total_weight()
+    title = "stage " + stage.name
+    if not stage.ccts:
+        title += " (empty profile)"
     lines: List[str] = [
         "digraph transactional_profile {",
         "  rankdir=TB;",
         "  node [shape=box, fontsize=10];",
-        f"  label={_quote('stage ' + stage.name)};",
+        f"  label={_quote(title)};",
     ]
     if total == 0:
         lines.append("}")
@@ -42,7 +45,7 @@ def stage_profile_dot(stage: StageRuntime, min_share: float = 0.5) -> str:
 
     ordered = sorted(stage.ccts.items(), key=lambda kv: -kv[1].total_weight())
     for index, (label, cct) in enumerate(ordered):
-        share = 100.0 * cct.total_weight() / total
+        share = 100.0 * cct.total_weight() / total if total else 0.0
         if share < min_share:
             continue
         cluster = _context_id(index)
@@ -73,7 +76,7 @@ def _emit_cct(root: CCTNode, prefix: str, total: float, min_share: float) -> Lis
     def emit(node: CCTNode) -> None:
         for name in sorted(node.children):
             child = node.children[name]
-            share = 100.0 * child.subtree_weight() / total
+            share = 100.0 * child.subtree_weight() / total if total else 0.0
             if share < min_share:
                 continue
             label = f"{name}\\n{share:.1f}%"

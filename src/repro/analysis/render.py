@@ -70,6 +70,8 @@ def render_stage_profile(stage: StageRuntime, min_share: float = 0.5) -> str:
     each context's share of the stage's total samples.
     """
     total = stage.total_weight()
+    if not stage.ccts:
+        return f"=== {stage.name}: (empty profile) ==="
     if total == 0:
         return f"=== {stage.name}: no samples ==="
     blocks: List[str] = [f"=== transactional profile of stage {stage.name} ==="]
@@ -77,7 +79,7 @@ def render_stage_profile(stage: StageRuntime, min_share: float = 0.5) -> str:
         stage.ccts.items(), key=lambda item: -item[1].total_weight()
     )
     for label, cct in ordered:
-        share = 100.0 * cct.total_weight() / total
+        share = 100.0 * cct.total_weight() / total if total else 0.0
         if share < min_share:
             continue
         marker = "(local)" if label == LOCAL else "(flow)"
@@ -104,6 +106,9 @@ def render_stitched_profile(profile: StitchedProfile, min_share: float = 0.5) ->
             f"{profile.synopsis_refs} synopsis references unresolved; "
             f"completeness {100.0 * profile.completeness:.1f}%)"
         )
+    if not profile.entries:
+        blocks.append("(empty profile)")
+        return "\n".join(blocks)
     for stage_name in profile.stages():
         stage_total = profile.stage_weight(stage_name)
         blocks.append("")
@@ -117,7 +122,7 @@ def render_stitched_profile(profile: StitchedProfile, min_share: float = 0.5) ->
         )
         for context in contexts:
             cct = profile.cct(stage_name, context)
-            share = 100.0 * cct.total_weight() / stage_total
+            share = 100.0 * cct.total_weight() / stage_total if stage_total else 0.0
             if share < min_share:
                 continue
             blocks.append(

@@ -499,8 +499,65 @@ def cmd_stitch(args: argparse.Namespace) -> int:
     if args.digest:
         return _print_digest(profile)
     print(render_stitched_profile(profile, min_share=args.min_share))
+    print(f"\ncompleteness {100.0 * profile.completeness:.2f}%")
     print()
     print(render_flow_graph(flow_graph(stages, cache=resolve_cache, strict=strict)))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Differential profiling: align two runs, attribute the change.
+
+    Each side loads through :func:`repro.core.persist.load_run`, so any
+    mix of dump files, dump/spool directories and live checkpoint
+    directories can be compared.  ``--gate`` turns the diff into the CI
+    regression gate: exit 1 when any context grew past the threshold.
+    """
+    import json as json_module
+
+    from repro.analysis import (
+        diff_runs,
+        load_history,
+        render_diff,
+        render_gate,
+        render_html_report,
+    )
+    from repro.core.persist import load_run
+
+    strict = bool(args.strict)
+    try:
+        before = load_run(args.before, strict=strict, jobs=args.jobs)
+        after = load_run(args.after, strict=strict, jobs=args.jobs)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    diff = diff_runs(before, after)
+
+    if args.html:
+        history = load_history(args.trend_history) if args.trend_history else None
+        with open(args.html, "w", encoding="utf-8") as handle:
+            handle.write(render_html_report(diff, top=args.top, history=history))
+        print(f"wrote {args.html}", file=sys.stderr)
+
+    if args.json:
+        print(
+            json_module.dumps(
+                diff.to_dict(top=args.top), indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(render_diff(diff, top=args.top, min_share=args.min_share))
+
+    if args.gate:
+        violations = diff.gate(
+            threshold_pct=args.gate_threshold,
+            min_share_pct=args.gate_min_share,
+        )
+        print()
+        print(render_gate(diff, violations))
+        if violations:
+            return 1
     return 0
 
 
@@ -988,6 +1045,84 @@ def build_parser() -> argparse.ArgumentParser:
     )
     telemetry_flags(p)
     p.set_defaults(fn=cmd_stitch)
+
+    p = sub.add_parser(
+        "diff",
+        help="differential profile: align two runs on (stage, context) "
+        "and attribute the latency change",
+    )
+    p.add_argument(
+        "before",
+        help="baseline run: dump file(s)' directory, spool directory, "
+        "live checkpoint directory, or a single dump file",
+    )
+    p.add_argument("after", help="candidate run (same forms as BEFORE)")
+    p.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        metavar="K",
+        help="rows per section (regressions, improvements, ...)",
+    )
+    p.add_argument(
+        "--min-share",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="hide rows whose |delta| is below PCT%% of the larger "
+        "run's total weight (display only; the gate has its own floor)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the full diff document as JSON instead of text",
+    )
+    p.add_argument(
+        "--html",
+        metavar="FILE",
+        help="also write a self-contained HTML report (flamegraph "
+        "pairs, crosstalk heatmap, trend sparklines)",
+    )
+    p.add_argument(
+        "--trend-history",
+        metavar="FILE",
+        help="benchmark history JSON from `trend.py --history` to "
+        "plot in the HTML report",
+    )
+    p.add_argument(
+        "--gate",
+        action="store_true",
+        help="CI mode: exit 1 when any context regressed past "
+        "--gate-threshold (identical runs always pass)",
+    )
+    p.add_argument(
+        "--gate-threshold",
+        type=float,
+        default=25.0,
+        metavar="PCT",
+        help="max tolerated per-context growth, percent of baseline",
+    )
+    p.add_argument(
+        "--gate-min-share",
+        type=float,
+        default=1.0,
+        metavar="PCT",
+        help="ignore regressions smaller than PCT%% of total weight "
+        "(noise floor)",
+    )
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="abort on unresolvable synopses instead of diffing "
+        "partial profiles (which are flagged low-confidence)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes when loading spool directories",
+    )
+    p.set_defaults(fn=cmd_diff)
 
     p = sub.add_parser(
         "live-report",

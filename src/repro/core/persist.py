@@ -39,7 +39,7 @@ import gzip
 import io
 import json
 import struct
-from typing import Any, Dict, IO, List, Optional, Union
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
 from repro.core.cct import CCTNode
 from repro.core.context import SynopsisRef, TransactionContext, UnresolvedRef
@@ -597,6 +597,234 @@ def dump_size(stage: StageRuntime, profile_format: str = "v1") -> int:
     buffer = io.StringIO()
     save_stage(stage, buffer, profile_format=profile_format)
     return len(buffer.getvalue().encode("utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Run loading (shared by `repro stitch`, `repro diff`, the CI gates)
+# ----------------------------------------------------------------------
+#: File suffixes recognised as stage profile dumps when loading a plain
+#: directory of dumps (no spool manifest, no live checkpoints).
+DUMP_SUFFIXES = (".json", ".wdp", ".wdp2", ".profile", ".dump")
+
+#: Kept in sync with repro.parallel.runner.MANIFEST_NAME (no import so
+#: loading a single dump file never drags the parallel package in).
+SPOOL_MANIFEST = "manifest.json"
+
+#: Pair table value: ``(count, total_wait, max_wait)``.
+CrosstalkTable = Dict[Tuple[str, str], Tuple[int, float, float]]
+
+
+class RunProfile:
+    """One run's loaded analysis inputs, however they were persisted.
+
+    ``profile`` is the stitched end-to-end profile.  ``stages`` holds
+    the decoded per-stage runtimes when the source kept them (dump
+    files, dump directories, spool directories); it is empty for live
+    checkpoint directories, whose collectors fold their own state.
+    ``crosstalk`` is the run's merged crosstalk pair table in a
+    source-independent shape — ``(waiter, holder)`` display strings
+    mapping to ``(count, total_wait, max_wait)`` — so two runs align
+    regardless of which on-disk format each used.
+    """
+
+    __slots__ = ("source", "kind", "profile", "stages", "crosstalk")
+
+    def __init__(self, source, kind: str, profile, stages, crosstalk):
+        self.source = source
+        self.kind = kind
+        self.profile = profile
+        self.stages = stages
+        self.crosstalk: CrosstalkTable = crosstalk
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RunProfile {self.kind} {self.source!r} "
+            f"entries={len(self.profile.entries)}>"
+        )
+
+
+def crosstalk_table(stages) -> CrosstalkTable:
+    """Merge per-stage crosstalk pair stats into one aligned table.
+
+    Keys are display strings (transaction types are already strings for
+    classified apps like TPC-W; raw contexts stringify via ``repr``), so
+    tables from different runs — and different dump formats — align.
+    """
+    folded: Dict[Tuple[str, str], List[float]] = {}
+    for stage in stages:
+        for (waiter, holder), stats in stage.crosstalk.pairs.items():
+            key = (str(waiter), str(holder))
+            acc = folded.get(key)
+            if acc is None:
+                folded[key] = [stats.count, stats.total, stats.max]
+            else:
+                acc[0] += stats.count
+                acc[1] += stats.total
+                if stats.max > acc[2]:
+                    acc[2] = stats.max
+    return {
+        key: (int(count), total, peak)
+        for key, (count, total, peak) in folded.items()
+    }
+
+
+def _stages_from_file(path: str) -> List[StageRuntime]:
+    """Every stage dump in one file.
+
+    A v2 file may hold any number of concatenated WDP2 frames (one
+    stage each); a v1 JSON file holds either a single stage object or a
+    list of them.  A whole run can therefore travel as one file.
+    """
+    with open(path, "rb") as handle:
+        probe = handle.read(len(V2_MAGIC))
+        if probe == V2_MAGIC:
+            handle.seek(0)
+            return list(iter_stage_frames(handle))
+        data = json.loads((probe + handle.read()).decode("utf-8"))
+    if isinstance(data, list):
+        return [decode_stage(item) for item in data]
+    return [decode_stage(data)]
+
+
+def _dump_files_in(directory: str) -> List[str]:
+    import os
+
+    out = []
+    for name in sorted(os.listdir(directory)):
+        path = os.path.join(directory, name)
+        if (
+            os.path.isfile(path)
+            and name.endswith(DUMP_SUFFIXES)
+            and name != SPOOL_MANIFEST
+        ):
+            out.append(path)
+    return out
+
+
+def _live_crosstalk(collector) -> CrosstalkTable:
+    return {
+        (str(waiter), str(holder)): (count, total, peak)
+        for waiter, holder, count, total, _mean, peak
+        in collector.crosstalk_pairs()
+    }
+
+
+def _load_live_run(directory: str, strict: bool) -> RunProfile:
+    """Recover live-collector checkpoints (single or ``shard-NNNN/``)."""
+    import os
+
+    from repro.live import LiveCollector
+
+    shard_names = sorted(
+        name
+        for name in os.listdir(directory)
+        if name.startswith("shard-")
+        and os.path.isdir(os.path.join(directory, name))
+    )
+    crosstalk: CrosstalkTable = {}
+
+    def fold(extra: CrosstalkTable) -> None:
+        for key, (count, total, peak) in extra.items():
+            have = crosstalk.get(key)
+            if have is None:
+                crosstalk[key] = (count, total, peak)
+            else:
+                crosstalk[key] = (
+                    have[0] + count,
+                    have[1] + total,
+                    max(have[2], peak),
+                )
+
+    if shard_names:
+        # The same fold as the sharded post-mortem reduce: per-shard
+        # profiles through the exact accumulator, UnresolvedRefs
+        # qualified with their shard so they can never spuriously merge.
+        from repro.parallel.reduce import ProfileAccumulator
+        from repro.parallel.stitching import _tag_unresolved
+
+        accumulator = ProfileAccumulator()
+        for name in shard_names:
+            collector = LiveCollector.recover(os.path.join(directory, name))
+            index = int(name.split("-", 1)[1])
+            accumulator.add_profile(
+                _tag_unresolved(
+                    collector.stitched_profile(strict=strict), f"@shard{index}"
+                )
+            )
+            fold(_live_crosstalk(collector))
+        profile = accumulator.finalize()
+    else:
+        collector = LiveCollector.recover(directory)
+        profile = collector.stitched_profile(strict=strict)
+        fold(_live_crosstalk(collector))
+    return RunProfile(directory, "live", profile, [], crosstalk)
+
+
+def load_run(source, strict: bool = False, jobs: int = 1) -> RunProfile:
+    """Load one run's profile from any persisted shape.
+
+    ``source`` may be:
+
+    - a single stage dump file (v1 JSON or framed v2; a v2 file may
+      hold a whole run as concatenated frames, a v1 file a list of
+      stage objects),
+    - a list/tuple of dump files (one run's tiers),
+    - a spool directory written by a sharded run (``manifest.json``),
+    - a live checkpoint directory (``ckpt-*.wdr2``, or a parent of
+      ``shard-NNNN/`` collector directories), or
+    - any other directory holding stage dump files.
+
+    Loading is non-strict by default: partial runs yield a partial
+    profile with an explicit completeness ratio, and a run that kept
+    nothing at all yields a valid empty profile (completeness 0.0)
+    instead of a traceback — the contract `repro diff` relies on.
+    """
+    import os
+
+    from repro.core.stitch import stitch_profiles
+
+    if isinstance(source, (list, tuple)):
+        stages = [
+            stage for path in source for stage in _stages_from_file(path)
+        ]
+        profile = stitch_profiles(stages, strict=strict)
+        return RunProfile(
+            list(source), "dumps", profile, stages, crosstalk_table(stages)
+        )
+    if os.path.isdir(source):
+        if os.path.isfile(os.path.join(source, SPOOL_MANIFEST)):
+            from repro.parallel.stitching import spool_groups, stitch_spool
+
+            profile = stitch_spool(source, jobs=jobs, strict=strict)
+            stages = [
+                stage
+                for group in spool_groups(source)
+                for path in group
+                for stage in _stages_from_file(path)
+            ]
+            return RunProfile(
+                source, "spool", profile, stages, crosstalk_table(stages)
+            )
+        from repro.live import list_checkpoints
+
+        has_shards = any(
+            name.startswith("shard-")
+            and os.path.isdir(os.path.join(source, name))
+            for name in os.listdir(source)
+        )
+        if has_shards or list_checkpoints(source):
+            return _load_live_run(source, strict)
+        files = _dump_files_in(source)
+        if not files:
+            raise ValueError(f"no profile dumps found in {source!r}")
+        stages = [
+            stage for path in files for stage in _stages_from_file(path)
+        ]
+        profile = stitch_profiles(stages, strict=strict)
+        return RunProfile(
+            source, "dumps", profile, stages, crosstalk_table(stages)
+        )
+    return load_run([source], strict=strict, jobs=jobs)
 
 
 def load_and_stitch(paths: List[str], jobs: int = 1, strict: bool = True):

@@ -154,9 +154,15 @@ class StitchedProfile:
 
     @property
     def completeness(self) -> float:
-        """Fraction of synopsis references the stitch pass resolved."""
+        """Fraction of synopsis references the stitch pass resolved.
+
+        A profile with entries but no cross-stage references is fully
+        stitched (1.0).  A profile with *nothing* in it — every dump
+        dropped, every sample lost — reports 0.0: an empty profile is
+        "nothing was stitched", not "everything was".
+        """
         if self.synopsis_refs == 0:
-            return 1.0
+            return 1.0 if self.entries else 0.0
         return (self.synopsis_refs - self.unresolved_refs) / self.synopsis_refs
 
     def add(self, stage: str, context: TransactionContext, cct: CallingContextTree) -> None:

@@ -126,7 +126,7 @@ def test_render_stage_profile_contains_contexts():
 
 
 def test_render_stage_profile_empty():
-    assert "no samples" in render_stage_profile(StageRuntime("empty"))
+    assert "(empty profile)" in render_stage_profile(StageRuntime("empty"))
 
 
 def test_render_stitched_profile():

@@ -1,0 +1,165 @@
+"""Degenerate profiles through every analysis entry point.
+
+The analysis layer is the last stop before a human: whatever a fault
+run, an evicted live collector, or an empty dump set produced, it must
+render a truthful report — never a ZeroDivisionError.  These tests push
+the four degenerate shapes (empty, single-node, all-unresolved,
+zero-weight) through aggregation, text rendering, dot export, CSV
+export, and the diff engine.
+"""
+
+import pytest
+
+from repro.analysis import (
+    context_shares,
+    diff_stitched,
+    frame_shares,
+    render_cct,
+    render_diff,
+    render_html_report,
+    render_stage_profile,
+    render_stitched_profile,
+    top_paths,
+)
+from repro.analysis.aggregate import subtree_share
+from repro.analysis.dot import stage_profile_dot
+from repro.analysis.export import export_stage_profile
+from repro.core.cct import CallingContextTree
+from repro.core.context import TransactionContext, UnresolvedRef
+from repro.core.profiler import StageRuntime
+from repro.core.stitch import StitchedProfile, stitch_profiles
+
+
+def ctxt(*elements):
+    return TransactionContext(elements)
+
+
+# ----------------------------------------------------------------------
+# empty
+# ----------------------------------------------------------------------
+
+def test_empty_stage_every_entry_point(tmp_path):
+    stage = StageRuntime("empty")
+    assert "(empty profile)" in render_stage_profile(stage)
+    assert context_shares(stage) == {}
+    assert subtree_share(stage, ctxt("x"), ("main",)) == 0.0
+    dot = stage_profile_dot(stage)
+    assert dot.startswith("digraph")
+    assert "(empty profile)" in dot
+    export_stage_profile(stage, str(tmp_path / "empty.csv"))
+    assert (tmp_path / "empty.csv").read_text().count("\n") == 1  # header only
+
+
+def test_empty_cct_entry_points():
+    cct = CallingContextTree()
+    assert "no samples" in render_cct(cct)
+    assert frame_shares(cct) == {}
+    assert top_paths(cct) == []
+
+
+def test_empty_stitch_is_valid_and_incomplete():
+    profile = stitch_profiles([], strict=False)
+    assert profile.entries == {}
+    assert profile.completeness == 0.0
+    text = render_stitched_profile(profile)
+    assert "(empty profile)" in text
+    assert profile.total_weight() == 0.0
+
+
+def test_empty_diff_is_quiet():
+    diff = diff_stitched(stitch_profiles([]), stitch_profiles([]))
+    assert diff.rows == []
+    assert diff.gate() == []
+    level, reasons = diff.confidence()
+    assert level == "low"
+    assert any("empty" in reason for reason in reasons)
+    text = render_diff(diff)
+    assert "both profiles are empty" in text
+    # The HTML report must survive the same degenerate input.
+    html = render_html_report(diff)
+    assert "<html" in html and "</html>" in html
+
+
+# ----------------------------------------------------------------------
+# single node
+# ----------------------------------------------------------------------
+
+def test_single_node_profile(tmp_path):
+    stage = StageRuntime("one")
+    stage.cct_for(ctxt("only")).record_sample(("main",), 5.0)
+    assert "100.0%" in render_stage_profile(stage)
+    assert context_shares(stage)[ctxt("only")] == pytest.approx(100.0)
+    dot = stage_profile_dot(stage)
+    assert "main" in dot
+    profile = stitch_profiles([stage])
+    assert profile.completeness == 1.0
+    diff = diff_stitched(profile, profile)
+    assert diff.total_delta == 0.0
+    assert diff.gate() == []
+
+
+# ----------------------------------------------------------------------
+# all-unresolved contexts
+# ----------------------------------------------------------------------
+
+def _unresolved_profile():
+    profile = StitchedProfile()
+    context = ctxt(UnresolvedRef("gone", 17), "handler")
+    cct = CallingContextTree()
+    cct.record_sample(("svc",), 4.0)
+    profile.add("db", context, cct)
+    return profile
+
+
+def test_all_unresolved_renders_and_diffs():
+    profile = _unresolved_profile()
+    text = render_stitched_profile(profile)
+    assert "unresolved" in text
+    diff = diff_stitched(profile, _unresolved_profile())
+    level, reasons = diff.confidence()
+    assert level == "low"
+    assert any("unresolved" in reason for reason in reasons)
+    # Identical unresolved profiles still align: UnresolvedRef is a
+    # value object, so the self-diff is all-zero.
+    assert diff.total_delta == 0.0
+    assert diff.gate() == []
+
+
+# ----------------------------------------------------------------------
+# zero-weight CCTs
+# ----------------------------------------------------------------------
+
+def _zero_weight_stage():
+    stage = StageRuntime("zero")
+    stage.cct_for(ctxt("path")).record_sample(("main", "f"), 0.0)
+    return stage
+
+
+def test_zero_weight_stage_entry_points(tmp_path):
+    stage = _zero_weight_stage()
+    assert stage.total_weight() == 0.0
+    assert "no samples" in render_stage_profile(stage)
+    shares = context_shares(stage)
+    assert shares[ctxt("path")] == 0.0
+    assert subtree_share(stage, ctxt("path"), ("main",)) == 0.0
+    dot = stage_profile_dot(stage)
+    assert dot.startswith("digraph") and dot.endswith("}")
+    export_stage_profile(stage, str(tmp_path / "zero.csv"))
+
+
+def test_zero_weight_cct_shares():
+    cct = CallingContextTree()
+    cct.record_sample(("a",), 0.0)
+    # Whether the zero-weight frame survives aggregation or not, no
+    # share may be non-zero and nothing may divide by zero.
+    assert all(value == 0.0 for value in frame_shares(cct).values())
+    assert "no samples" in render_cct(cct)
+
+
+def test_zero_weight_diff():
+    profile = stitch_profiles([_zero_weight_stage()])
+    diff = diff_stitched(profile, profile)
+    assert diff.total_before == 0.0
+    assert diff.gate() == []
+    render_diff(diff)
+    render_html_report(diff)

@@ -88,8 +88,9 @@ def test_lossless_profile_reports_full_completeness():
     profile = stitch_profiles([web, db], strict=False)
     assert profile.unresolved_refs == 0
     assert profile.completeness == 1.0
-    # An empty profile is vacuously complete.
-    assert stitch_profiles([], strict=False).completeness == 1.0
+    # An empty profile stitched *nothing*: 0.0, not vacuously complete
+    # (an all-dropped fault run must not report a perfect stitch).
+    assert stitch_profiles([], strict=False).completeness == 0.0
 
 
 def test_flow_graph_drops_unresolvable_edges_non_strict():

@@ -117,3 +117,83 @@ def test_tpcw_save_profiles_and_stitch(tmp_path, capsys):
     assert "end-to-end transactional profile" in out
     assert "## stage mysql" in out
     assert "==request==>" in out
+    assert "completeness 100.00%" in out
+
+
+def _seeded_tpcw_profiles(directory, clients="8", duration="5"):
+    assert (
+        main(
+            [
+                "tpcw",
+                "--clients",
+                clients,
+                "--duration",
+                duration,
+                "--warmup",
+                "1",
+                "--save-profiles",
+                str(directory),
+            ]
+        )
+        == 0
+    )
+
+
+def test_diff_self_is_clean(tmp_path, capsys):
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    _seeded_tpcw_profiles(a)
+    _seeded_tpcw_profiles(b)
+    capsys.readouterr()
+    assert main(["diff", str(a), str(b), "--gate"]) == 0
+    out = capsys.readouterr().out
+    assert "differential transactional profile" in out
+    assert "confidence: high" in out
+    assert "no regressions." in out
+    assert "diff-gate: OK" in out
+
+
+def test_diff_detects_injected_regression(tmp_path, capsys, monkeypatch):
+    import repro.apps.tpcw.model as tpcw_model
+
+    a = tmp_path / "a"
+    b = tmp_path / "b"
+    _seeded_tpcw_profiles(a)
+    monkeypatch.setitem(
+        tpcw_model.DB_CPU_COST,
+        "BestSellers",
+        tpcw_model.DB_CPU_COST["BestSellers"] * 1.6,
+    )
+    _seeded_tpcw_profiles(b)
+    capsys.readouterr()
+    # The gate turns the regression into a non-zero exit for CI.
+    assert main(["diff", str(a), str(b), "--gate", "--top", "5"]) == 1
+    out = capsys.readouterr().out
+    assert "BestSellers" in out
+    assert "diff-gate: FAIL" in out
+
+    # JSON mode emits the machine-readable document instead.
+    assert main(["diff", str(a), str(b), "--json"]) == 0
+    import json
+
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["regressions"][0]["stage"] == "mysql"
+    assert "BestSellers" in doc["regressions"][0]["context"]
+
+
+def test_diff_html_report(tmp_path, capsys):
+    a = tmp_path / "a"
+    _seeded_tpcw_profiles(a, clients="5", duration="3")
+    capsys.readouterr()
+    report = tmp_path / "report.html"
+    assert main(["diff", str(a), str(a), "--html", str(report)]) == 0
+    content = report.read_text()
+    assert content.startswith("<!DOCTYPE html>")
+    for marker in ("http://", "https://", "src=", "@import", "url("):
+        assert marker not in content
+
+
+def test_diff_rejects_missing_source(tmp_path, capsys):
+    missing = tmp_path / "nope"
+    assert main(["diff", str(missing), str(missing)]) == 2
+    assert "error:" in capsys.readouterr().err

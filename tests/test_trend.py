@@ -1,0 +1,63 @@
+"""Tests for benchmarks/trend.py (pairwise deltas, gates, history)."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def trend():
+    path = os.path.join(
+        os.path.dirname(__file__), os.pardir, "benchmarks", "trend.py"
+    )
+    spec = importlib.util.spec_from_file_location("trend", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(path, doc):
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle)
+    return str(path)
+
+
+def test_pairwise_gate(trend, tmp_path, capsys):
+    old = _write(tmp_path / "old.json", {"hot": {"eps": 100.0}})
+    new = _write(tmp_path / "new.json", {"hot": {"eps": 60.0}})
+    assert trend.main(["trend", old, new, "--gate", "hot.eps:0.5"]) == 0
+    assert trend.main(["trend", old, new, "--gate", "hot.eps:0.7"]) == 1
+    capsys.readouterr()
+
+
+def test_history_emitter(trend, tmp_path, capsys):
+    snaps = [
+        _write(tmp_path / f"s{i}.json", {"hot": {"eps": value, "tag": "x"}})
+        for i, value in enumerate((100.0, 120.0, 115.0))
+    ]
+    out = tmp_path / "history.json"
+    assert trend.main(["trend", "--history", str(out)] + snaps) == 0
+    capsys.readouterr()
+    doc = json.loads(out.read_text())
+    assert [entry["label"] for entry in doc["series"]] == ["s0", "s1", "s2"]
+    # Non-numeric leaves are dropped; sparklines can't draw strings.
+    assert all("tag" not in entry["metrics"] for entry in doc["series"])
+    assert [entry["metrics"]["hot.eps"] for entry in doc["series"]] == [
+        100.0,
+        120.0,
+        115.0,
+    ]
+    # The HTML report consumes this document directly.
+    from repro.analysis.htmlreport import trend_section
+
+    section = trend_section(doc)
+    assert "polyline" in section
+    assert "hot.eps" in section
+
+
+def test_history_requires_output_and_inputs(trend, capsys):
+    assert trend.main(["trend", "--history"]) == 2
+    assert trend.main(["trend", "--history", "out.json"]) == 2
+    capsys.readouterr()
