@@ -56,7 +56,12 @@ SMOKE = os.environ.get("PERF_SMOKE") == "1"
 SHARDS = 4
 JOBS = 4
 SEED = 42
-CLIENTS = 40 if SMOKE else 120
+# 200 clients (50 per shard): the hot-path overhaul absorbs a ~1.7x
+# bigger deployment in comparable wall time, so the recorded workload
+# grew with it.  ``settings`` stamps the size into BENCH_scaleout.json
+# every run — throughput_tpm values are only comparable at equal
+# settings (the benchmark-honesty contract).
+CLIENTS = 40 if SMOKE else 200
 DURATION = 30.0 if SMOKE else 90.0
 WARMUP = 5.0 if SMOKE else 15.0
 
@@ -143,6 +148,14 @@ def test_scaleout_run_and_stitch(benchmark, tmp_path):
     cpu_count = os.cpu_count() or 1
     speedup = serial_wall / sharded_parallel_wall
     parallel_gain = sharded_serial_wall / sharded_parallel_wall
+    gates_asserted = cpu_count >= SHARDS
+    skip_reason = None
+    if not gates_asserted:
+        skip_reason = (
+            f"cpu_count {cpu_count} < {SHARDS} shards: a process pool "
+            "cannot beat serial without the cores; wall numbers recorded "
+            "honestly, speedup gates not asserted"
+        )
 
     print_table(
         "scale-out: run + stitch wall time",
@@ -171,12 +184,15 @@ def test_scaleout_run_and_stitch(benchmark, tmp_path):
             "throughput_tpm": run_n.throughput(),
             "determinism_sha256": proof,
             "parallel_equals_serial": bytes_1 == bytes_n,
+            "gates_asserted": gates_asserted,
+            "gate_skip_reason": skip_reason,
         },
     )
 
     # The ≥2.5x headline needs ≥SHARDS real cores; assert it only
-    # there, record honestly everywhere.
-    if cpu_count >= SHARDS:
+    # there, record honestly everywhere (the recorded skip reason says
+    # exactly why a BENCH file carries unasserted numbers).
+    if gates_asserted:
         assert speedup >= 2.5, (
             f"expected >=2.5x run+stitch speedup at {SHARDS} shards/{JOBS} "
             f"jobs on a {cpu_count}-core machine, got {speedup:.2f}x"
@@ -184,6 +200,16 @@ def test_scaleout_run_and_stitch(benchmark, tmp_path):
         assert parallel_gain > 1.0, (
             f"{JOBS} jobs must beat 1 job on a {cpu_count}-core machine, "
             f"got {parallel_gain:.2f}x"
+        )
+    else:
+        print(f"gate skipped: {skip_reason}")
+        # Softened floor for core-starved machines: extra jobs may not
+        # *help* without cores, but pool dispatch overhead must never
+        # make the multi-job path pathologically slower than one job.
+        assert parallel_gain > 0.5, (
+            f"{JOBS} jobs are {1 / parallel_gain:.2f}x slower than 1 job "
+            f"on a {cpu_count}-core machine — pool overhead, not core "
+            "starvation"
         )
 
 

@@ -100,23 +100,25 @@ def send_request(
     stage = _stage(thread)
     synopsis = stage.send_request(thread) if stage is not None else None
     origin = stage.name if stage is not None else None
-    message = Message(payload, size, origin=origin, synopsis=synopsis)
+    message = Message.acquire(payload, size, origin=origin, synopsis=synopsis)
     if stage is not None:
         stage.account_message(size, message.context_bytes())
     tele = _telemetry.ACTIVE
     if tele is not None:
+        attrs = {"size": size}
+        if synopsis is not None:
+            # The 4-byte synopsis *is* the trace handle: the receiving
+            # hop will join this span's trace through it.
+            attrs["synopsis"] = synopsis
         span = tele.spans.instant(
             "send_request",
             "channel.send",
             origin,
             thread.kernel.now,
             thread=thread.tid,
-            attrs={"size": size},
+            attrs=attrs,
         )
         if synopsis is not None:
-            # The 4-byte synopsis *is* the trace handle: the receiving
-            # hop will join this span's trace through it.
-            span.attrs["synopsis"] = synopsis
             tele.spans.register_synopsis(origin, synopsis, span)
         if tele.rpc_requests is not None:
             tele.rpc_requests.inc()
@@ -146,7 +148,7 @@ def send_response(
     if stage is not None and request.synopsis is not None:
         composite = stage.send_response(thread, request.synopsis)
     origin = stage.name if stage is not None else None
-    message = Message(payload, size, origin=origin, synopsis=composite)
+    message = Message.acquire(payload, size, origin=origin, synopsis=composite)
     if stage is not None:
         stage.account_message(size, message.context_bytes())
     tele = _telemetry.ACTIVE
@@ -277,6 +279,10 @@ def call(
         response = yield from recv_response(thread, from_server, expected=expected)
         if tele is not None and tele.rpc_roundtrip is not None:
             tele.rpc_roundtrip.observe(kernel.now - started)
+        # The request message is done: the server consumed it and the
+        # matching response arrived (release is refcount-vetoed, so an
+        # endpoint still holding a duplicate keeps the shell alive).
+        message.release()
         return response
     for attempt in range(retry.retries + 1):
         if attempt:
@@ -290,6 +296,7 @@ def call(
         if response is not TIMED_OUT:
             if tele is not None and tele.rpc_roundtrip is not None:
                 tele.rpc_roundtrip.observe(kernel.now - started)
+            message.release()
             return response
     stage = _stage(thread)
     if stage is not None and expected is not None:

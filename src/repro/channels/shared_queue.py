@@ -62,17 +62,27 @@ class SharedMemoryRegion:
         :class:`WindowHooks` for the post-critical-section use window,
         or ``None`` when the section ran natively.
         """
-        self.machine.registers(thread.tid).load_arguments(*args)
+        machine = self.machine
+        machine.registers(thread.tid).load_arguments(*args)
 
-        if self._tracking(thread) and self.detector.mode_for(lock) != DIRECT:
-            context = thread.stage.context_at_send(thread)
+        # One hoisted guard decides the execution mode for the whole
+        # hop; the emulated branch is the only one that touches the
+        # detector again.
+        stage = thread.stage
+        if (
+            stage is not None
+            and stage.tracking
+            and self.detector.mode_for(lock) != DIRECT
+        ):
+            context = stage.context_at_send(thread)
             cs = self.detector.enter_cs(lock, thread.tid, context)
-            result = self.emulator.run(program, self.machine, thread.tid, hooks=cs)
+            result = self.emulator.run(program, machine, thread.tid, hooks=cs)
             window: Optional[WindowHooks] = self.detector.exit_cs(cs)
         else:
-            result = self.emulator.run(program, self.machine, thread.tid, mode=DIRECT)
+            result = self.emulator.run(program, machine, thread.tid, mode=DIRECT)
             window = None
-        yield UseCPU(self.cpu, self.cpu.seconds_for_cycles(result.cycles))
+        cpu = self.cpu
+        yield UseCPU(cpu, cpu.seconds_for_cycles(result.cycles))
         return window
 
     def run_use_window(

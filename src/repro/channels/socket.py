@@ -47,7 +47,7 @@ class Endpoint:
         "kernel",
         "latency",
         "bandwidth",
-        "name",
+        "_name",
         "_buffer",
         "_receivers",
         "_link_free_at",
@@ -63,7 +63,7 @@ class Endpoint:
         self,
         kernel: "Kernel",
         latency: float = 0.0,
-        name: str = "endpoint",
+        name: object = "endpoint",
         bandwidth: Optional[float] = None,
     ):
         if bandwidth is not None and bandwidth <= 0:
@@ -71,7 +71,7 @@ class Endpoint:
         self.kernel = kernel
         self.latency = latency
         self.bandwidth = bandwidth
-        self.name = name
+        self._name = name
         self._buffer: Deque[Message] = deque()
         self._receivers: Deque[SimThread] = deque()
         self._link_free_at = 0.0
@@ -143,6 +143,25 @@ class Endpoint:
             observer(self)
 
     # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Endpoint name, built lazily for connection-owned endpoints.
+
+        :class:`Connection` passes a ``(base, conn_id, suffix)`` tuple
+        instead of a formatted string — session-per-connection workloads
+        open connections by the hundreds of thousands and the names are
+        only ever read by reprs and error messages.
+        """
+        name = self._name
+        if name.__class__ is not str:
+            base, conn_id, suffix = name
+            name = self._name = f"{base}#{conn_id}{suffix}"
+        return name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
+
     @property
     def readable(self) -> bool:
         return bool(self._buffer)
@@ -226,16 +245,27 @@ class Connection:
     vice versa for ``to_client``.
     """
 
-    __slots__ = ("conn_id", "name", "to_server", "to_client")
+    __slots__ = ("conn_id", "_base", "_name", "to_server", "to_client")
 
     _next_id = 0
 
     def __init__(self, kernel: "Kernel", latency: float = 0.0, name: str = "conn"):
-        self.conn_id = Connection._next_id
-        Connection._next_id += 1
-        self.name = f"{name}#{self.conn_id}"
-        self.to_server = Endpoint(kernel, latency, f"{self.name}.to_server")
-        self.to_client = Endpoint(kernel, latency, f"{self.name}.to_client")
+        conn_id = self.conn_id = Connection._next_id
+        Connection._next_id = conn_id + 1
+        # Names are derived lazily (see Endpoint.name): a connect is a
+        # hot operation in session-per-connection workloads and the
+        # three per-connection f-strings dominated its cost.
+        self._base = name
+        self._name = None
+        self.to_server = Endpoint(kernel, latency, (name, conn_id, ".to_server"))
+        self.to_client = Endpoint(kernel, latency, (name, conn_id, ".to_client"))
+
+    @property
+    def name(self) -> str:
+        name = self._name
+        if name is None:
+            name = self._name = f"{self._base}#{self.conn_id}"
+        return name
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Connection {self.name}>"

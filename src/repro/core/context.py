@@ -33,6 +33,15 @@ from typing import Any, Iterable, Iterator, Tuple
 # from pinning unbounded derived contexts to a long-lived root.
 _APPEND_MEMO_MAX = 128
 
+# Process-wide intern table for call-path-rooted contexts.  Send
+# wrappers build the same handful of local call-path contexts millions
+# of times per run; interning returns the one canonical object, so the
+# downstream synopsis-table and CCT dict lookups hit the identity fast
+# path.  Capped like the append memo: beyond the cap, construction
+# falls back to fresh (still-equal) objects.
+_PATH_INTERN_MAX = 4096
+_PATH_INTERN: dict = {}
+
 
 class SynopsisRef:
     """Opaque stand-in for a remote transaction context.
@@ -104,7 +113,7 @@ class TransactionContext:
     (§4.1 notes the complete context "may be useful ... for debugging").
     """
 
-    __slots__ = ("elements", "_hash", "_appends")
+    __slots__ = ("elements", "_hash", "_appends", "_extends")
 
     def __init__(self, elements: Iterable[Any] = ()):
         self.elements: Tuple[Any, ...] = tuple(elements)
@@ -117,6 +126,9 @@ class TransactionContext:
         # allocated on first use, capped at _APPEND_MEMO_MAX entries,
         # and never pickled (see __reduce__).
         self._appends = None
+        # Same idea for extend_path(): the send wrappers extend each
+        # prefix context with a small vocabulary of call paths.
+        self._extends = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -127,8 +139,19 @@ class TransactionContext:
 
     @classmethod
     def from_call_path(cls, path: Iterable[str]) -> "TransactionContext":
-        """Context of a fresh transaction: simply the local call path."""
-        return cls(path)
+        """Context of a fresh transaction: simply the local call path.
+
+        Returns the process-wide interned instance for the path, so the
+        per-response ``synopsis(local)`` lookup in the send wrapper is a
+        dict hit on an identical key object.
+        """
+        path = tuple(path)
+        interned = _PATH_INTERN.get(path)
+        if interned is None:
+            interned = cls(path)
+            if len(_PATH_INTERN) < _PATH_INTERN_MAX:
+                _PATH_INTERN[path] = interned
+        return interned
 
     def append(
         self,
@@ -170,7 +193,15 @@ class TransactionContext:
         path = tuple(path)
         if not path:
             return self
-        return TransactionContext(self.elements + path)
+        cache = self._extends
+        if cache is None:
+            cache = self._extends = {}
+        result = cache.get(path)
+        if result is None:
+            result = TransactionContext(self.elements + path)
+            if len(cache) < _APPEND_MEMO_MAX:
+                cache[path] = result
+        return result
 
     # ------------------------------------------------------------------
     # Queries

@@ -96,7 +96,6 @@ class StageRuntime:
         crosstalk_capacity: Optional[int] = None,
     ):
         self.name = name
-        self.mode = mode
         self.sampling_hz = sampling_hz
         # Deterministic mode attributes each CPU slice's *expected*
         # sample count; stochastic mode draws the integer number of
@@ -107,6 +106,9 @@ class StageRuntime:
         # CRC32, not hash(): string hashing is randomised per process.
         self._sample_rng = _random.Random(seed ^ zlib.crc32(name.encode()))
         self.overhead = overhead or OverheadModel()
+        # Assigning ``mode`` (a property) caches the per-mode guard
+        # flags the hot paths test instead of enum comparisons.
+        self.mode = mode
         self.synopses = SynopsisTable(name)
         self.ccts: Dict[TransactionContext, CallingContextTree] = {}
         if crosstalk_capacity is None:
@@ -192,13 +194,28 @@ class StageRuntime:
     # Profiling state
     # ------------------------------------------------------------------
     @property
+    def mode(self) -> ProfilerMode:
+        return self._mode
+
+    @mode.setter
+    def mode(self, value: ProfilerMode) -> None:
+        # The guard flags are tested on every CPU slice and every
+        # message hop; caching them here keeps the hot paths to one
+        # attribute load instead of a property call plus enum identity
+        # comparison.
+        self._mode = value
+        self._profiling = value is not ProfilerMode.OFF
+        self._tracking = value is ProfilerMode.WHODUNIT
+        self._gprof = value is ProfilerMode.GPROF
+
+    @property
     def profiling(self) -> bool:
-        return self.mode is not ProfilerMode.OFF
+        return self._profiling
 
     @property
     def tracking(self) -> bool:
         """Whether transaction tracking (Whodunit proper) is active."""
-        return self.mode is ProfilerMode.WHODUNIT
+        return self._tracking
 
     def cct_for(self, label: TransactionContext) -> CallingContextTree:
         """The CCT labeled with ``label``, created on first use (§7.1)."""
@@ -225,9 +242,13 @@ class StageRuntime:
         thread's current call path, annotated with its transaction
         context.
         """
-        if not self.profiling or amount <= 0:
+        if not self._profiling or amount <= 0:
             return
-        label = self.current_label(thread) if self.tracking else LOCAL
+        if self._tracking:
+            ctxt = thread.tran_ctxt
+            label = ctxt if isinstance(ctxt, TransactionContext) else LOCAL
+        else:
+            label = LOCAL
         expected = amount * self.sampling_hz
         if self.deterministic:
             weight = expected
@@ -235,8 +256,11 @@ class StageRuntime:
             weight = float(self._poisson(expected))
             if weight == 0.0:
                 return
-        path = thread.call_path()
-        self.cct_for(label).record_sample(path, weight)
+        path = tuple(thread.call_stack)
+        cct = self.ccts.get(label)
+        if cct is None:
+            cct = self.ccts[label] = CallingContextTree(label)
+        cct.record_sample(path, weight)
         if self._emit_profile is not None:
             self._emit_profile(
                 ("sample", self.name, label, path, weight, thread.kernel.now)
@@ -262,7 +286,7 @@ class StageRuntime:
 
     def on_call(self, thread: SimThread) -> None:
         """Procedure-entry hook; gprof's instrumentation lives here."""
-        if self.mode is ProfilerMode.GPROF:
+        if self._gprof:
             self.total_calls += 1
             self.add_pending(thread, self.overhead.call_cost)
             label = LOCAL
@@ -289,14 +313,21 @@ class StageRuntime:
         self._pending.pop(thread.tid, None)
 
     def inflate(self, thread: SimThread, seconds: float) -> float:
-        """Total CPU demand for ``seconds`` of useful work on ``thread``."""
+        """Total CPU demand for ``seconds`` of useful work on ``thread``.
+
+        The float expression order is load-bearing: it must match the
+        historical ``seconds * hz * cost`` evaluation exactly or
+        regenerated runs drift from the golden canonical profiles.
+        """
         demand = seconds
-        if self.profiling:
+        if self._profiling:
             demand += seconds * self.sampling_hz * self.overhead.sample_cost
-        if self.mode is ProfilerMode.GPROF:
+        if self._gprof:
             # mcount instrumentation on every call of the real binary.
             demand += seconds * self.overhead.call_density * self.overhead.call_cost
-        demand += self.take_pending(thread)
+        pending = self._pending
+        if pending:
+            demand += pending.pop(thread.tid, 0.0)
         return demand
 
     # ------------------------------------------------------------------
@@ -315,7 +346,7 @@ class StageRuntime:
 
         Returns None when tracking is off (nothing is piggy-backed).
         """
-        if not self.tracking:
+        if not self._tracking:
             return None
         context = self.context_at_send(thread)
         emit = self._emit_profile
@@ -345,7 +376,7 @@ class StageRuntime:
 
     def receive_request(self, thread: SimThread, origin: str, synopsis: Optional[int]) -> None:
         """Receive-wrapper at the callee: adopt the sender's context."""
-        if not self.tracking or synopsis is None:
+        if not self._tracking or synopsis is None:
             return
         thread.tran_ctxt = TransactionContext((SynopsisRef(origin, synopsis),))
         self.add_pending(thread, self.overhead.synopsis_cost + self.overhead.switch_cost)
@@ -368,7 +399,7 @@ class StageRuntime:
 
     def send_response(self, thread: SimThread, request_synopsis: Optional[int]) -> Optional[CompositeSynopsis]:
         """Send-wrapper for a response: ``synopsis(α)#synopsis(β)``."""
-        if not self.tracking or request_synopsis is None:
+        if not self._tracking or request_synopsis is None:
             return None
         local = TransactionContext.from_call_path(thread.call_path())
         self.add_pending(thread, self.overhead.synopsis_cost)
@@ -388,7 +419,7 @@ class StageRuntime:
         If the composite's prefix originated here, switch the thread back
         to the context the request was sent from and return True.
         """
-        if not self.tracking or composite is None:
+        if not self._tracking or composite is None:
             return False
         entry = self._sent_requests.get(composite.prefix)
         if entry is None:

@@ -104,12 +104,20 @@ class SynopsisTable:
     workload in the paper.
     """
 
+    # Cap on the per-table composite cache (see :meth:`make_response`).
+    _COMPOSITE_CACHE_MAX = 65536
+
     def __init__(self, stage_name: str):
         self.stage_name = stage_name
         self._by_context: Dict[TransactionContext, int] = {}
         self._by_value: Dict[int, TransactionContext] = {}
         self._base = _claim_stage_base(stage_name)
         self._next = 1  # 0 is reserved for "no context"
+        # Copy-on-write response composites: the same (request, local)
+        # pair produces one shared immutable CompositeSynopsis, so a
+        # stage answering the same call path repeatedly forwards the
+        # cached object instead of re-encoding a fresh one per message.
+        self._composites: Dict[Tuple[int, int], CompositeSynopsis] = {}
 
     def __len__(self) -> int:
         return len(self._by_context)
@@ -161,6 +169,7 @@ class SynopsisTable:
         lost = len(self._by_context)
         self._by_context.clear()
         self._by_value.clear()
+        self._composites.clear()
         return lost
 
     def synopsis(self, context: TransactionContext) -> int:
@@ -189,8 +198,18 @@ class SynopsisTable:
         return self._by_context.get(context)
 
     def make_response(self, request_synopsis: int, local_context: TransactionContext) -> CompositeSynopsis:
-        """Compose the response synopsis ``request # synopsis(local)``."""
-        return CompositeSynopsis(request_synopsis, self.synopsis(local_context))
+        """Compose the response synopsis ``request # synopsis(local)``.
+
+        Composites are immutable and value-equal, so identical pairs
+        share one cached instance (copy-on-write forwarding).
+        """
+        key = (request_synopsis, self.synopsis(local_context))
+        composite = self._composites.get(key)
+        if composite is None:
+            composite = CompositeSynopsis(key[0], key[1])
+            if len(self._composites) < self._COMPOSITE_CACHE_MAX:
+                self._composites[key] = composite
+        return composite
 
     def is_own_prefix(self, composite: CompositeSynopsis) -> bool:
         """True if the composite's prefix was allocated by this stage —

@@ -177,6 +177,14 @@ class LiveCollector:
         self.checkpoints_written = 0
         self.peak_resident = 0
         self.recovered_from = 0
+        # Absorption method table: one dict hit per event replaces the
+        # string-compare chain drain() used to run per event kind.
+        self._absorb = {
+            "sample": self._on_sample,
+            "synopsis": self._on_synopsis,
+            "crash": self._on_crash,
+            "crosstalk": self._on_crosstalk,
+        }
 
     # ------------------------------------------------------------------
     # Sink-facing entry points (hot path)
@@ -201,18 +209,13 @@ class LiveCollector:
     # ------------------------------------------------------------------
     def drain(self) -> None:
         """Absorb every pending event into the shadow state."""
+        absorb = self._absorb
         while self._pending:
             batch, self._pending = self._pending, []
             for event in batch:
-                kind = event[0]
-                if kind == "sample":
-                    self._on_sample(event[1], event[2], event[3], event[4], event[5])
-                elif kind == "synopsis":
-                    self._on_synopsis(event[1], event[2], event[3], event[4])
-                elif kind == "crash":
-                    self._on_crash(event[1], event[2])
-                elif kind == "crosstalk":
-                    self._on_crosstalk(event[1], event[2], event[3], event[4])
+                handler = absorb.get(event[0])
+                if handler is not None:
+                    handler(event)
             self.events_absorbed += len(batch)
         if self.directory is not None and self.now >= self._next_ckpt:
             self.checkpoint()
@@ -223,7 +226,8 @@ class LiveCollector:
             shadow = self._stages[name] = _ShadowStage(name)
         return shadow
 
-    def _on_sample(self, stage_name, label, path, weight, t) -> None:
+    def _on_sample(self, event) -> None:
+        _, stage_name, label, path, weight, t = event
         self.now = t
         self.samples += 1
         self.sample_weight += weight
@@ -251,7 +255,8 @@ class LiveCollector:
                 self._resolved_weights.get(rkey, 0.0) + weight
             )
 
-    def _on_synopsis(self, stage_name, value, context, t) -> None:
+    def _on_synopsis(self, event) -> None:
+        _, stage_name, value, context, t = event
         self.now = t
         self.synopses_minted += 1
         shadow = self._stage(stage_name)
@@ -262,7 +267,8 @@ class LiveCollector:
             # resolvable; re-bucket the scalar index on next query.
             self._index_dirty = True
 
-    def _on_crash(self, stage_name, lost) -> None:
+    def _on_crash(self, event) -> None:
+        _, stage_name, lost = event
         self.crashes += 1
         self.synopses_lost += lost
         shadow = self._stage(stage_name)
@@ -274,7 +280,8 @@ class LiveCollector:
         # post-mortem pass resolves against end-of-run tables.
         self._index_dirty = True
 
-    def _on_crosstalk(self, stage_name, waiter, holder, wait) -> None:
+    def _on_crosstalk(self, event) -> None:
+        _, stage_name, waiter, holder, wait = event
         self.crosstalk_events += 1
         shadow = self._stage(stage_name or "<anonymous>")
         stats = shadow.crosstalk.get((waiter, holder))

@@ -145,22 +145,51 @@ class StageQueue:
 
 
 class Dequeue(Syscall):
-    """Block until the stage queue has an element; result is the element."""
+    """Block until the stage queue has an element; result is the element.
 
-    __slots__ = ("queue",)
+    With ``batch > 1`` a non-empty queue yields a *list* of up to
+    ``batch`` buffered elements in FIFO order — one worker wakeup
+    drains a run of ready items instead of paying a schedule/resume
+    round trip per element.  ``share`` is the stage's worker-pool
+    size: a worker only takes its fair share of the backlog
+    (``len // share``, at least one element) so one wakeup never
+    starves sibling workers of ready elements and stage parallelism
+    is preserved.  A worker parked on an empty queue is still handed
+    a single element by :meth:`StageQueue.enqueue`, so batch
+    consumers must accept both shapes (see
+    :meth:`SedaStage._worker_loop`).
+    """
 
-    def __init__(self, queue: StageQueue):
+    __slots__ = ("queue", "batch", "share")
+
+    def __init__(self, queue: StageQueue, batch: int = 1, share: int = 1):
         self.queue = queue
+        self.batch = batch
+        self.share = share if share > 0 else 1
 
     def execute(self, kernel: "Kernel", thread: SimThread) -> None:
-        if self.queue._elements:
-            element = self.queue._elements.popleft()
-            if self.queue._tele_depth is not None:
-                self.queue._tele_depth.set(len(self.queue._elements))
-            kernel.resume(thread, element)
+        queue = self.queue
+        elements = queue._elements
+        if elements:
+            batch = self.batch
+            if batch > 1 and len(elements) > 1:
+                take = len(elements) // self.share
+                if take < 1:
+                    take = 1
+                elif take > batch:
+                    take = batch
+                if take > 1:
+                    result = [elements.popleft() for _ in range(take)]
+                else:
+                    result = elements.popleft()
+            else:
+                result = elements.popleft()
+            if queue._tele_depth is not None:
+                queue._tele_depth.set(len(elements))
+            kernel.resume(thread, result)
         else:
             thread.blocked_on = self
-            self.queue._waiters.append(thread)
+            queue._waiters.append(thread)
 
     def __repr__(self) -> str:
         return f"Dequeue({self.queue.name})"
@@ -184,6 +213,7 @@ class SedaStage:
         stage_runtime: Any = None,
         prune_loops: bool = True,
         queue_capacity: Optional[int] = None,
+        dequeue_batch: int = 8,
     ):
         self.kernel = kernel
         self.name = name
@@ -191,6 +221,9 @@ class SedaStage:
         self.workers = workers
         self.stage_runtime = stage_runtime
         self.prune_loops = prune_loops
+        # Max ready elements one worker wakeup drains (1 = classic
+        # element-per-wakeup dispatch).
+        self.dequeue_batch = max(1, dequeue_batch)
         self.input_queue = StageQueue(kernel, f"{name}.in", capacity=queue_capacity)
         self.threads: List[SimThread] = []
         self.processed = 0
@@ -230,55 +263,78 @@ class SedaStage:
     def _worker_loop(self) -> Iterator:
         thread = yield CurrentThread()
         tele = self._tele
+        queue = self.input_queue
+        prune = self.prune_loops
+        name = self.name
+        # One reusable (stateless) Dequeue syscall per worker: the
+        # per-element allocation was measurable on stage-heavy runs.
+        deq = Dequeue(queue, batch=self.dequeue_batch, share=self.workers)
         with frame(thread, "stage_loop"):
             while True:
-                element = yield Dequeue(self.input_queue)
-                # Fig 5 lines 5-6: current context = concat(element
-                # context, current stage), normalised per §4.1/§4.2.
-                context = element.tran_ctxt.append(
-                    self.name, prune=self.prune_loops
-                )
-                thread.tran_ctxt = context
-                self.processed += 1
-                span = None
-                if tele is not None:
-                    now = self.kernel.now
-                    wait = (
-                        now - element.enqueued_at
-                        if element.enqueued_at is not None
-                        else 0.0
-                    )
-                    if self._tele_wait is not None:
-                        self._tele_wait.observe(wait)
-                    span = tele.spans.begin(
-                        self.name,
-                        "seda.stage",
-                        self.name,
-                        now,
-                        thread=thread.tid,
-                        attrs={"queue_wait": wait},
-                    )
-                closing = False
+                batch = yield deq
+                if batch.__class__ is not list:
+                    batch = (batch,)
+                index = 0
                 try:
-                    with frame(thread, self.name):
-                        yield from self.handler(self, thread, element.payload)
+                    for index, element in enumerate(batch):
+                        # Fig 5 lines 5-6: current context = concat(
+                        # element context, current stage), normalised
+                        # per §4.1/§4.2.
+                        thread.tran_ctxt = element.tran_ctxt.append(
+                            name, prune=prune
+                        )
+                        self.processed += 1
+                        span = None
+                        if tele is not None:
+                            now = self.kernel.now
+                            wait = (
+                                now - element.enqueued_at
+                                if element.enqueued_at is not None
+                                else 0.0
+                            )
+                            if self._tele_wait is not None:
+                                self._tele_wait.observe(wait)
+                            span = tele.spans.begin(
+                                name,
+                                "seda.stage",
+                                name,
+                                now,
+                                thread=thread.tid,
+                                attrs={"queue_wait": wait},
+                            )
+                        closing = False
+                        try:
+                            with frame(thread, name):
+                                yield from self.handler(
+                                    self, thread, element.payload
+                                )
+                        except GeneratorExit:
+                            # The worker is being destroyed while
+                            # suspended — a stage crash, or the
+                            # interpreter finalizing the generator at
+                            # garbage-collection time.  The element
+                            # never completed, and GC can fire at an
+                            # arbitrary point of the host program (even
+                            # mid-iteration of the span recorder's own
+                            # structures), so emitting telemetry from
+                            # here would both fake a completion and
+                            # mutate live state out of virtual time.
+                            closing = True
+                            raise
+                        finally:
+                            thread.tran_ctxt = None
+                            if span is not None and not closing:
+                                tele.spans.end(span, self.kernel.now)
+                                if self._tele_service is not None:
+                                    self._tele_service.observe(span.duration)
                 except GeneratorExit:
-                    # The worker is being destroyed while suspended —
-                    # a stage crash, or the interpreter finalizing the
-                    # generator at garbage-collection time.  The element
-                    # never completed, and GC can fire at an arbitrary
-                    # point of the host program (even mid-iteration of
-                    # the span recorder's own structures), so emitting
-                    # telemetry from here would both fake a completion
-                    # and mutate live state out of virtual time.
-                    closing = True
+                    # Killed mid-batch: the unprocessed tail returns to
+                    # the queue front (the in-flight element is lost,
+                    # as in element-per-wakeup dispatch), so crash
+                    # accounting counts exactly the same losses.
+                    for rest in reversed(batch[index + 1 :]):
+                        queue._elements.appendleft(rest)
                     raise
-                finally:
-                    thread.tran_ctxt = None
-                    if span is not None and not closing:
-                        tele.spans.end(span, self.kernel.now)
-                        if self._tele_service is not None:
-                            self._tele_service.observe(span.duration)
 
     # ------------------------------------------------------------------
     def crash(self, restart_after: Optional[float] = None) -> None:

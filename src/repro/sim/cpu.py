@@ -129,36 +129,35 @@ class CPU:
                 self._run_queue.append(running.job)
 
     def _dispatch(self) -> None:
-        while len(self._slices) < self.cores and self._run_queue:
-            job = self._run_queue.popleft()
+        slices = self._slices
+        run_queue = self._run_queue
+        cores = self.cores
+        kernel = self.kernel
+        while len(slices) < cores and run_queue:
+            job = run_queue.popleft()
             # With no competitors (and for quantum=None CPUs), run to
             # completion — exact timing, one event.  Otherwise serve one
             # quantum and requeue.
-            extended = self.quantum is None or not self._run_queue
+            extended = self.quantum is None or not run_queue
             if extended:
                 length = job.remaining
             else:
                 length = min(self.quantum, job.remaining)
-            event = self.kernel.schedule(length, self._slice_done)
-            self._slices.append(_Slice(job, event, self.kernel.now, length, extended))
+            current = _Slice(job, None, kernel.now, length, extended)
+            current.event = kernel.schedule(length, self._slice_done, current)
+            slices.append(current)
 
-    def _slice_done(self) -> None:
-        # The earliest-ending non-cancelled slice is the one that fired;
-        # identify it by end time.
-        now = self.kernel.now
-        current = None
-        for candidate in self._slices:
-            if abs(candidate.started_at + candidate.length - now) <= _EPSILON:
-                current = candidate
-                break
-        assert current is not None, "slice completion without a running slice"
+    def _slice_done(self, current: _Slice) -> None:
+        # The completed slice rides on its own event, so no end-time
+        # scan is needed; _slices is at most ``cores`` entries.
         self._slices.remove(current)
         self.busy_time += current.length
-        current.job.remaining -= current.length
-        if current.job.remaining <= _EPSILON:
-            self._complete(current.job)
+        job = current.job
+        job.remaining -= current.length
+        if job.remaining <= _EPSILON:
+            self._complete(job)
         else:
-            self._run_queue.append(current.job)
+            self._run_queue.append(job)
         self._dispatch()
 
     def _complete(self, job: _Job) -> None:

@@ -18,7 +18,11 @@ a two-level structure — a hashed timing wheel with an exact-time cursor:
 - ``_wheel``: a dict mapping each *exact* pending timestamp to the list
   of events scheduled at it (its bucket).  Scheduling is an O(1) dict
   append; buckets are in FIFO order by construction because the global
-  sequence number only ever grows.
+  sequence number only ever grows.  A bucket entry is either a
+  cancellable :class:`ScheduledEvent` or — for the spawn/resume/Delay
+  thread wakeups that dominate transaction workloads and that nothing
+  can ever hold a handle to — a bare ``(thread, value)`` pair, which
+  costs neither an event object nor a bound method per wakeup.
 - ``_times``: a heap of the distinct pending timestamps (plain floats,
   so every comparison runs in C).  One heap operation per *timestamp*,
   not per event: a bucket of ten thousand same-time events costs one
@@ -44,6 +48,7 @@ timestamp keeps O(1) schedule/cancel while preserving exact
 from __future__ import annotations
 
 import heapq
+import sys
 import time
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
@@ -54,6 +59,12 @@ from repro.sim.process import SimThread
 # weight and big enough for the rebuild to matter.
 _PURGE_MIN_QUEUE = 64
 
+# Cap on the kernel's freelist of dead SimThread shells.  Thread-churn
+# workloads (one thread per request/session) otherwise allocate and
+# collect a full SimThread — plus its joiners and call-stack lists — per
+# transaction; the cap bounds the memory a burst can pin.
+_THREAD_FREELIST_MAX = 1024
+
 # With telemetry on, refresh the kernel gauges every this many events
 # rather than on every pop.
 _TELEMETRY_GAUGE_INTERVAL = 64
@@ -62,6 +73,14 @@ _INF = float("inf")
 
 _heappush = heapq.heappush
 _heappop = heapq.heappop
+_getrefcount = sys.getrefcount
+
+# getrefcount() value for a just-popped shell with NO outside handles:
+# the local variable in spawn() plus getrefcount's own argument
+# binding.  Anything higher means user code still holds the dead
+# thread (a pending Join target, a stored handle, a not-yet-fired
+# ``thread.step`` timer) and the shell must not be reused.
+_FREE_SHELL_REFS = 2
 
 
 class ScheduledEvent:
@@ -124,6 +143,7 @@ class Kernel:
         "_num_events",
         "_threads",
         "_next_tid",
+        "_thread_freelist",
         "_stopped",
         "faults",
         "_cancelled",
@@ -155,6 +175,9 @@ class Kernel:
         # however many short-lived threads a run spawns.
         self._threads: Dict[int, SimThread] = {}
         self._next_tid = 0
+        # Field-clean dead SimThread shells for reuse by spawn() (see
+        # :meth:`reap`); bounded by _THREAD_FREELIST_MAX.
+        self._thread_freelist: List[SimThread] = []
         self._stopped = False
         # Fault injector (repro.faults.install_faults); endpoints capture
         # their per-rule state from it at construction.  None = lossless.
@@ -271,7 +294,9 @@ class Kernel:
         for when, bucket in wheel.items():
             live = []
             for event in bucket:
-                if event.cancelled:
+                if event.__class__ is tuple:
+                    live.append(event)  # wakeup pairs are never cancelled
+                elif event.cancelled:
                     event.kernel = None
                 else:
                     live.append(event)
@@ -303,9 +328,49 @@ class Kernel:
         """
         tid = self._next_tid
         self._next_tid += 1
-        thread = SimThread(self, generator, tid, name or f"thread-{tid}", stage)
+        freelist = self._thread_freelist
+        if freelist:
+            thread = freelist.pop()
+            if _getrefcount(thread) == _FREE_SHELL_REFS:
+                # Inlined thread._reinit(generator, tid, name, stage):
+                # spawn is the churn hot path and the call frame is
+                # measurable.  Keep in sync with SimThread._reinit.
+                thread.generator = generator
+                thread.tid = tid
+                thread._name = name
+                thread.stage = stage
+                thread.daemon = False
+                thread.alive = True
+                thread.result = None
+                thread.failure = None
+                thread.blocked_on = None
+                thread.joiners.clear()
+                thread.call_stack.clear()
+                thread.tran_ctxt = None
+            else:
+                # Someone still holds the dead thread's handle (e.g. a
+                # Join target kept across runs): retire the shell so
+                # that handle keeps observing the finished thread, and
+                # allocate fresh.  Reuse therefore can never alias a
+                # reachable thread.
+                thread = SimThread(self, generator, tid, name, stage)
+        else:
+            thread = SimThread(self, generator, tid, name, stage)
         self._threads[tid] = thread
-        self.call_soon(thread.step, None)
+        # Inlined call_soon(thread.step, None): spawn is the thread-churn
+        # hot path.  The wakeup goes on the wheel as a bare
+        # ``(thread, value)`` pair instead of a ScheduledEvent — nothing
+        # can hold or cancel it (spawn returns the thread, not the
+        # event), a dead thread's step() is a no-op anyway, and the pair
+        # costs neither the event object nor the bound method.
+        when = self.now
+        self._num_events += 1
+        bucket = self._wheel.get(when)
+        if bucket is None:
+            self._wheel[when] = [(thread, None)]
+            _heappush(self._times, when)
+        else:
+            bucket.append((thread, None))
         return thread
 
     def reap(self, thread: SimThread) -> None:
@@ -314,15 +379,45 @@ class Kernel:
         Called from :meth:`SimThread.finish` / ``fail``; keeps
         ``live_threads`` and the deadlock check proportional to the
         number of *live* threads instead of every thread ever spawned.
+
+        A cleanly finished thread's shell goes on a bounded freelist for
+        :meth:`spawn` to recycle.  The shell keeps its ``result`` and
+        dead state until actually reused, so the common pattern of
+        reading ``thread.result`` right after a run still works — but a
+        handle held across later spawns may observe the shell serving a
+        *new* thread.  Join dead threads promptly; failed threads are
+        never recycled (their ``failure`` stays inspectable forever).
         """
         self._threads.pop(thread.tid, None)
+        if thread.failure is None:
+            freelist = self._thread_freelist
+            if len(freelist) < _THREAD_FREELIST_MAX:
+                # Drop heavyweight references now (the generator frame,
+                # the transaction context); scalar state is scrubbed on
+                # reuse by _reinit.
+                thread.generator = None
+                thread.blocked_on = None
+                thread.tran_ctxt = None
+                thread.stage = None
+                freelist.append(thread)
 
     def resume(self, thread: SimThread, value: Any = None) -> None:
         """Unblock ``thread``, delivering ``value`` as the result of the
 
         syscall it is blocked on.  The thread runs at the current time.
         """
-        self.call_soon(thread.step, value)
+        # Inlined call_soon(thread.step, value) — the hottest kernel
+        # entry point after the event loop itself.  Same bare-pair
+        # representation as spawn(): resume wakeups are uncancellable
+        # by construction (no caller ever sees the event).
+        when = self.now
+        self._num_events += 1
+        bucket = self._wheel.get(when)
+        if bucket is None:
+            self._wheel[when] = [(thread, value)]
+            _heappush(self._times, when)
+        else:
+            bucket.append((thread, value))
 
     def throw_in(self, thread: SimThread, exc: BaseException) -> None:
         """Raise ``exc`` inside ``thread`` at its current yield point."""
@@ -367,10 +462,35 @@ class Kernel:
             if len(batch) == 1:
                 # Fast path: one event at this timestamp (the common
                 # case for distinct timer deadlines).  No batch slicing
-                # is ever needed, so no try/except either.
+                # is ever needed, so no try/except either.  A bucket
+                # entry is either a ScheduledEvent or a bare
+                # ``(thread, value)`` wakeup pair (spawn/resume/Delay);
+                # pairs are uncancellable by construction.
                 event = batch[0]
-                event.kernel = None
                 self._num_events -= 1
+                if event.__class__ is tuple:
+                    thread, value = event
+                    if when > now:
+                        self.now = now = when
+                        self._same_time_events = 0
+                    else:
+                        same = self._same_time_events + 1
+                        self._same_time_events = same
+                        if same > livelock_limit:
+                            raise SimulationError(
+                                f"livelock: {livelock_limit} events fired "
+                                f"at t={now} without the clock advancing"
+                            )
+                    thread.step(value)
+                    if tele_events is not None:
+                        tele_events.inc()
+                        fired_total += 1
+                        if fired_total % _TELEMETRY_GAUGE_INTERVAL == 0:
+                            self._refresh_telemetry_gauges()
+                    if self._stopped:
+                        break
+                    continue
+                event.kernel = None
                 if event.cancelled:
                     self._cancelled -= 1
                     continue
@@ -400,9 +520,10 @@ class Kernel:
             self._num_events -= len(batch)
             cancelled_in_batch = 0
             for event in batch:
-                event.kernel = None
-                if event.cancelled:
-                    cancelled_in_batch += 1
+                if event.__class__ is not tuple:
+                    event.kernel = None
+                    if event.cancelled:
+                        cancelled_in_batch += 1
             if cancelled_in_batch:
                 self._cancelled -= cancelled_in_batch
                 if cancelled_in_batch == len(batch):
@@ -416,9 +537,12 @@ class Kernel:
             event = None
             try:
                 for event in batch:
-                    if event.cancelled:
+                    if event.__class__ is tuple:
+                        event[0].step(event[1])
+                    elif event.cancelled:
                         continue
-                    event.fn(*event.args)
+                    else:
+                        event.fn(*event.args)
                     fired += 1
                     if tele_events is not None:
                         tele_events.inc()
@@ -475,13 +599,22 @@ class Kernel:
         consumed); everything after it is re-attached in order, ahead of
         any same-timestamp events scheduled while the batch ran.
         """
-        rest = batch[batch.index(last) + 1 :]
+        # Identity scan, not list.index(): wakeup pairs compare by
+        # value, so two equal (thread, value) pairs in one bucket would
+        # alias under ``==`` and replay an extra event.
+        cut = 0
+        for index, event in enumerate(batch):
+            if event is last:
+                cut = index
+                break
+        rest = batch[cut + 1 :]
         if not rest:
             return
         for event in rest:
-            event.kernel = self
-            if event.cancelled:
-                self._cancelled += 1
+            if event.__class__ is not tuple:
+                event.kernel = self
+                if event.cancelled:
+                    self._cancelled += 1
         existing = self._wheel.get(when)
         if existing is None:
             self._wheel[when] = rest

@@ -13,10 +13,13 @@ and the thread's current transaction context.
 
 from __future__ import annotations
 
+from heapq import heappush as _heappush
 from typing import Any, Iterator, List, Optional, TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Kernel
+
+_INF = float("inf")
 
 
 class Syscall:
@@ -48,11 +51,26 @@ class Delay(Syscall):
     def __init__(self, dt: float):
         if dt < 0:
             raise ValueError("negative delay")
+        if dt != dt or dt == _INF:
+            # NaN slips past ``dt < 0`` and, like +inf, would corrupt
+            # the kernel wheel's time ordering when the sleep fires.
+            raise ValueError("delay must be finite (dt=%r)" % dt)
         self.dt = dt
 
     def execute(self, kernel: "Kernel", thread: "SimThread") -> None:
+        # Inlined kernel.schedule(dt, thread.step, None): a sleep is the
+        # single most common timer, nothing ever holds (or cancels) its
+        # event, so the wakeup goes on the wheel as a bare
+        # ``(thread, value)`` pair — no ScheduledEvent, no bound method.
         thread.blocked_on = self
-        kernel.schedule(self.dt, thread.step, None)
+        when = kernel.now + self.dt
+        kernel._num_events += 1
+        bucket = kernel._wheel.get(when)
+        if bucket is None:
+            kernel._wheel[when] = [(thread, None)]
+            _heappush(kernel._times, when)
+        else:
+            bucket.append((thread, None))
 
     def __repr__(self) -> str:
         return f"Delay({self.dt})"
@@ -140,7 +158,7 @@ class SimThread:
         "kernel",
         "generator",
         "tid",
-        "name",
+        "_name",
         "stage",
         "daemon",
         "alive",
@@ -157,13 +175,13 @@ class SimThread:
         kernel: "Kernel",
         generator: Iterator,
         tid: int,
-        name: str,
+        name: Optional[str] = None,
         stage: Any = None,
     ):
         self.kernel = kernel
         self.generator = generator
         self.tid = tid
-        self.name = name
+        self._name = name
         self.stage = stage
         self.daemon = False
         self.alive = True
@@ -173,6 +191,49 @@ class SimThread:
         self.joiners: List["SimThread"] = []
         self.call_stack: List[str] = []
         self.tran_ctxt: Any = None
+
+    def _reinit(
+        self,
+        generator: Iterator,
+        tid: int,
+        name: Optional[str],
+        stage: Any,
+    ) -> None:
+        """Re-arm a recycled shell from the kernel's thread freelist.
+
+        Every field a dead thread could leak into its successor is
+        scrubbed here (reuse-after-release is field-clean); the joiner
+        and call-stack *list objects* are reused, which is the point of
+        recycling.
+        """
+        self.generator = generator
+        self.tid = tid
+        self._name = name
+        self.stage = stage
+        self.daemon = False
+        self.alive = True
+        self.result = None
+        self.failure = None
+        self.blocked_on = None
+        self.joiners.clear()
+        self.call_stack.clear()
+        self.tran_ctxt = None
+
+    @property
+    def name(self) -> str:
+        """Thread name, derived lazily from the tid when not given.
+
+        Anonymous request/session threads dominate churn-heavy runs;
+        deferring the f-string keeps spawn() allocation-free for them.
+        """
+        name = self._name
+        if name is None:
+            name = self._name = f"thread-{self.tid}"
+        return name
+
+    @name.setter
+    def name(self, value: str) -> None:
+        self._name = value
 
     # ------------------------------------------------------------------
     # Execution
@@ -185,12 +246,38 @@ class SimThread:
         try:
             syscall = self.generator.send(value)
         except StopIteration as stop:
-            self.finish(stop.value)
+            # Inlined finish(): the generator just returned, so it is
+            # already exhausted and close() would be a no-op — thread
+            # death is the churn hot path and the extra frames are
+            # measurable.
+            self.alive = False
+            result = self.result = stop.value
+            joiners = self.joiners
+            if joiners:
+                kernel = self.kernel
+                for joiner in joiners:
+                    kernel.resume(joiner, result)
+                joiners.clear()
+            stage = self.stage
+            if stage is not None:
+                try:
+                    on_exit = stage.on_thread_exit
+                except AttributeError:
+                    pass
+                else:
+                    on_exit(self)
+            self.kernel.reap(self)
             return
         except BaseException as exc:
             self.fail(exc)
             raise
-        self._dispatch(syscall)
+        # Inlined _dispatch: step() runs once per scheduled event on
+        # every thread, so the extra frame is pure overhead.
+        if isinstance(syscall, Syscall):
+            syscall.execute(self.kernel, self)
+        else:
+            self.fail(TypeError(f"{self.name} yielded non-syscall {syscall!r}"))
+            raise TypeError(f"{self.name} yielded non-syscall {syscall!r}")
 
     def throw(self, exc: BaseException) -> None:
         """Raise ``exc`` at the thread's current yield point."""
@@ -245,12 +332,13 @@ class SimThread:
         """
         stage = self.stage
         if stage is not None:
-            on_exit = getattr(stage, "on_thread_exit", None)
-            if on_exit is not None:
+            try:
+                on_exit = stage.on_thread_exit
+            except AttributeError:
+                pass
+            else:
                 on_exit(self)
-        reap = getattr(self.kernel, "reap", None)
-        if reap is not None:
-            reap(self)
+        self.kernel.reap(self)
 
     # ------------------------------------------------------------------
     # Profiler support

@@ -17,8 +17,17 @@ retains them (optionally ring-buffered) for batch exporters.
 
 from __future__ import annotations
 
-from collections import OrderedDict, deque
+import sys
+from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Tuple
+
+# A span popped off the retention ring with no external handles has
+# exactly two references: the popping local and getrefcount's argument.
+# Anything higher means a sink or caller still holds the object and the
+# recorder must not recycle it (see SpanRecorder._emit).
+_FREE_SPAN_REFS = 2
+_SPAN_POOL_MAX = 512
+_getrefcount = sys.getrefcount
 
 
 class Span:
@@ -34,8 +43,8 @@ class Span:
         "thread",
         "start",
         "end",
-        "attrs",
-        "links",
+        "_attrs",
+        "_links",
     )
 
     def __init__(
@@ -59,10 +68,56 @@ class Span:
         self.thread = thread
         self.start = start
         self.end: Optional[float] = None
-        self.attrs: Dict[str, Any] = attrs or {}
-        # (trace_id, span_id) pairs — e.g. the send span a synopsis
-        # chain joined this span to.
-        self.links: List[Tuple[int, int]] = []
+        # attrs/links materialise lazily: most spans carry neither, and
+        # a dict plus a list per span is the dominant allocation cost of
+        # spans-mode telemetry.
+        self._attrs = attrs
+        self._links: Optional[List[Tuple[int, int]]] = None
+
+    def _reinit(
+        self,
+        span_id: int,
+        trace_id: int,
+        name: str,
+        category: str,
+        stage: Optional[str],
+        thread: Optional[int],
+        start: float,
+        parent_id: Optional[int],
+        attrs: Optional[Dict[str, Any]],
+    ) -> None:
+        """Re-arm a recycled shell from the recorder's span pool.
+
+        Every slot is overwritten (reuse-after-release is field-clean);
+        lazy attrs/links reset to the unmaterialised state.
+        """
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.stage = stage
+        self.thread = thread
+        self.start = start
+        self.end = None
+        self._attrs = attrs
+        self._links = None
+
+    @property
+    def attrs(self) -> Dict[str, Any]:
+        attrs = self._attrs
+        if attrs is None:
+            attrs = self._attrs = {}
+        return attrs
+
+    @property
+    def links(self) -> List[Tuple[int, int]]:
+        """(trace_id, span_id) pairs — e.g. the send span a synopsis
+        chain joined this span to."""
+        links = self._links
+        if links is None:
+            links = self._links = []
+        return links
 
     @property
     def duration(self) -> float:
@@ -102,11 +157,20 @@ class SpanRecorder:
         # LRU-bounded: a workload minting contexts forever (and hence
         # fresh synopsis values forever) must not grow this map without
         # bound; the least-recently-touched registration is retired once
-        # ``synopsis_capacity`` is exceeded (None = unbounded).
-        self._synopsis_index: "OrderedDict[Tuple[str, int], Tuple[int, int]]" = (
-            OrderedDict()
-        )
+        # ``synopsis_capacity`` is exceeded (None = unbounded).  A plain
+        # dict is the LRU: insertion order is recency (delete+reinsert
+        # refreshes), eviction pops the oldest key — measurably cheaper
+        # per touch than OrderedDict.move_to_end.
+        self._synopsis_index: Dict[Tuple[str, int], Tuple[int, int]] = {}
         self._synopsis_capacity = synopsis_capacity
+        # Recycled Span shells (see _emit).  Recycling only engages when
+        # the retention ring is bounded (evicted spans are provably
+        # unreachable from the recorder) AND every attached sink
+        # declares ``retains_spans = False``; a refcount veto at pop
+        # time catches any other live handle.
+        self._span_pool: List[Span] = []
+        self._pool_ok = capacity is not None and capacity > 0
+        self._recycle = self._pool_ok
         self.synopses_evicted = 0
         # Size gauge, installed by the telemetry hub when metrics are on.
         self.pending_gauge: Optional[Any] = None
@@ -127,6 +191,7 @@ class SpanRecorder:
         self._sinks.append(sink)
         if getattr(sink, "wants_profile_events", False):
             self._profile_sinks.append(sink)
+        self._update_recycle()
 
     def detach_sink(self, sink: Any) -> None:
         """Remove a sink from all dispatch lists (no-op if absent)."""
@@ -134,6 +199,16 @@ class SpanRecorder:
             self._sinks.remove(sink)
         if sink in self._profile_sinks:
             self._profile_sinks.remove(sink)
+        self._update_recycle()
+
+    def _update_recycle(self) -> None:
+        """Span recycling is safe only while no attached sink may hold
+        on to spans past ``on_span`` (``retains_spans`` defaults to
+        True, so unknown sinks disable the pool)."""
+        self._recycle = self._pool_ok and all(
+            getattr(sink, "retains_spans", True) is False
+            for sink in self._sinks
+        )
 
     def _quarantine(self, failed: List[Any]) -> None:
         """Detach sinks that raised; the hot path must survive them."""
@@ -149,19 +224,34 @@ class SpanRecorder:
 
     def _emit(self, span: Span) -> None:
         self.completed += 1
-        if self._spans.maxlen is not None and len(self._spans) == self._spans.maxlen:
+        spans = self._spans
+        capacity = spans.maxlen
+        recycled = None
+        if capacity is not None and len(spans) == capacity:
             self.dropped += 1
-        self._spans.append(span)
-        failed = None
-        for sink in self._sinks:
-            try:
-                sink.on_span(span)
-            except Exception:
-                if failed is None:
-                    failed = []
-                failed.append(sink)
-        if failed is not None:
-            self._quarantine(failed)
+            if self._recycle:
+                recycled = spans.popleft()
+        spans.append(span)
+        sinks = self._sinks
+        if sinks:
+            failed = None
+            for sink in sinks:
+                try:
+                    sink.on_span(span)
+                except Exception:
+                    if failed is None:
+                        failed = []
+                    failed.append(sink)
+            if failed is not None:
+                self._quarantine(failed)
+        if recycled is not None and _getrefcount(recycled) == _FREE_SPAN_REFS:
+            # Nothing outside this frame holds the evicted span: its
+            # shell can be re-armed for a future begin()/instant().
+            # Any surviving handle (a test, a slow exporter) fails the
+            # refcount check and the shell is simply dropped.
+            pool = self._span_pool
+            if len(pool) < _SPAN_POOL_MAX:
+                pool.append(recycled)
 
     # ------------------------------------------------------------------
     # Raw profiler events (online stitching)
@@ -201,6 +291,7 @@ class SpanRecorder:
     def close_sinks(self) -> None:
         """Close every attached sink once; errors are counted, not raised."""
         sinks, self._sinks, self._profile_sinks = self._sinks, [], []
+        self._update_recycle()
         for sink in sinks:
             try:
                 sink.close()
@@ -216,6 +307,33 @@ class SpanRecorder:
         trace_id = self._next_trace_id
         self._next_trace_id += 1
         return trace_id
+
+    def _new_span(
+        self,
+        name: str,
+        category: str,
+        stage: Optional[str],
+        thread: Optional[int],
+        t: float,
+        trace_id: int,
+        parent_id: Optional[int],
+        attrs: Optional[Dict[str, Any]],
+    ) -> Span:
+        """Allocate a span, re-arming a pooled shell when one exists."""
+        span_id = self._next_span_id
+        self._next_span_id = span_id + 1
+        pool = self._span_pool
+        if pool:
+            span = pool.pop()
+            span._reinit(
+                span_id, trace_id, name, category, stage, thread, t,
+                parent_id, attrs,
+            )
+            return span
+        return Span(
+            span_id, trace_id, name, category, stage, thread, t,
+            parent_id=parent_id, attrs=attrs,
+        )
 
     def begin(
         self,
@@ -243,11 +361,9 @@ class SpanRecorder:
                     trace_id = parent.trace_id
         if trace_id is None:
             trace_id = self.new_trace_id()
-        span = Span(
-            self._next_span_id, trace_id, name, category, stage, thread, t,
-            parent_id=parent_id, attrs=attrs,
+        span = self._new_span(
+            name, category, stage, thread, t, trace_id, parent_id, attrs
         )
-        self._next_span_id += 1
         if thread is not None:
             self._stacks.setdefault(thread, []).append(span)
         return span
@@ -296,11 +412,9 @@ class SpanRecorder:
                     trace_id = parent.trace_id
         if trace_id is None:
             trace_id = self.new_trace_id()
-        span = Span(
-            self._next_span_id, trace_id, name, category, stage, thread, t,
-            parent_id=parent_id, attrs=attrs,
+        span = self._new_span(
+            name, category, stage, thread, t, trace_id, parent_id, attrs
         )
-        self._next_span_id += 1
         if adopt is not None:
             self.adopt_synopsis(adopt[0], adopt[1], span)
         span.end = t
@@ -319,11 +433,13 @@ class SpanRecorder:
         index = self._synopsis_index
         key = (origin, value)
         if key in index:
-            index.move_to_end(key)
+            # Delete-then-reinsert moves the key to the recent end of
+            # the dict's insertion order (the recency order).
+            del index[key]
         index[key] = (span.trace_id, span.span_id)
         capacity = self._synopsis_capacity
         if capacity is not None and len(index) > capacity:
-            index.popitem(last=False)
+            del index[next(iter(index))]
             self.synopses_evicted += 1
         if self.pending_gauge is not None:
             self.pending_gauge.set(len(index))
@@ -344,10 +460,14 @@ class SpanRecorder:
         found = index.get(key)
         if found is None:
             return False
-        index.move_to_end(key)
+        del index[key]
+        index[key] = found
         trace_id, send_span_id = found
         span.trace_id = trace_id
-        span.links.append((trace_id, send_span_id))
+        links = span._links
+        if links is None:
+            links = span._links = []
+        links.append((trace_id, send_span_id))
         return True
 
     @property

@@ -1,0 +1,83 @@
+"""Regression tests for TransactionContext's cached hash and derive memos.
+
+The hot-path work memoizes ``__hash__`` at construction and caches
+``append()`` / ``extend_path()`` derivations per parent context.  These
+tests pin the aliasing contract: a memoized derivation is always the
+same value a fresh computation would produce, deriving never mutates
+the parent, and the cached hash always agrees with equality.
+"""
+
+import pickle
+
+from repro.core.context import TransactionContext
+
+
+def test_cached_hash_agrees_with_equality():
+    a = TransactionContext(("web", "app", "db"))
+    b = TransactionContext(("web", "app", "db"))
+    assert a == b
+    assert hash(a) == hash(b)
+    assert hash(a) == hash(TransactionContext(("web", "app", "db")))
+    c = TransactionContext(("web", "app"))
+    assert a != c
+    # Hash stays the pinned construction-time value across use.
+    before = hash(a)
+    a.append("x")
+    a.extend_path(("p", "q"))
+    assert hash(a) == before
+
+
+def test_append_memo_returns_the_same_object_and_value():
+    parent = TransactionContext(("web", "app"))
+    d1 = parent.append("db")
+    d2 = parent.append("db")
+    assert d1 is d2, "repeat appends should hit the memo"
+    # The memoized result is exactly what a fresh computation produces.
+    fresh = TransactionContext(("web", "app", "db"))
+    assert d1 == fresh
+    assert hash(d1) == hash(fresh)
+    # Deriving never mutates the parent.
+    assert parent.elements == ("web", "app")
+
+
+def test_append_memo_keys_on_normalisation_flags():
+    parent = TransactionContext(("a",))
+    collapsed = parent.append("a")  # collapse: a,a -> a
+    assert collapsed is parent
+    pruned = parent.append("a", collapse=False)  # prune loops back to a
+    assert pruned.elements == ("a",)
+    full = parent.append("a", collapse=False, prune=False)
+    assert full.elements == ("a", "a")
+    # Each flag combination memoizes independently and stably.
+    assert parent.append("a") is collapsed
+    assert parent.append("a", collapse=False) is pruned
+    assert parent.append("a", collapse=False, prune=False) is full
+
+
+def test_extend_path_memo_matches_fresh_concatenation():
+    parent = TransactionContext(("web",))
+    e1 = parent.extend_path(("handler", "query"))
+    e2 = parent.extend_path(("handler", "query"))
+    assert e1 is e2
+    assert e1.elements == ("web", "handler", "query")
+    assert hash(e1) == hash(TransactionContext(("web", "handler", "query")))
+    assert parent.extend_path(()) is parent
+    assert parent.elements == ("web",)
+
+
+def test_call_path_interning_returns_one_canonical_object():
+    p1 = TransactionContext.from_call_path(("main", "serve"))
+    p2 = TransactionContext.from_call_path(("main", "serve"))
+    assert p1 is p2
+    assert hash(p1) == hash(TransactionContext(("main", "serve")))
+
+
+def test_pickle_round_trip_recomputes_a_consistent_hash():
+    original = TransactionContext(("web", "app", "db"))
+    original.append("x")  # populate the memo; it must not be pickled
+    clone = pickle.loads(pickle.dumps(original))
+    assert clone == original
+    # Same process, same PYTHONHASHSEED: the recomputed hash matches the
+    # memoized one, so clones interoperate with originals in dicts/sets.
+    assert hash(clone) == hash(original)
+    assert {original: 1}[clone] == 1

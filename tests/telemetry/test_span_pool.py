@@ -1,0 +1,102 @@
+"""Regression tests for the SpanRecorder's evicted-shell span pool.
+
+Spans mode allocates one Span per hop; the hot-path work recycles the
+shell a bounded retention ring evicts — but only when it is provably
+safe.  These tests pin the three layers of that safety contract:
+
+1. the pool engages only with a bounded ring AND no sink that may
+   retain spans past ``on_span`` (``retains_spans`` defaults to True);
+2. a shell with any surviving outside handle is vetoed at pop time and
+   simply dropped, never re-armed;
+3. reuse is field-clean — no name/attrs/links bleed between the shell's
+   lives, even for the lazily-materialised attrs/links.
+"""
+
+import json
+
+from repro.telemetry.sinks import CollectingSink, JsonLinesSink
+from repro.telemetry.spans import SpanRecorder
+
+
+def _fill(recorder, n, start=0):
+    for i in range(start, start + n):
+        recorder.instant(f"ev-{i}", "test", "stage", float(i))
+
+
+def test_pool_disabled_without_a_bounded_ring():
+    recorder = SpanRecorder(capacity=None)
+    _fill(recorder, 50)
+    assert recorder._span_pool == []
+    assert recorder.dropped == 0
+
+
+def test_evicted_shell_is_recycled_field_clean():
+    recorder = SpanRecorder(capacity=2)
+    first = recorder.instant(
+        "dirty", "test", "stage-a", 0.0, attrs={"size": 99}
+    )
+    first.links.append((7, 7))  # materialise links in the first life
+    first_id = id(first)
+    del first  # drop our handle so the eviction can pool the shell
+    _fill(recorder, 2, start=1)  # ring now [ev-1, ev-2]; "dirty" evicted
+    pool = recorder._span_pool
+    assert len(pool) == 1
+    assert id(pool[-1]) == first_id
+
+    reused = recorder.instant("clean", "test", "stage-b", 5.0)
+    assert id(reused) == first_id, "instant() should re-arm the shell"
+    assert reused.name == "clean"
+    assert reused.stage == "stage-b"
+    assert reused.start == 5.0
+    assert reused.end == 5.0
+    assert reused.parent_id is None
+    # Lazy attrs/links reset to unmaterialised — the first life's dict
+    # and list are gone, not shared.
+    assert reused._attrs is None
+    assert reused._links is None
+    assert reused.attrs == {}
+    assert reused.links == []
+    # Span ids keep increasing across reuse: no id aliasing.
+    assert reused.span_id > 3
+
+
+def test_surviving_handle_vetoes_recycling():
+    recorder = SpanRecorder(capacity=2)
+    held = recorder.instant("held", "test", "stage", 0.0, attrs={"k": "v"})
+    _fill(recorder, 4, start=1)  # evicts "held" (and one more)
+    assert all(span is not held for span in recorder._span_pool)
+    # The held span still reads exactly as recorded.
+    assert held.name == "held"
+    assert held.attrs == {"k": "v"}
+    assert held.start == 0.0
+
+
+def test_retaining_sink_disables_the_pool():
+    recorder = SpanRecorder(capacity=2)
+    assert recorder._recycle is True  # bounded ring, no sinks
+    keeper = CollectingSink()  # retains_spans defaults to True
+    recorder.add_sink(keeper)
+    assert recorder._recycle is False
+    _fill(recorder, 10)
+    assert recorder._span_pool == []
+    # Every span the retaining sink collected is intact and distinct.
+    names = [span.name for span in keeper.spans]
+    assert names == [f"ev-{i}" for i in range(10)]
+    recorder.detach_sink(keeper)
+    assert recorder._recycle is True
+
+
+def test_streaming_sink_output_is_unaffected_by_recycling(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    recorder = SpanRecorder(capacity=4)
+    sink = JsonLinesSink(str(path))
+    recorder.add_sink(sink)
+    assert recorder._recycle is True  # JsonLinesSink declares no retention
+    _fill(recorder, 64)
+    assert recorder._span_pool, "recycling should have engaged"
+    recorder.close_sinks()
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [row["name"] for row in lines] == [f"ev-{i}" for i in range(64)]
+    span_ids = [int(row["spanId"], 16) for row in lines]
+    assert span_ids == sorted(span_ids)
+    assert len(set(span_ids)) == 64
